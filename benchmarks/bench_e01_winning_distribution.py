@@ -1,0 +1,23 @@
+"""Benchmark + regeneration of experiment E1 (Theorem 2 on K_n).
+
+Prints the winning-distribution table and asserts the headline claim:
+the measured P(floor wins) matches ``⌈c⌉ - c`` within the Wilson CI on
+(almost) every row and the winner lands in {floor, ceil} essentially
+always.
+"""
+
+from repro.experiments import e01_winning_distribution as exp
+
+
+def test_e01_winning_distribution(benchmark):
+    report = benchmark.pedantic(
+        lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+
+    rows = report.tables[0].rows
+    in_ci = sum(1 for row in rows if row[7])
+    assert in_ci >= len(rows) - 1, "Theorem 2 prediction outside CI on 2+ rows"
+    for row in rows:
+        assert row[6] >= 0.95, f"winner escaped {{floor, ceil}} too often: {row}"

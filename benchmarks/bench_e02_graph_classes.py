@@ -1,0 +1,23 @@
+"""Benchmark + regeneration of experiment E2 (Theorem 2 across graph classes).
+
+Asserts the headline claim: on the paper's three expander families
+(K_n, random regular, G(n,p)) the winner lands in {floor, ceil} of the
+weighted average essentially always.
+"""
+
+from repro.experiments import e02_graph_classes as exp
+
+
+def test_e02_graph_classes(benchmark):
+    report = benchmark.pedantic(
+        lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+
+    rows = report.tables[0].rows
+    expander_rows = rows[:3]  # K_n, RR, G(n,p)
+    for row in expander_rows:
+        assert row[6] >= 0.9, f"hit rate too low on expander family: {row}"
+    in_ci = sum(1 for row in expander_rows if row[-1])
+    assert in_ci >= 2, "floor-probability prediction outside CI on 2+ expander rows"

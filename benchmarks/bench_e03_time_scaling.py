@@ -1,0 +1,24 @@
+"""Benchmark + regeneration of experiment E3 (E[T] = o(n²), eq. (4)).
+
+Asserts the headline claims: mean reduction time stays below the
+explicit eq. (4) expression, and T/n² strictly decreases along the n
+sweep (the o(n²) shape).
+"""
+
+from repro.experiments import e03_time_scaling as exp
+
+
+def test_e03_time_scaling(benchmark):
+    report = benchmark.pedantic(
+        lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+
+    rows = report.tables[0].rows
+    ratios_to_bound = [row[4] for row in rows]
+    assert all(r <= 1.0 for r in ratios_to_bound), "measured T exceeded eq. (4)"
+    t_over_n2 = [row[5] for row in rows]
+    assert all(
+        a > b for a, b in zip(t_over_n2, t_over_n2[1:])
+    ), f"T/n^2 did not decrease along the sweep: {t_over_n2}"

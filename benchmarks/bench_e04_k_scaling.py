@@ -1,0 +1,24 @@
+"""Benchmark + regeneration of experiment E4 (k-dependence of E[T]).
+
+Asserts the headline claim: reduction time grows with k but stays within
+the O(k·n log n) envelope of eq. (4) / Corollary 7 (the measured
+T/(k n log n) ratio stays bounded and non-increasing).
+"""
+
+from repro.experiments import e04_k_scaling as exp
+
+
+def test_e04_k_scaling(benchmark):
+    report = benchmark.pedantic(
+        lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+
+    rows = report.tables[0].rows
+    means = [row[1] for row in rows]
+    assert means[-1] >= means[0], "reduction time should grow with k"
+    ratios = [row[3] for row in rows]
+    assert all(r <= 3.0 for r in ratios), f"T exceeded O(k n log n) envelope: {ratios}"
+    # Upper bound is linear => ratio must not grow along the sweep.
+    assert ratios[-1] <= ratios[0] * 1.5

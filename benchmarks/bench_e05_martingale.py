@@ -1,0 +1,26 @@
+"""Benchmark + regeneration of experiment E5 (Lemma 3 + Azuma, eq. (5)).
+
+Asserts the headline claims: the empirical mean weight drifts by at most
+a few standard errors at every sampled step (martingale), and the
+fraction of runs escaping the Azuma envelope stays within its budget.
+"""
+
+from repro.experiments import e05_martingale as exp
+
+_CONFIG = exp.Config.quick()
+
+
+def test_e05_martingale(benchmark):
+    report = benchmark.pedantic(
+        lambda: exp.run(_CONFIG, seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+
+    assert len(report.tables) == 2  # vertex and edge processes
+    budget = 1 - _CONFIG.envelope_confidence
+    for table in report.tables:
+        for row in table.rows:
+            drift_over_stderr, exceedance = row[3], row[5]
+            assert drift_over_stderr <= 5.0, f"martingale drift detected: {row}"
+            assert exceedance <= budget + 0.1, f"Azuma envelope violated: {row}"

@@ -1,0 +1,24 @@
+"""Benchmark + regeneration of experiment E6 (eq. (3) win probabilities).
+
+Asserts the headline claim: measured two-opinion winning frequencies
+match N_i/n (edge) and d(A_i)/2m (vertex) — at most one of the eight
+scenario/process rows may fall outside its 95% Wilson interval.
+"""
+
+from repro.experiments import e06_two_opinion as exp
+
+
+def test_e06_two_opinion(benchmark):
+    report = benchmark.pedantic(
+        lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+
+    rows = report.tables[0].rows
+    in_ci = sum(1 for row in rows if row[-1])
+    assert in_ci >= len(rows) - 1, "eq. (3) prediction outside CI on 2+ rows"
+    # The star-hub rows demonstrate the process gap: the vertex-process
+    # probability must exceed the edge-process one by a large factor.
+    hub_rows = {row[1]: row[3] for row in rows if row[0] == "star: 1 on hub"}
+    assert hub_rows["vertex"] > 5 * max(hub_rows["edge"], 1e-3)

@@ -1,0 +1,29 @@
+"""Benchmark + regeneration of experiment E7 (the path counterexample).
+
+Asserts the headline claim of [13] Theorem 3: on the path with opinions
+{0,1,2} and a block layout, non-average opinions win with constant
+probability at every size, while the K_n control's failure probability
+is much smaller and shrinks with n.
+"""
+
+from repro.experiments import e07_path_counterexample as exp
+
+
+def test_e07_path_counterexample(benchmark):
+    report = benchmark.pedantic(
+        lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+
+    rows = report.tables[0].rows
+    path_rows = [row for row in rows if row[0] == "path"]
+    complete_rows = [row for row in rows if row[0] == "K_n"]
+    for row in path_rows:
+        assert row[5] >= 0.2, f"path failure probability collapsed: {row}"
+    # Across the sweep the path fails clearly more often than K_n (the
+    # K_n failure rate itself decays only like n^-0.35, so compare means
+    # rather than a single size).
+    mean_path = sum(row[5] for row in path_rows) / len(path_rows)
+    mean_complete = sum(row[5] for row in complete_rows) / len(complete_rows)
+    assert mean_path >= mean_complete + 0.1

@@ -1,0 +1,26 @@
+"""Benchmark + regeneration of experiment E8 (Mode / Median / Mean).
+
+Asserts the headline trichotomy: pull voting's winner distribution
+tracks the initial distribution (small TV distance), median voting's
+winners sit at the sample median, and DIV's winners land on floor/ceil
+of the sample mean.
+"""
+
+from repro.experiments import e08_mode_median_mean as exp
+
+
+def test_e08_mode_median_mean(benchmark):
+    report = benchmark.pedantic(
+        lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+
+    rows = {row[0]: row for row in report.tables[0].rows}
+    # DIV: mean-rounder.
+    assert rows["div"][4] >= 0.8, "DIV winners escaped floor/ceil of the mean"
+    # Pull: winner distribution ≈ initial distribution.
+    assert rows["pull"][5] <= 0.3, "pull winner distribution far from initial"
+    # Median voting's winners concentrate far below the mean-chasers.
+    assert rows["median"][2] < rows["div"][2], "median did not sit below the mean"
+    assert rows["median"][4] <= 0.5, "median voting chased the mean"

@@ -1,0 +1,25 @@
+"""Benchmark + regeneration of experiment E9 (DIV vs load balancing).
+
+Asserts the headline trade-off: load balancing conserves the sum exactly
+and reaches ≤3 consecutive values within its O(n log n + n log k) budget,
+while DIV reaches a single-value consensus at the rounded average.
+"""
+
+from repro.experiments import e09_load_balancing as exp
+
+
+def test_e09_load_balancing(benchmark):
+    report = benchmark.pedantic(
+        lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+
+    for row in report.tables[0].rows:
+        lb_ratio, lb_values, lb_sum_kept = row[3], row[4], row[5]
+        div_hit = row[8]
+        assert lb_sum_kept == 1.0, "load balancing lost weight"
+        assert lb_values <= 3.0, "load balancing spread exceeded 3 values"
+        assert lb_ratio <= 5.0, "LB steps blew past the O(n log n + n log k) shape"
+        assert div_hit >= 0.6, "DIV winners strayed from floor/ceil"
+        assert row[2] < row[7], "LB should contract far faster than DIV consensus"

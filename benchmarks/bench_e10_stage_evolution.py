@@ -1,0 +1,24 @@
+"""Benchmark + regeneration of experiment E10 (stage evolution).
+
+Asserts the headline structure of the paper's worked example: only
+extreme opinions are removed irreversibly (always), interior opinions
+reappear with substantial probability, and the winner respects the
+floor/ceil of the initial average.
+"""
+
+from repro.experiments import e10_stage_evolution as exp
+
+
+def test_e10_stage_evolution(benchmark):
+    report = benchmark.pedantic(
+        lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+
+    (row,) = report.tables[0].rows
+    mean_stages, reappear, hit, first_extreme = row
+    assert mean_stages >= 4, "too few stages: {1,2,5} must pass through ~6+"
+    assert reappear >= 0.2, "interior opinions never reappeared"
+    assert hit >= 0.75, "winner strayed from floor/ceil of c"
+    assert first_extreme == 1.0, "a non-extreme opinion was removed first"

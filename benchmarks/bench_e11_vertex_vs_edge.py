@@ -1,0 +1,27 @@
+"""Benchmark + regeneration of experiment E11 (vertex vs edge averages).
+
+Asserts the headline claim of Lemma 3 / Remark 1: on irregular graphs
+the mean winner of the edge process tracks the simple average and the
+vertex process tracks the degree-weighted average — even though the
+graphs violate the expander hypotheses.
+"""
+
+from repro.experiments import e11_vertex_vs_edge as exp
+
+
+def test_e11_vertex_vs_edge(benchmark):
+    report = benchmark.pedantic(
+        lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+
+    rows = report.tables[0].rows
+    for row in rows:
+        target_c, deviation, stderr = row[2], row[4], row[5]
+        assert deviation <= max(5 * stderr, 0.35), (
+            f"E[winner] strayed from the martingale value: {row}"
+        )
+    # The two processes must disagree strongly on the star.
+    star = {row[1]: row[3] for row in rows if row[0].startswith("star")}
+    assert star["vertex"] - star["edge"] > 1.0

@@ -1,0 +1,29 @@
+"""Benchmark + regeneration of experiment E12 (λk ablation).
+
+Asserts the headline shape: accuracy P(winner ∈ {⌊c⌋, ⌈c⌉}) is near 1
+on the best random regular expander in the sweep and clearly degraded
+on the cycle/path rows where λk = Ω(1).
+"""
+
+from repro.experiments import e12_lambda_k_ablation as exp
+
+
+def test_e12_lambda_k_ablation(benchmark):
+    report = benchmark.pedantic(
+        lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+
+    rows = report.tables[0].rows
+    regular_rows = [row for row in rows if row[0].startswith("RR")]
+    ring_rows = [row for row in rows if row[0] in ("cycle", "path")]
+    best_regular = max(row[4] for row in regular_rows)
+    worst_ring = min(row[4] for row in ring_rows)
+    assert best_regular >= 0.85, "expander accuracy collapsed"
+    assert worst_ring <= best_regular - 0.15, (
+        "no degradation on the non-expander rows"
+    )
+    # λ must actually decrease along the degree sweep.
+    lambdas = [row[2] for row in regular_rows]
+    assert lambdas == sorted(lambdas, reverse=True)

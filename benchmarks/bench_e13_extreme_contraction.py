@@ -1,0 +1,22 @@
+"""Benchmark + regeneration of experiment E13 (Lemma 10 contraction).
+
+Asserts the headline claims: the extreme-class product decays at least
+as fast as the lemma's (1 - 1/2n) factor, and τ_extr(ε) ≤ T₁(ε) with
+frequency well above the lemma's 1/2 guarantee.
+"""
+
+from repro.experiments import e13_extreme_contraction as exp
+
+
+def test_e13_extreme_contraction(benchmark):
+    report = benchmark.pedantic(
+        lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+
+    for row in report.tables[0].rows:
+        tau_over_t1, decay_x_2n, within = row[3], row[4], row[5]
+        assert tau_over_t1 <= 1.0, f"tau_extr exceeded the T1 bound: {row}"
+        assert decay_x_2n >= 0.9, f"contraction slower than (1 - 1/2n): {row}"
+        assert within >= 0.5, f"P(tau <= T1) below the lemma's 1/2: {row}"

@@ -1,0 +1,20 @@
+"""Benchmark + regeneration of experiment E14 (Corollary 7).
+
+Asserts the headline claim: DIV completion time stays within a constant
+multiple of k · T_2vote, with the ratio non-increasing in k.
+"""
+
+from repro.experiments import e14_corollary7 as exp
+
+
+def test_e14_corollary7(benchmark):
+    report = benchmark.pedantic(
+        lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+
+    rows = report.tables[0].rows
+    ratios = [row[4] for row in rows]
+    assert all(r <= 2.0 for r in ratios), f"Corollary 7 envelope exceeded: {ratios}"
+    assert ratios[-1] <= ratios[0] + 0.2, "ratio grew along the k sweep"

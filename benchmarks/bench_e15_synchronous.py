@@ -1,0 +1,22 @@
+"""Benchmark + regeneration of experiment E15 (synchronous ablation).
+
+Asserts the headline claims: the synchronous variant keeps Theorem 2's
+floor/ceil accuracy on regular expanders and spends at most a small
+constant factor more one-sided updates than the asynchronous process.
+"""
+
+from repro.experiments import e15_synchronous as exp
+
+
+def test_e15_synchronous(benchmark):
+    report = benchmark.pedantic(
+        lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+
+    for row in report.tables[0].rows:
+        sync_hit, async_hit, ratio = row[1], row[2], row[5]
+        assert sync_hit >= 0.8, f"synchronous accuracy collapsed: {row}"
+        assert async_hit >= 0.8, f"asynchronous accuracy collapsed: {row}"
+        assert ratio <= 6.0, f"synchronous update count blew up: {row}"

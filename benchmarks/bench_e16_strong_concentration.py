@@ -1,0 +1,21 @@
+"""Benchmark + regeneration of experiment E16 (strong concentration).
+
+Asserts the headline claim: the probability that the two-adjacent stage
+strays from {⌊c⌋, ⌈c⌉} is already tiny at these sizes and does not grow
+along the n sweep.
+"""
+
+from repro.experiments import e16_strong_concentration as exp
+
+
+def test_e16_strong_concentration(benchmark):
+    report = benchmark.pedantic(
+        lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+
+    rows = report.tables[0].rows
+    rates = [row[1] for row in rows]
+    assert all(rate <= 0.05 for rate in rates), f"failure rate too high: {rates}"
+    assert rates[-1] <= rates[0] + 0.01, "failure rate grew with n"

@@ -1,0 +1,55 @@
+"""Micro-benchmarks of the simulation engines (steps per second).
+
+Not tied to a paper claim; these guard the implementation's performance
+so the experiment suite stays runnable at paper scale.
+"""
+
+import numpy as np
+
+from repro.analysis import uniform_random_opinions
+from repro.core import IncrementalVoting, OpinionState, run_div_complete, run_dynamics
+from repro.core.schedulers import EdgeScheduler, VertexScheduler
+from repro.graphs import complete_graph, random_regular_graph
+
+_STEPS = 100_000
+
+
+def _run_generic(graph, scheduler_cls):
+    opinions = uniform_random_opinions(graph.n, 5, rng=0)
+    state = OpinionState(graph, opinions)
+    result = run_dynamics(
+        state,
+        scheduler_cls(graph),
+        IncrementalVoting(),
+        stop="never",
+        rng=1,
+        max_steps=_STEPS,
+    )
+    assert result.steps == _STEPS
+    return result
+
+
+def test_vertex_process_throughput(benchmark):
+    graph = random_regular_graph(1000, 10, rng=0)
+    benchmark.pedantic(lambda: _run_generic(graph, VertexScheduler), rounds=3, iterations=1)
+
+
+def test_edge_process_throughput(benchmark):
+    graph = random_regular_graph(1000, 10, rng=0)
+    benchmark.pedantic(lambda: _run_generic(graph, EdgeScheduler), rounds=3, iterations=1)
+
+
+def test_complete_graph_generic_engine(benchmark):
+    graph = complete_graph(500)
+    benchmark.pedantic(lambda: _run_generic(graph, VertexScheduler), rounds=3, iterations=1)
+
+
+def test_count_engine_throughput(benchmark):
+    def run():
+        result = run_div_complete(
+            2000, {1: 1000, 5: 1000}, max_steps=_STEPS, stop="two_adjacent", rng=1
+        )
+        assert result.steps <= _STEPS
+        return result
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

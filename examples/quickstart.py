@@ -1,0 +1,34 @@
+"""Quickstart: one DIV run and Theorem 2's prediction.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import complete_graph, run_div, uniform_random_opinions
+from repro.core.theory import winning_probabilities
+
+
+def main() -> None:
+    graph = complete_graph(300)
+    opinions = uniform_random_opinions(graph.n, k=5, rng=1)
+
+    result = run_div(graph, opinions, process="vertex", rng=2)
+
+    prediction = winning_probabilities(result.initial_mean)
+    print(f"graph: {graph.name} ({graph.n} vertices, {graph.m} edges)")
+    print(f"initial average opinion c = {result.initial_mean:.3f}")
+    print(
+        f"Theorem 2 predicts the winner is {prediction.floor} "
+        f"w.p. {prediction.p_floor:.2f} or {prediction.ceil} "
+        f"w.p. {prediction.p_ceil:.2f}"
+    )
+    print(f"winner: {result.winner}")
+    print(
+        f"steps to consensus: {result.steps} "
+        f"(two adjacent opinions from step {result.two_adjacent_step})"
+    )
+
+
+if __name__ == "__main__":
+    main()

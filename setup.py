@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+``python setup.py develop`` works on minimal offline environments where
+the ``wheel`` package (required by PEP 660 editable installs) is
+unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""repro — a reproduction of *Discrete Incremental Voting on Expanders*.
+
+Cooper, Radzik, Shiraga (PODC 2023 brief announcement / full version).
+
+Quickstart::
+
+    from repro import complete_graph, run_div, uniform_random_opinions
+
+    graph = complete_graph(200)
+    opinions = uniform_random_opinions(graph.n, k=5, rng=1)
+    result = run_div(graph, opinions, process="vertex", rng=2)
+    print(result.winner, result.initial_mean)
+
+Subpackages
+-----------
+``repro.graphs``
+    Graph substrate: CSR topology, generators, spectral tools.
+``repro.core``
+    The DIV process: state, schedulers, dynamics, engine, theory.
+``repro.baselines``
+    Pull/push voting, median voting, best-of-k, load balancing.
+``repro.analysis``
+    Monte-Carlo trials, initializers, statistics, scaling fits.
+``repro.experiments``
+    Drivers E1–E12 reproducing every quantitative claim of the paper.
+"""
+
+from repro.analysis import (
+    opinions_from_counts,
+    opinions_with_fractional_part,
+    opinions_with_mean,
+    run_trials,
+    uniform_random_opinions,
+    wilson_interval,
+)
+from repro.core import (
+    DIVResult,
+    OpinionState,
+    run_div,
+    run_div_complete,
+    run_dynamics,
+    theory,
+)
+from repro.errors import ReproError
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    hypercube_graph,
+    path_graph,
+    random_regular_graph,
+    second_eigenvalue,
+    spectral_profile,
+    star_graph,
+)
+from repro.rng import make_rng, spawn_rngs
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DIVResult",
+    "Graph",
+    "OpinionState",
+    "ReproError",
+    "complete_graph",
+    "cycle_graph",
+    "gnp_random_graph",
+    "hypercube_graph",
+    "make_rng",
+    "opinions_from_counts",
+    "opinions_with_fractional_part",
+    "opinions_with_mean",
+    "path_graph",
+    "random_regular_graph",
+    "run_div",
+    "run_div_complete",
+    "run_dynamics",
+    "run_trials",
+    "second_eigenvalue",
+    "spawn_rngs",
+    "spectral_profile",
+    "star_graph",
+    "theory",
+    "uniform_random_opinions",
+    "wilson_interval",
+    "__version__",
+]

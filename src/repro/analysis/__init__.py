@@ -1,0 +1,55 @@
+"""Monte-Carlo trials, initializers, statistics and scaling fits."""
+
+from repro.analysis.gof import GofResult, chi_square_gof
+from repro.analysis.initializers import (
+    extremes_only_opinions,
+    opinions_from_counts,
+    opinions_with_fractional_part,
+    opinions_with_mean,
+    path_block_opinions,
+    planted_set_opinions,
+    skewed_opinions,
+    uniform_random_opinions,
+)
+from repro.analysis.montecarlo import TrialSet, run_trials, run_trials_over
+from repro.analysis.scaling import PowerLawFit, fit_power_law, loglog_slope, ratio_to_bound
+from repro.analysis.statistics import (
+    Proportion,
+    SampleSummary,
+    empirical_distribution,
+    median_of,
+    mode_of,
+    summarize,
+    total_variation_distance,
+    wilson_interval,
+    winner_proportions,
+)
+
+__all__ = [
+    "GofResult",
+    "PowerLawFit",
+    "Proportion",
+    "SampleSummary",
+    "TrialSet",
+    "chi_square_gof",
+    "empirical_distribution",
+    "extremes_only_opinions",
+    "fit_power_law",
+    "loglog_slope",
+    "median_of",
+    "mode_of",
+    "opinions_from_counts",
+    "opinions_with_fractional_part",
+    "opinions_with_mean",
+    "path_block_opinions",
+    "planted_set_opinions",
+    "ratio_to_bound",
+    "run_trials",
+    "run_trials_over",
+    "skewed_opinions",
+    "summarize",
+    "total_variation_distance",
+    "uniform_random_opinions",
+    "wilson_interval",
+    "winner_proportions",
+]

@@ -1,0 +1,153 @@
+"""Initial opinion assignments for the experiments.
+
+All helpers return plain ``numpy`` integer arrays of length ``n`` so
+they can feed any dynamic. Random helpers take a seed or generator per
+:mod:`repro.rng`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.rng import RngLike, make_rng
+
+
+def uniform_random_opinions(n: int, k: int, rng: RngLike = None) -> np.ndarray:
+    """Each vertex gets an independent uniform opinion in ``{1, ..., k}``."""
+    if n < 1 or k < 1:
+        raise AnalysisError(f"need n >= 1 and k >= 1, got n={n}, k={k}")
+    return make_rng(rng).integers(1, k + 1, size=n)
+
+
+def opinions_from_counts(
+    counts: Dict[int, int], rng: RngLike = None, shuffle: bool = True
+) -> np.ndarray:
+    """Expand a histogram into an opinion vector, optionally shuffled."""
+    if any(c < 0 for c in counts.values()):
+        raise AnalysisError("negative count")
+    total = sum(counts.values())
+    if total < 1:
+        raise AnalysisError("empty histogram")
+    opinions = np.empty(total, dtype=np.int64)
+    pos = 0
+    for opinion in sorted(counts):
+        count = counts[opinion]
+        opinions[pos:pos + count] = opinion
+        pos += count
+    if shuffle:
+        make_rng(rng).shuffle(opinions)
+    return opinions
+
+
+def opinions_with_mean(
+    n: int,
+    low: int,
+    high: int,
+    mean: float,
+    rng: RngLike = None,
+    shuffle: bool = True,
+) -> np.ndarray:
+    """An opinion vector over ``{low, ..., high}`` with average ≈ ``mean``.
+
+    Builds the two-point mixture of ``low`` and ``high`` whose average is
+    closest to ``mean`` at integer counts (the exact achieved average is
+    within ``(high - low)/n`` of the request). Two-point mixtures at the
+    extremes are the hardest inputs for DIV — the whole range must be
+    contracted.
+    """
+    if not low <= mean <= high:
+        raise AnalysisError(f"mean {mean} outside [{low}, {high}]")
+    if low >= high:
+        raise AnalysisError("need low < high")
+    # x holders of `high`: low*(n-x) + high*x = mean*n.
+    x = round(n * (mean - low) / (high - low))
+    x = min(max(x, 0), n)
+    return opinions_from_counts({low: n - x, high: x}, rng=rng, shuffle=shuffle)
+
+
+def opinions_with_fractional_part(
+    n: int,
+    k: int,
+    fraction: float,
+    rng: RngLike = None,
+    base: Optional[int] = None,
+    shuffle: bool = True,
+) -> np.ndarray:
+    """Opinions in ``{1..k}`` whose average has the given fractional part.
+
+    Used by experiment E1 to sweep ``c - ⌊c⌋`` and compare winning
+    frequencies against Theorem 2's ``p = ⌈c⌉ - c``. The construction
+    places the average at ``base + fraction`` where ``base`` defaults to
+    the middle opinion, mixing the two extreme opinions ``1`` and ``k``.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise AnalysisError(f"fraction must lie in [0, 1), got {fraction}")
+    if k < 2:
+        raise AnalysisError(f"need k >= 2, got {k}")
+    if base is None:
+        base = (k + 1) // 2
+    if not 1 <= base < k:
+        raise AnalysisError(f"base must lie in [1, k-1], got {base}")
+    return opinions_with_mean(n, 1, k, base + fraction, rng=rng, shuffle=shuffle)
+
+
+def skewed_opinions(n: int, k: int, rng: RngLike = None) -> np.ndarray:
+    """A right-skewed distribution where mode < median < mean.
+
+    Geometric-ish weights over ``{1..k}`` plus a heavy tail at ``k``:
+    the mode is 1, the median is small, and the mass at ``k`` drags the
+    mean up. Used by the Mode/Median/Mean experiment E8.
+    """
+    if k < 3:
+        raise AnalysisError(f"need k >= 3, got {k}")
+    weights = np.array([2.0 ** (-i) for i in range(k)])
+    weights[-1] += 0.35  # heavy tail at k
+    weights /= weights.sum()
+    return make_rng(rng).choice(np.arange(1, k + 1), size=n, p=weights)
+
+
+def path_block_opinions(n: int, blocks: Sequence[tuple]) -> np.ndarray:
+    """Contiguous blocks of opinions along a path (adversarial layout, E7).
+
+    ``blocks`` is a sequence of ``(opinion, length)`` pairs covering the
+    path left to right; lengths must sum to ``n``. On the path graph a
+    large contiguous middle block shields one side from the other, which
+    is how the counterexample of [13] makes a non-average opinion win.
+    """
+    total = sum(length for _, length in blocks)
+    if total != n:
+        raise AnalysisError(f"block lengths sum to {total}, expected {n}")
+    opinions = np.empty(n, dtype=np.int64)
+    pos = 0
+    for opinion, length in blocks:
+        if length < 0:
+            raise AnalysisError("negative block length")
+        opinions[pos:pos + length] = opinion
+        pos += length
+    return opinions
+
+
+def planted_set_opinions(n: int, ones: Sequence[int]) -> np.ndarray:
+    """A {0,1} vector with 1 on ``ones`` (two-opinion experiments)."""
+    opinions = np.zeros(n, dtype=np.int64)
+    ones_idx = np.asarray(ones, dtype=np.int64)
+    if ones_idx.size:
+        if ones_idx.min() < 0 or ones_idx.max() >= n:
+            raise AnalysisError("planted set out of range")
+        opinions[ones_idx] = 1
+    return opinions
+
+
+def extremes_only_opinions(n: int, k: int, rng: RngLike = None) -> np.ndarray:
+    """Half the vertices at opinion 1, half at opinion ``k``, shuffled.
+
+    Maximum initial polarization; a stress input for the reduction phase
+    of Theorem 1 (every intermediate opinion must be created and then
+    destroyed).
+    """
+    if k < 2:
+        raise AnalysisError(f"need k >= 2, got {k}")
+    return opinions_from_counts({1: n - n // 2, k: n // 2}, rng=rng)

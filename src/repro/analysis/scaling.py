@@ -1,0 +1,70 @@
+"""Scaling fits for the time-complexity experiments.
+
+Theorem 1 predicts ``E[T] = o(n²)``; the scaling experiments measure
+reduction times over an ``n`` sweep and fit a power law
+``T ≈ a · n^b`` by least squares in log–log space. ``b`` clearly below
+2 corroborates the theorem's shape.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``y = a · x^exponent`` in log–log space."""
+
+    exponent: float
+    prefactor: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Fitted value at ``x``."""
+        return self.prefactor * x**self.exponent
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit ``y ≈ a x^b`` through positive data points."""
+    x = np.asarray(list(xs), dtype=np.float64)
+    y = np.asarray(list(ys), dtype=np.float64)
+    if x.size != y.size:
+        raise AnalysisError(f"length mismatch: {x.size} vs {y.size}")
+    if x.size < 2:
+        raise AnalysisError("need at least two points to fit a power law")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise AnalysisError("power-law fit needs strictly positive data")
+    log_x = np.log(x)
+    log_y = np.log(y)
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predicted = slope * log_x + intercept
+    residual = float(np.sum((log_y - predicted) ** 2))
+    total = float(np.sum((log_y - log_y.mean()) ** 2))
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return PowerLawFit(
+        exponent=float(slope),
+        prefactor=float(math.exp(intercept)),
+        r_squared=r_squared,
+    )
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """The fitted power-law exponent (shorthand for :func:`fit_power_law`)."""
+    return fit_power_law(xs, ys).exponent
+
+
+def ratio_to_bound(measured: Sequence[float], bound: Sequence[float]) -> float:
+    """Max ratio measured/bound — ≤ some constant corroborates an O(·) claim."""
+    m = np.asarray(list(measured), dtype=np.float64)
+    b = np.asarray(list(bound), dtype=np.float64)
+    if m.size != b.size or m.size == 0:
+        raise AnalysisError("measured and bound must be equal-length, non-empty")
+    if np.any(b <= 0):
+        raise AnalysisError("bound values must be positive")
+    return float(np.max(m / b))

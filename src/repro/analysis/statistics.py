@@ -1,0 +1,139 @@
+"""Statistics over Monte-Carlo trial outcomes.
+
+Small, dependency-light estimators: Wilson score intervals for winning
+frequencies, mean/standard-error summaries for step counts, and an
+empirical distribution helper for winner histograms.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+#: Two-sided z-value for 95% intervals.
+Z_95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class Proportion:
+    """A binomial proportion with its Wilson 95% confidence interval."""
+
+    successes: int
+    trials: int
+    estimate: float
+    low: float
+    high: float
+
+    def contains(self, p: float) -> bool:
+        """Whether ``p`` lies inside the interval."""
+        return self.low <= p <= self.high
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.estimate:.3f} [{self.low:.3f}, {self.high:.3f}]"
+
+
+def wilson_interval(successes: int, trials: int, z: float = Z_95) -> Proportion:
+    """Wilson score interval for a binomial proportion.
+
+    Better behaved than the normal approximation near 0 and 1, which the
+    winning-probability experiments routinely hit.
+    """
+    if trials <= 0:
+        raise AnalysisError(f"trials must be >= 1, got {trials}")
+    if not 0 <= successes <= trials:
+        raise AnalysisError(f"successes {successes} outside [0, {trials}]")
+    p_hat = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p_hat + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return Proportion(
+        successes=successes,
+        trials=trials,
+        estimate=p_hat,
+        low=max(0.0, center - half),
+        high=min(1.0, center + half),
+    )
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Mean, standard deviation and standard error of a numeric sample."""
+
+    count: int
+    mean: float
+    std: float
+    stderr: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.4g} ± {self.stderr:.2g} (n={self.count})"
+
+
+def summarize(sample: Sequence[float]) -> SampleSummary:
+    """Summary statistics of a non-empty numeric sample."""
+    data = np.asarray(list(sample), dtype=np.float64)
+    if data.size == 0:
+        raise AnalysisError("cannot summarize an empty sample")
+    std = float(data.std(ddof=1)) if data.size > 1 else 0.0
+    return SampleSummary(
+        count=int(data.size),
+        mean=float(data.mean()),
+        std=std,
+        stderr=std / math.sqrt(data.size),
+        minimum=float(data.min()),
+        maximum=float(data.max()),
+    )
+
+
+def empirical_distribution(outcomes: Iterable) -> Dict:
+    """Relative frequency of each distinct outcome."""
+    counts = Counter(outcomes)
+    total = sum(counts.values())
+    if total == 0:
+        raise AnalysisError("cannot build a distribution from zero outcomes")
+    return {value: count / total for value, count in sorted(counts.items())}
+
+
+def winner_proportions(winners: Sequence, values: Sequence) -> Dict:
+    """Wilson proportions of each candidate value among ``winners``."""
+    winners = list(winners)
+    if not winners:
+        raise AnalysisError("no winners recorded")
+    counts = Counter(winners)
+    return {
+        value: wilson_interval(counts.get(value, 0), len(winners)) for value in values
+    }
+
+
+def total_variation_distance(p: Dict, q: Dict) -> float:
+    """Total variation distance between two finite distributions."""
+    keys = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(key, 0.0) - q.get(key, 0.0)) for key in keys)
+
+
+def mode_of(sample: Sequence[int]) -> int:
+    """The most frequent value (smallest on ties)."""
+    counts = Counter(sample)
+    if not counts:
+        raise AnalysisError("mode of empty sample")
+    best = max(counts.values())
+    return min(value for value, count in counts.items() if count == best)
+
+
+def median_of(sample: Sequence[int]) -> float:
+    """The sample median."""
+    data = np.asarray(list(sample), dtype=np.float64)
+    if data.size == 0:
+        raise AnalysisError("median of empty sample")
+    return float(np.median(data))

@@ -1,0 +1,37 @@
+"""Baseline dynamics the paper compares DIV against."""
+
+from repro.baselines.best_of_k import run_best_of_three, run_best_of_two
+from repro.baselines.common import VotingOutcome, run_baseline
+from repro.baselines.continuous_gossip import (
+    GossipResult,
+    run_continuous_gossip,
+    spread_trace,
+)
+from repro.baselines.load_balancing import is_locally_balanced, run_load_balancing
+from repro.baselines.majority import run_local_majority
+from repro.baselines.median import run_median_voting
+from repro.baselines.pull import run_pull_voting, run_push_voting
+from repro.baselines.two_opinion import (
+    TwoOpinionResult,
+    opinions_from_set,
+    run_two_opinion_voting,
+)
+
+__all__ = [
+    "GossipResult",
+    "TwoOpinionResult",
+    "VotingOutcome",
+    "is_locally_balanced",
+    "opinions_from_set",
+    "run_baseline",
+    "run_best_of_three",
+    "run_best_of_two",
+    "run_continuous_gossip",
+    "run_load_balancing",
+    "run_local_majority",
+    "run_median_voting",
+    "run_pull_voting",
+    "run_push_voting",
+    "run_two_opinion_voting",
+    "spread_trace",
+]

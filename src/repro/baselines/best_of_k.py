@@ -1,0 +1,60 @@
+"""Best-of-k majority dynamics (two-choices and 3-majority).
+
+Fast plurality-consensus dynamics from the literature the paper surveys
+([2, 10, 16], ...): a vertex adopts a sampled value only when a small
+sample agrees on it. Included as additional comparison points — they
+amplify the *plurality*, not the mean.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.baselines.common import VotingOutcome, run_baseline
+from repro.core.dynamics import BestOfThree, BestOfTwo
+from repro.graphs.graph import Graph
+from repro.rng import RngLike
+
+
+def run_best_of_two(
+    graph: Graph,
+    opinions: Sequence[int],
+    *,
+    process: str = "vertex",
+    rng: RngLike = None,
+    max_steps: Optional[int] = None,
+    observers: Sequence[object] = (),
+) -> VotingOutcome:
+    """Run the two-choices dynamics to consensus."""
+    return run_baseline(
+        graph,
+        opinions,
+        BestOfTwo(),
+        process=process,
+        stop="consensus",
+        rng=rng,
+        max_steps=max_steps,
+        observers=observers,
+    )
+
+
+def run_best_of_three(
+    graph: Graph,
+    opinions: Sequence[int],
+    *,
+    process: str = "vertex",
+    rng: RngLike = None,
+    max_steps: Optional[int] = None,
+    observers: Sequence[object] = (),
+) -> VotingOutcome:
+    """Run the 3-majority dynamics to consensus."""
+    return run_baseline(
+        graph,
+        opinions,
+        BestOfThree(),
+        process=process,
+        stop="consensus",
+        rng=rng,
+        max_steps=max_steps,
+        observers=observers,
+    )

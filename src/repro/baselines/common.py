@@ -1,0 +1,72 @@
+"""Shared plumbing for the baseline dynamics.
+
+Every baseline exposes a ``run_*`` function returning a
+:class:`VotingOutcome`; all of them delegate to the same engine the DIV
+process uses, so step counts are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.dynamics import Dynamics
+from repro.core.engine import run_dynamics
+from repro.core.schedulers import make_scheduler
+from repro.core.state import OpinionState
+from repro.graphs.graph import Graph
+from repro.rng import RngLike
+
+
+@dataclass
+class VotingOutcome:
+    """Outcome of one baseline run.
+
+    ``winner`` is the consensus value when one was reached, else ``None``
+    (some baselines stop at a non-consensus absorbing stage, e.g. load
+    balancing at a floor/ceil mixture).
+    """
+
+    dynamics: str
+    winner: Optional[int]
+    steps: int
+    stop_reason: str
+    initial_mean: float
+    final_support: List[int]
+    final_mean: float
+    state: OpinionState
+
+
+def run_baseline(
+    graph: Graph,
+    opinions: Sequence[int],
+    dynamics: Dynamics,
+    *,
+    process: str = "vertex",
+    stop: object = "consensus",
+    rng: RngLike = None,
+    max_steps: Optional[int] = None,
+    observers: Sequence[object] = (),
+) -> VotingOutcome:
+    """Run ``dynamics`` with the standard engine and summarize."""
+    state = OpinionState(graph, opinions)
+    initial_mean = state.mean()
+    result = run_dynamics(
+        state,
+        make_scheduler(graph, process),
+        dynamics,
+        stop=stop,
+        rng=rng,
+        max_steps=max_steps,
+        observers=observers,
+    )
+    return VotingOutcome(
+        dynamics=dynamics.name,
+        winner=state.consensus_value(),
+        steps=result.steps,
+        stop_reason=result.stop_reason,
+        initial_mean=initial_mean,
+        final_support=state.support(),
+        final_mean=state.mean(),
+        state=state,
+    )

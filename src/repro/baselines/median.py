@@ -1,0 +1,43 @@
+"""Median voting (Doerr, Goldberg, Minder, Sauerwald, Scheideler; SPAA'11).
+
+The selected vertex samples two neighbours and replaces its value by the
+median of the three values involved (its own included). On the complete
+graph the consensus value's rank is within ``O(√(n log n))`` of ``n/2``
+— i.e. the process approximates the *median* of the initial opinions,
+the middle member of the paper's Mode/Median/Mean trichotomy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.baselines.common import VotingOutcome, run_baseline
+from repro.core.dynamics import MedianVoting
+from repro.graphs.graph import Graph
+from repro.rng import RngLike
+
+
+def run_median_voting(
+    graph: Graph,
+    opinions: Sequence[int],
+    *,
+    process: str = "vertex",
+    rng: RngLike = None,
+    max_steps: Optional[int] = None,
+    observers: Sequence[object] = (),
+) -> VotingOutcome:
+    """Run median voting to consensus.
+
+    A ``max_steps`` budget is recommended on sparse graphs; median
+    dynamics can be slow through low-conductance cuts.
+    """
+    return run_baseline(
+        graph,
+        opinions,
+        MedianVoting(),
+        process=process,
+        stop="consensus",
+        rng=rng,
+        max_steps=max_steps,
+        observers=observers,
+    )

@@ -1,0 +1,62 @@
+"""k-opinion pull voting — the paper's "Mode" baseline.
+
+At each step the selected vertex adopts its sampled neighbour's opinion
+wholesale. Under the vertex process the opinion held by set ``A`` wins
+with probability ``d(A)/2m`` (Hassin & Peleg [17]), so on regular graphs
+the winning distribution is the *initial empirical distribution* — the
+mode is the single most likely winner, unlike DIV's deterministic-ish
+mean.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.baselines.common import VotingOutcome, run_baseline
+from repro.core.dynamics import PullVoting, PushVoting
+from repro.graphs.graph import Graph
+from repro.rng import RngLike
+
+
+def run_pull_voting(
+    graph: Graph,
+    opinions: Sequence[int],
+    *,
+    process: str = "vertex",
+    rng: RngLike = None,
+    max_steps: Optional[int] = None,
+    observers: Sequence[object] = (),
+) -> VotingOutcome:
+    """Run classic pull voting to consensus."""
+    return run_baseline(
+        graph,
+        opinions,
+        PullVoting(),
+        process=process,
+        stop="consensus",
+        rng=rng,
+        max_steps=max_steps,
+        observers=observers,
+    )
+
+
+def run_push_voting(
+    graph: Graph,
+    opinions: Sequence[int],
+    *,
+    process: str = "vertex",
+    rng: RngLike = None,
+    max_steps: Optional[int] = None,
+    observers: Sequence[object] = (),
+) -> VotingOutcome:
+    """Run push voting (the selected vertex imposes its opinion) to consensus."""
+    return run_baseline(
+        graph,
+        opinions,
+        PushVoting(),
+        process=process,
+        stop="consensus",
+        rng=rng,
+        max_steps=max_steps,
+        observers=observers,
+    )

@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro`` or the ``div-repro`` script.
+
+Commands
+--------
+``list``
+    Show all registered experiments.
+``run E1 [E5 ...] [--quick] [--seed N]``
+    Run experiments and print their reports (``all`` runs everything).
+``demo``
+    A 30-second tour: one DIV run with a stage trace on a small graph.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.registry import all_experiments, get_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="div-repro",
+        description="Reproduction harness for 'Discrete Incremental Voting on Expanders'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument("experiments", nargs="+", help="experiment ids (E1..E15) or 'all'")
+    run.add_argument("--quick", action="store_true", help="benchmark-scale configs")
+    run.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    run.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="also write each report as DIR/<id>.json",
+    )
+
+    sub.add_parser("demo", help="run a small annotated DIV demo")
+
+    report = sub.add_parser(
+        "report", help="run every experiment and write one combined markdown report"
+    )
+    report.add_argument("output", help="output markdown file")
+    report.add_argument("--quick", action="store_true", help="benchmark-scale configs")
+    report.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    return parser
+
+
+def _cmd_list() -> int:
+    for spec in all_experiments():
+        print(f"{spec.experiment_id:>4}  {spec.title}")
+    return 0
+
+
+def _cmd_run(ids: List[str], quick: bool, seed: int, json_dir: Optional[str]) -> int:
+    if any(e.lower() == "all" for e in ids):
+        specs = all_experiments()
+    else:
+        specs = [get_experiment(e) for e in ids]
+    for spec in specs:
+        started = time.time()
+        report = spec.run_quick(seed=seed) if quick else spec.run_full(seed=seed)
+        print(report.render())
+        print(f"\n[{spec.experiment_id} finished in {time.time() - started:.1f}s]\n")
+        if json_dir is not None:
+            from pathlib import Path
+
+            from repro.io import write_report_json
+
+            directory = Path(json_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            target = directory / f"{spec.experiment_id.lower()}.json"
+            write_report_json(report, target)
+            print(f"[wrote {target}]\n")
+    return 0
+
+
+def _cmd_demo() -> int:
+    from repro.analysis.initializers import opinions_from_counts
+    from repro.core.div import run_div
+    from repro.core.observers import StageRecorder
+    from repro.graphs import complete_graph
+
+    graph = complete_graph(30)
+    opinions = opinions_from_counts({1: 10, 2: 10, 5: 10}, rng=0)
+    recorder = StageRecorder()
+    result = run_div(graph, opinions, process="vertex", rng=1, observers=[recorder])
+    print(f"DIV on {graph.name}, initial opinions {{1,2,5}} (c = {result.initial_mean:.2f})")
+    trajectory = " -> ".join(
+        "{" + ",".join(map(str, stage.support)) + "}" for stage in recorder.stages
+    )
+    print(f"stage evolution: {trajectory}")
+    print(
+        f"winner {result.winner} after {result.steps} steps "
+        f"(two adjacent opinions from step {result.two_adjacent_step})"
+    )
+    return 0
+
+
+def _cmd_report(output: str, quick: bool, seed: int) -> int:
+    from pathlib import Path
+
+    sections = [
+        "# DIV reproduction — combined experiment report",
+        "",
+        f"Scale: {'quick (benchmark)' if quick else 'full (paper)'} configurations, "
+        f"master seed {seed}. Regenerate with "
+        f"`python -m repro report {output}{' --quick' if quick else ''} --seed {seed}`.",
+    ]
+    for spec in all_experiments():
+        started = time.time()
+        report = spec.run_quick(seed=seed) if quick else spec.run_full(seed=seed)
+        elapsed = time.time() - started
+        print(f"[{spec.experiment_id} finished in {elapsed:.1f}s]")
+        sections.append("")
+        sections.append("```")
+        sections.append(report.render())
+        sections.append("```")
+    Path(output).write_text("\n".join(sections) + "\n", encoding="utf-8")
+    print(f"[wrote {output}]")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiments, args.quick, args.seed, args.json)
+    if args.command == "demo":
+        return _cmd_demo()
+    if args.command == "report":
+        return _cmd_report(args.output, args.quick, args.seed)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

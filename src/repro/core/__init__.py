@@ -1,0 +1,81 @@
+"""Core: the discrete incremental voting process and its machinery."""
+
+from repro.core.div import DIVResult, counts_to_opinions, expected_consensus_average, run_div
+from repro.core.dynamics import (
+    BestOfThree,
+    BestOfTwo,
+    IncrementalVoting,
+    LoadBalancing,
+    LocalMajority,
+    MedianVoting,
+    PullVoting,
+    PushVoting,
+    make_dynamics,
+)
+from repro.core.engine import RunResult, run_dynamics
+from repro.core.fast_complete import CompleteRunResult, run_div_complete
+from repro.core.observers import (
+    ChangeLog,
+    ExtremeMeasureTrace,
+    FirstTimeTracker,
+    OpinionCountsTrace,
+    Stage,
+    StageRecorder,
+    SupportTrace,
+    WeightTrace,
+)
+from repro.core.schedulers import EdgeScheduler, VertexScheduler, make_scheduler
+from repro.core.synchronous import SynchronousResult, run_synchronous_div
+from repro.core.state import OpinionState
+from repro.core.stopping import (
+    consensus,
+    first_of,
+    make_stop_condition,
+    never,
+    range_at_most,
+    support_at_most,
+    two_adjacent,
+)
+from repro.core import theory
+
+__all__ = [
+    "BestOfThree",
+    "BestOfTwo",
+    "ChangeLog",
+    "CompleteRunResult",
+    "DIVResult",
+    "EdgeScheduler",
+    "ExtremeMeasureTrace",
+    "FirstTimeTracker",
+    "IncrementalVoting",
+    "LoadBalancing",
+    "LocalMajority",
+    "MedianVoting",
+    "OpinionCountsTrace",
+    "OpinionState",
+    "PullVoting",
+    "PushVoting",
+    "RunResult",
+    "Stage",
+    "StageRecorder",
+    "SupportTrace",
+    "SynchronousResult",
+    "VertexScheduler",
+    "WeightTrace",
+    "consensus",
+    "counts_to_opinions",
+    "expected_consensus_average",
+    "first_of",
+    "make_dynamics",
+    "make_scheduler",
+    "make_stop_condition",
+    "never",
+    "range_at_most",
+    "run_div",
+    "run_div_complete",
+    "run_dynamics",
+    "run_synchronous_div",
+    "support_at_most",
+    "theory",
+    "two_adjacent",
+]

@@ -1,0 +1,258 @@
+"""Update rules (dynamics) for the asynchronous engines.
+
+A *dynamic* consumes one interaction pair per step and mutates the
+:class:`OpinionState` through :meth:`OpinionState.apply`. The package's
+primary contribution is :class:`IncrementalVoting` (eq. (1) of the
+paper); the rest are the comparison dynamics the paper discusses.
+
+All dynamics implement::
+
+    step(state, v, w, rng) -> bool   # True iff any opinion changed
+
+``rng`` is used by dynamics that need extra neighbour samples (median
+voting, best-of-k).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.core.state import OpinionState
+from repro.errors import ProcessError
+
+
+class Dynamics(Protocol):
+    """One asynchronous update rule."""
+
+    name: str
+
+    def step(
+        self, state: OpinionState, v: int, w: int, rng: np.random.Generator
+    ) -> bool:
+        """Apply one interaction where ``v`` observes ``w``."""
+        ...  # pragma: no cover - protocol
+
+
+class IncrementalVoting:
+    """Discrete incremental voting — eq. (1) of the paper.
+
+    ``v`` moves one unit toward ``w``'s opinion:
+    ``X'_v = X_v + sign(X_w - X_v)``. The observed vertex ``w`` never
+    changes.
+    """
+
+    name = "div"
+
+    def step(
+        self, state: OpinionState, v: int, w: int, rng: np.random.Generator
+    ) -> bool:
+        xv = state.value(v)
+        xw = state.value(w)
+        if xw > xv:
+            state.apply(v, xv + 1)
+            return True
+        if xw < xv:
+            state.apply(v, xv - 1)
+            return True
+        return False
+
+
+class PullVoting:
+    """Classic pull voting: ``v`` adopts ``w``'s opinion wholesale."""
+
+    name = "pull"
+
+    def step(
+        self, state: OpinionState, v: int, w: int, rng: np.random.Generator
+    ) -> bool:
+        xv = state.value(v)
+        xw = state.value(w)
+        if xw != xv:
+            state.apply(v, xw)
+            return True
+        return False
+
+
+class PushVoting:
+    """Push voting: ``v`` imposes its opinion on the sampled neighbour ``w``."""
+
+    name = "push"
+
+    def step(
+        self, state: OpinionState, v: int, w: int, rng: np.random.Generator
+    ) -> bool:
+        xv = state.value(v)
+        xw = state.value(w)
+        if xw != xv:
+            state.apply(w, xv)
+            return True
+        return False
+
+
+class MedianVoting:
+    """Median voting (Doerr et al., SPAA 2011).
+
+    ``v`` samples a second uniform neighbour ``u`` and replaces its value
+    by ``median(X_v, X_w, X_u)``. Converges to ≈ the median of the
+    initial values; the paper contrasts this with DIV's mean.
+    """
+
+    name = "median"
+
+    def step(
+        self, state: OpinionState, v: int, w: int, rng: np.random.Generator
+    ) -> bool:
+        graph = state.graph
+        neighbors = graph.neighbors(v)
+        u = int(neighbors[rng.integers(0, neighbors.size)])
+        xv = state.value(v)
+        values = sorted((xv, state.value(w), state.value(u)))
+        new_value = values[1]
+        if new_value != xv:
+            state.apply(v, new_value)
+            return True
+        return False
+
+
+class BestOfTwo:
+    """Two-choices dynamics: adopt the sampled value iff two samples agree.
+
+    ``v`` samples a second uniform neighbour ``u``; if ``X_w == X_u`` it
+    adopts that value, otherwise it keeps its own.
+    """
+
+    name = "best_of_two"
+
+    def step(
+        self, state: OpinionState, v: int, w: int, rng: np.random.Generator
+    ) -> bool:
+        graph = state.graph
+        neighbors = graph.neighbors(v)
+        u = int(neighbors[rng.integers(0, neighbors.size)])
+        xw = state.value(w)
+        if xw == state.value(u) and xw != state.value(v):
+            state.apply(v, xw)
+            return True
+        return False
+
+
+class BestOfThree:
+    """3-majority dynamics: adopt the majority of three neighbour samples.
+
+    ``v`` samples two additional uniform neighbours; if at least two of
+    the three samples agree, ``v`` adopts that value, otherwise it adopts
+    the first sample (the standard random tie-break of the 3-majority
+    literature).
+    """
+
+    name = "best_of_three"
+
+    def step(
+        self, state: OpinionState, v: int, w: int, rng: np.random.Generator
+    ) -> bool:
+        graph = state.graph
+        neighbors = graph.neighbors(v)
+        picks = rng.integers(0, neighbors.size, size=2)
+        a = state.value(w)
+        b = state.value(int(neighbors[picks[0]]))
+        c = state.value(int(neighbors[picks[1]]))
+        if a == b or a == c:
+            new_value = a
+        elif b == c:
+            new_value = b
+        else:
+            new_value = a
+        if new_value != state.value(v):
+            state.apply(v, new_value)
+            return True
+        return False
+
+
+class LocalMajority:
+    """Asynchronous local majority polling (cf. [1, 21] in the paper).
+
+    The selected vertex adopts the opinion held by the largest number of
+    its neighbours (its sampled neighbour ``w`` is ignored — the rule
+    polls the whole neighbourhood). Ties keep the current opinion if it
+    is among the tied values, otherwise the smallest tied value wins.
+    A deterministic-per-step contrast to the sampling dynamics.
+    """
+
+    name = "local_majority"
+
+    def step(
+        self, state: OpinionState, v: int, w: int, rng: np.random.Generator
+    ) -> bool:
+        neighbors = state.graph.neighbors(v)
+        values = state.values[neighbors]
+        candidates, counts = np.unique(values, return_counts=True)
+        best = counts.max()
+        tied = candidates[counts == best]
+        xv = state.value(v)
+        new_value = xv if xv in tied else int(tied.min())
+        if new_value != xv:
+            state.apply(v, new_value)
+            return True
+        return False
+
+
+class LoadBalancing:
+    """Edge-averaging load balancing (Berenbrink et al., IPDPS 2019).
+
+    The endpoints of the selected edge set their loads to
+    ``⌊(a+b)/2⌋`` and ``⌈(a+b)/2⌉``. The endpoint with the smaller prior
+    load receives the floor (ties keep both unchanged), which avoids the
+    degenerate churn of swapping adjacent loads back and forth. Unlike
+    DIV this is a *coordinated two-vertex update*, the coordination cost
+    the paper's one-sided rule avoids — and it conserves ``S(t)``
+    exactly.
+    """
+
+    name = "load_balancing"
+
+    def step(
+        self, state: OpinionState, v: int, w: int, rng: np.random.Generator
+    ) -> bool:
+        a = state.value(v)
+        b = state.value(w)
+        if abs(a - b) <= 1:
+            return False
+        total = a + b
+        lo, hi = total // 2, (total + 1) // 2
+        if a <= b:
+            state.apply(v, lo)
+            state.apply(w, hi)
+        else:
+            state.apply(v, hi)
+            state.apply(w, lo)
+        return True
+
+
+_NAMED = {
+    cls.name: cls
+    for cls in (
+        IncrementalVoting,
+        PullVoting,
+        PushVoting,
+        MedianVoting,
+        BestOfTwo,
+        BestOfThree,
+        LocalMajority,
+        LoadBalancing,
+    )
+}
+
+
+def make_dynamics(spec) -> Dynamics:
+    """Resolve a dynamic from its name, or pass an instance through."""
+    if isinstance(spec, str):
+        try:
+            return _NAMED[spec]()
+        except KeyError:
+            known = ", ".join(sorted(_NAMED))
+            raise ProcessError(f"unknown dynamics {spec!r}; known: {known}") from None
+    if hasattr(spec, "step"):
+        return spec
+    raise ProcessError(f"cannot interpret {spec!r} as a dynamics")

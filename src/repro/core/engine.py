@@ -1,0 +1,136 @@
+"""The asynchronous simulation engine.
+
+Runs any :mod:`~repro.core.dynamics` under any
+:mod:`~repro.core.schedulers` scheduler until a stopping condition fires
+or the step budget runs out. Interaction pairs are drawn in blocks to
+amortize RNG overhead; observers (see :mod:`~repro.core.observers`) hook
+in without slowing down un-instrumented runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.dynamics import Dynamics, make_dynamics
+from repro.core.schedulers import Scheduler
+from repro.core.state import OpinionState
+from repro.core.stopping import MAX_STEPS_REASON, StopCondition, make_stop_condition
+from repro.errors import ProcessError
+from repro.rng import RngLike, make_rng
+
+#: Default number of interaction pairs drawn per RNG block.
+DEFAULT_BLOCK_SIZE = 8192
+
+
+@dataclass
+class RunResult:
+    """Outcome of one engine run.
+
+    Attributes
+    ----------
+    steps:
+        Number of asynchronous steps executed (each step is one
+        interaction, whether or not it changed an opinion).
+    stop_reason:
+        The reason string of the stopping condition that fired, or
+        ``"max_steps"``.
+    state:
+        The final :class:`OpinionState` (the same object that was passed
+        in, mutated in place).
+    """
+
+    steps: int
+    stop_reason: str
+    state: OpinionState
+
+    @property
+    def reached_stop(self) -> bool:
+        """Whether a stopping condition fired (vs. exhausting the budget)."""
+        return self.stop_reason != MAX_STEPS_REASON
+
+
+def run_dynamics(
+    state: OpinionState,
+    scheduler: Scheduler,
+    dynamics: Dynamics,
+    *,
+    stop: object = "consensus",
+    rng: RngLike = None,
+    max_steps: Optional[int] = None,
+    observers: Sequence[object] = (),
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> RunResult:
+    """Run ``dynamics`` on ``state`` until ``stop`` fires.
+
+    Parameters
+    ----------
+    state:
+        Mutated in place; pass ``state.copy()`` to preserve the original.
+    scheduler:
+        Source of (v, w) interaction pairs.
+    dynamics:
+        Update rule instance or name (see :func:`make_dynamics`).
+    stop:
+        Stopping condition callable or name (see
+        :func:`repro.core.stopping.make_stop_condition`).
+    rng:
+        Seed or generator; ``None`` draws fresh entropy.
+    max_steps:
+        Hard step budget. Mandatory when ``stop`` can never fire
+        (e.g. ``"never"``).
+    observers:
+        Objects implementing the sampled and/or change observer hooks.
+    """
+    dynamics = make_dynamics(dynamics)
+    stop_condition: StopCondition = make_stop_condition(stop)
+    generator = make_rng(rng)
+    if block_size < 1:
+        raise ProcessError(f"block_size must be >= 1, got {block_size}")
+
+    sampled = [obs for obs in observers if hasattr(obs, "sample")]
+    change_observers = [obs for obs in observers if hasattr(obs, "on_change")]
+    if max_steps is None and getattr(stop_condition, "__name__", "") == "never":
+        raise ProcessError("stop='never' requires max_steps")
+
+    for obs in sampled:
+        obs.sample(0, state)
+    last_sampled = {id(obs): 0 for obs in sampled}
+    next_due = [int(getattr(obs, "interval", 1)) for obs in sampled]
+
+    reason = stop_condition(state)
+    step = 0
+    if reason is None:
+        step_fn = dynamics.step
+        while True:
+            remaining = block_size
+            if max_steps is not None:
+                remaining = min(remaining, max_steps - step)
+                if remaining <= 0:
+                    reason = MAX_STEPS_REASON
+                    break
+            v_block, w_block = scheduler.draw_block(generator, remaining)
+            v_list = v_block.tolist()
+            w_list = w_block.tolist()
+            for v, w in zip(v_list, w_list):
+                step += 1
+                changed = step_fn(state, v, w, generator)
+                if changed:
+                    for obs in change_observers:
+                        obs.on_change(step, v, w, state)
+                    reason = stop_condition(state)
+                    if reason is not None:
+                        break
+                if sampled:
+                    for i, obs in enumerate(sampled):
+                        if step >= next_due[i]:
+                            obs.sample(step, state)
+                            last_sampled[id(obs)] = step
+                            next_due[i] = step + int(obs.interval)
+            if reason is not None:
+                break
+
+    for obs in sampled:
+        if last_sampled[id(obs)] != step:
+            obs.sample(step, state)
+    return RunResult(steps=step, stop_reason=reason, state=state)

@@ -1,0 +1,194 @@
+"""Count-based DIV engine for the complete graph ``K_n``.
+
+On ``K_n`` the holders of each opinion are exchangeable, so DIV is a
+Markov chain on the opinion counts ``(N_1, ..., N_k)`` alone. Simulating
+that chain costs O(active range) per step instead of O(n) memory traffic
+and lets the scaling experiment E3 reach vertex counts far beyond the
+generic engine. On ``K_n`` the vertex and edge processes coincide
+(regular graph), so the engine serves both.
+
+The chain: pick the updating vertex's opinion ``i`` with probability
+``N_i / n``, then the observed vertex's opinion ``j`` with probability
+``N_j / (n-1)`` (``(N_i - 1)/(n-1)`` for ``j = i``), and move one holder
+of ``i`` one unit toward ``j``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ProcessError
+from repro.rng import RngLike, make_rng
+
+#: Uniform draws pre-generated per RNG block.
+_BLOCK = 16384
+
+
+@dataclass
+class CompleteRunResult:
+    """Outcome of a count-based run on ``K_n``.
+
+    ``weight_steps`` / ``weights`` hold the sampled ``S(t)`` trace when a
+    ``weight_interval`` was requested.
+    """
+
+    n: int
+    steps: int
+    stop_reason: str
+    counts: Dict[int, int]
+    two_adjacent_step: Optional[int]
+    weight_steps: List[int] = field(default_factory=list)
+    weights: List[int] = field(default_factory=list)
+
+    @property
+    def winner(self) -> Optional[int]:
+        """The consensus opinion, or ``None`` if consensus was not reached."""
+        if len(self.counts) != 1:
+            return None
+        return next(iter(self.counts))
+
+    @property
+    def support(self) -> List[int]:
+        """Sorted opinions still present at the end of the run."""
+        return sorted(self.counts)
+
+
+def run_div_complete(
+    n: int,
+    initial_counts: Dict[int, int],
+    *,
+    stop: str = "consensus",
+    rng: RngLike = None,
+    max_steps: Optional[int] = None,
+    weight_interval: Optional[int] = None,
+) -> CompleteRunResult:
+    """Run DIV on ``K_n`` from the given opinion histogram.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices (must equal ``sum(initial_counts.values())``).
+    initial_counts:
+        Mapping ``opinion -> number of initial holders``.
+    stop:
+        ``"consensus"`` or ``"two_adjacent"``.
+    max_steps:
+        Optional hard budget; the run reports ``"max_steps"`` on expiry.
+    weight_interval:
+        When set, ``S(t)`` is recorded every that many steps.
+    """
+    if stop not in ("consensus", "two_adjacent"):
+        raise ProcessError(f"stop must be 'consensus' or 'two_adjacent', got {stop!r}")
+    if n < 2:
+        raise ProcessError(f"K_n needs n >= 2, got {n}")
+    if any(c < 0 for c in initial_counts.values()):
+        raise ProcessError("negative opinion count")
+    if sum(initial_counts.values()) != n:
+        raise ProcessError(
+            f"counts sum to {sum(initial_counts.values())}, expected n={n}"
+        )
+
+    present = sorted(o for o, c in initial_counts.items() if c > 0)
+    if not present:
+        raise ProcessError("initial counts are empty")
+    offset = present[0]
+    width = present[-1] - offset + 1
+    counts = [0] * width
+    for opinion, count in initial_counts.items():
+        if count > 0:
+            counts[opinion - offset] = count
+
+    generator = make_rng(rng)
+    lo, hi = 0, width - 1
+    total = 0  # S(t) relative to offset*n
+    for idx, count in enumerate(counts):
+        total += idx * count
+    step = 0
+    two_adjacent_step: Optional[int] = 0 if hi - lo <= 1 else None
+    weight_steps: List[int] = []
+    weights: List[int] = []
+    if weight_interval is not None:
+        weight_steps.append(0)
+        weights.append(total + offset * n)
+
+    def stopped() -> Optional[str]:
+        if hi == lo:
+            return "consensus"
+        if stop == "two_adjacent" and hi - lo == 1:
+            return "two_adjacent"
+        return None
+
+    reason = stopped()
+    nm1 = n - 1
+    while reason is None:
+        block = _BLOCK
+        if max_steps is not None:
+            block = min(block, max_steps - step)
+            if block <= 0:
+                reason = "max_steps"
+                break
+        u1 = generator.random(block).tolist()
+        u2 = generator.random(block).tolist()
+        for b in range(block):
+            step += 1
+            # Opinion of the updating vertex: P(i) = N_i / n.
+            target = u1[b] * n
+            acc = 0.0
+            i = lo
+            for idx in range(lo, hi + 1):
+                acc += counts[idx]
+                if target < acc:
+                    i = idx
+                    break
+            else:  # pragma: no cover - floating-point guard
+                i = hi
+            # Opinion of the observed vertex among the other n-1 vertices.
+            target = u2[b] * nm1
+            acc = 0.0
+            j = lo
+            for idx in range(lo, hi + 1):
+                acc += counts[idx] - (1 if idx == i else 0)
+                if target < acc:
+                    j = idx
+                    break
+            else:  # pragma: no cover - floating-point guard
+                j = hi
+            if j > i:
+                counts[i] -= 1
+                counts[i + 1] += 1
+                total += 1
+            elif j < i:
+                counts[i] -= 1
+                counts[i - 1] += 1
+                total -= 1
+            else:
+                if weight_interval is not None and step % weight_interval == 0:
+                    weight_steps.append(step)
+                    weights.append(total + offset * n)
+                continue
+            while counts[lo] == 0 and lo < hi:
+                lo += 1
+            while counts[hi] == 0 and hi > lo:
+                hi -= 1
+            if two_adjacent_step is None and hi - lo <= 1:
+                two_adjacent_step = step
+            if weight_interval is not None and step % weight_interval == 0:
+                weight_steps.append(step)
+                weights.append(total + offset * n)
+            reason = stopped()
+            if reason is not None:
+                break
+
+    final_counts = {
+        idx + offset: counts[idx] for idx in range(width) if counts[idx] > 0
+    }
+    return CompleteRunResult(
+        n=n,
+        steps=step,
+        stop_reason=reason,
+        counts=final_counts,
+        two_adjacent_step=two_adjacent_step,
+        weight_steps=weight_steps,
+        weights=weights,
+    )

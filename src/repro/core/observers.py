@@ -1,0 +1,208 @@
+"""Observers: instrumentation hooks for the asynchronous engines.
+
+Two kinds of hook keep instrumented runs fast:
+
+* *sampled* observers implement ``sample(step, state)`` and declare an
+  ``interval``; the engine calls them every ``interval`` steps (and at
+  step 0 and at the final step);
+* *change* observers implement ``on_change(step, v, w, state)`` and are
+  called only on steps where an opinion actually changed, with the
+  interaction pair ``(v, w)`` of that step.
+
+Un-instrumented runs pay nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Tuple, runtime_checkable
+
+from repro.core.state import OpinionState
+
+#: Interval so large that sampled hooks fire only at step 0 and the end.
+ENDPOINTS_ONLY = 1 << 62
+
+
+@runtime_checkable
+class SampledObserver(Protocol):
+    """Called every ``interval`` steps with the current state."""
+
+    interval: int
+
+    def sample(self, step: int, state: OpinionState) -> None:
+        ...  # pragma: no cover - protocol
+
+
+@runtime_checkable
+class ChangeObserver(Protocol):
+    """Called on every step whose interaction changed some opinion."""
+
+    def on_change(self, step: int, v: int, w: int, state: OpinionState) -> None:
+        ...  # pragma: no cover - protocol
+
+
+class WeightTrace:
+    """Records the total weight ``W(t)`` every ``interval`` steps.
+
+    ``W`` is ``S(t)`` for the edge process and ``Z(t)`` for the vertex
+    process (Lemma 3); the martingale experiment E5 feeds these traces to
+    the Azuma envelope check.
+    """
+
+    def __init__(self, process: str, interval: int = 1) -> None:
+        self.process = process
+        self.interval = max(1, int(interval))
+        self.steps: List[int] = []
+        self.weights: List[float] = []
+
+    def sample(self, step: int, state: OpinionState) -> None:
+        self.steps.append(step)
+        self.weights.append(state.total_weight(self.process))
+
+
+class SupportTrace:
+    """Records ``(support size, min, max)`` every ``interval`` steps."""
+
+    def __init__(self, interval: int = 1) -> None:
+        self.interval = max(1, int(interval))
+        self.steps: List[int] = []
+        self.sizes: List[int] = []
+        self.mins: List[int] = []
+        self.maxs: List[int] = []
+
+    def sample(self, step: int, state: OpinionState) -> None:
+        self.steps.append(step)
+        self.sizes.append(state.support_size)
+        self.mins.append(state.min_opinion)
+        self.maxs.append(state.max_opinion)
+
+
+class OpinionCountsTrace:
+    """Records the full ``opinion -> count`` histogram every ``interval`` steps."""
+
+    def __init__(self, interval: int = 1) -> None:
+        self.interval = max(1, int(interval))
+        self.steps: List[int] = []
+        self.histograms: List[dict] = []
+
+    def sample(self, step: int, state: OpinionState) -> None:
+        self.steps.append(step)
+        self.histograms.append(state.counts_dict())
+
+
+class ExtremeMeasureTrace:
+    """Records the stationary measures of the extreme opinion classes.
+
+    Samples ``π(A_s(t))``, ``π(A_ℓ(t))`` and their product ``Y_t`` — the
+    supermartingale of Lemma 10's proof — every ``interval`` steps, along
+    with the support size (the lemma's decay bound applies while ≥ 4
+    opinions remain).
+    """
+
+    def __init__(self, interval: int = 1) -> None:
+        self.interval = max(1, int(interval))
+        self.steps: List[int] = []
+        self.pi_min_class: List[float] = []
+        self.pi_max_class: List[float] = []
+        self.products: List[float] = []
+        self.support_sizes: List[int] = []
+
+    def sample(self, step: int, state: OpinionState) -> None:
+        pi_s = state.stationary_measure(state.min_opinion)
+        pi_l = state.stationary_measure(state.max_opinion)
+        self.steps.append(step)
+        self.pi_min_class.append(pi_s)
+        self.pi_max_class.append(pi_l)
+        self.products.append(pi_s * pi_l if state.support_size > 1 else 0.0)
+        self.support_sizes.append(state.support_size)
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One stage of the support-set evolution (the paper's worked example)."""
+
+    step: int
+    support: Tuple[int, ...]
+
+
+class StageRecorder:
+    """Records every change of the *support set* of present opinions.
+
+    Reproduces the paper's stage notation, e.g.
+    ``{1,2,5} → {1,2,4} → ... → {3}``: a new stage begins whenever an
+    opinion appears or disappears.
+    """
+
+    interval = ENDPOINTS_ONLY
+
+    def __init__(self) -> None:
+        self.stages: List[Stage] = []
+        self._last_support: Optional[Tuple[int, ...]] = None
+
+    def sample(self, step: int, state: OpinionState) -> None:
+        self._record(step, state)
+
+    def on_change(self, step: int, v: int, w: int, state: OpinionState) -> None:
+        self._record(step, state)
+
+    def _record(self, step: int, state: OpinionState) -> None:
+        support = tuple(state.support())
+        if support != self._last_support:
+            self.stages.append(Stage(step=step, support=support))
+            self._last_support = support
+
+    def extreme_removals(self) -> List[int]:
+        """Extreme opinions in their order of irreversible removal.
+
+        The paper notes consensus requires removing the extreme opinions
+        one at a time (e.g. ``5, 1, 4, 2`` in the worked example).
+        Interior opinions may vanish and reappear; an extreme removal is
+        final because values can never leave the current range.
+        """
+        removed: List[int] = []
+        for previous, current in zip(self.stages, self.stages[1:]):
+            if not current.support:
+                continue
+            lo, hi = current.support[0], current.support[-1]
+            for opinion in set(previous.support) - set(current.support):
+                if opinion < lo or opinion > hi:
+                    removed.append(opinion)
+        return removed
+
+
+class FirstTimeTracker:
+    """Records the first step at which a state predicate becomes true.
+
+    Example: time to reach the two-adjacent stage (the ``τ`` of
+    Theorem 1) on a run that continues to full consensus.
+    """
+
+    interval = ENDPOINTS_ONLY
+
+    def __init__(self, predicate, label: str = "") -> None:
+        self.predicate = predicate
+        self.label = label
+        self.first_step: Optional[int] = None
+
+    def sample(self, step: int, state: OpinionState) -> None:
+        self._check(step, state)
+
+    def on_change(self, step: int, v: int, w: int, state: OpinionState) -> None:
+        self._check(step, state)
+
+    def _check(self, step: int, state: OpinionState) -> None:
+        if self.first_step is None and self.predicate(state):
+            self.first_step = step
+
+
+@dataclass
+class ChangeLog:
+    """Records every changing interaction; for tests and tiny demos only.
+
+    Entries are ``(step, v, w, X_v after, X_w after)``.
+    """
+
+    entries: List[Tuple[int, int, int, int, int]] = field(default_factory=list)
+
+    def on_change(self, step: int, v: int, w: int, state: OpinionState) -> None:
+        self.entries.append((step, v, w, state.value(v), state.value(w)))

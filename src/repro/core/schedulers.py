@@ -1,0 +1,88 @@
+"""Interaction schedulers: who talks to whom at each asynchronous step.
+
+The paper defines two asynchronous selection rules (§1, "Definition of
+process"):
+
+* **vertex process** — a uniform vertex ``v`` then a uniform neighbour
+  ``w`` of ``v``; ``P(v chooses w) = 1 / (n · d(v))``, eq. (2);
+* **edge process** — a uniform edge then a uniform endpoint as ``v``;
+  ``P(v chooses w) = 1 / 2m``.
+
+Schedulers draw interaction pairs in blocks to amortize RNG overhead;
+the simulation engines consume one pair per step.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Tuple
+
+import numpy as np
+
+from repro.errors import ProcessError
+from repro.graphs.graph import Graph
+
+
+class Scheduler(Protocol):
+    """Draws blocks of (updating vertex, observed neighbour) pairs."""
+
+    graph: Graph
+
+    def draw_block(
+        self, rng: np.random.Generator, size: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return arrays ``(v, w)`` of ``size`` interaction pairs."""
+        ...  # pragma: no cover - protocol
+
+
+class VertexScheduler:
+    """The asynchronous vertex process: uniform vertex, uniform neighbour."""
+
+    def __init__(self, graph: Graph) -> None:
+        if graph.m == 0 or np.any(graph.degrees == 0):
+            raise ProcessError("the vertex process needs every vertex to have a neighbour")
+        self.graph = graph
+        self._degrees = graph.degrees
+
+    def draw_block(
+        self, rng: np.random.Generator, size: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        graph = self.graph
+        v = rng.integers(0, graph.n, size=size)
+        offsets = rng.integers(0, self._degrees[v])
+        w = graph.indices[graph.indptr[v] + offsets]
+        return v, w
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VertexScheduler({self.graph.name})"
+
+
+class EdgeScheduler:
+    """The asynchronous edge process: uniform edge, uniform endpoint."""
+
+    def __init__(self, graph: Graph) -> None:
+        if graph.m == 0:
+            raise ProcessError("the edge process needs at least one edge")
+        self.graph = graph
+        self._edges = graph.edge_array
+
+    def draw_block(
+        self, rng: np.random.Generator, size: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        edge_ids = rng.integers(0, self.graph.m, size=size)
+        sides = rng.integers(0, 2, size=size)
+        endpoints = self._edges[edge_ids]
+        v = endpoints[np.arange(size), sides]
+        w = endpoints[np.arange(size), 1 - sides]
+        return v, w
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EdgeScheduler({self.graph.name})"
+
+
+def make_scheduler(graph: Graph, process: str) -> Scheduler:
+    """Build the scheduler for a process name (``"vertex"`` or ``"edge"``)."""
+    if process == "vertex":
+        return VertexScheduler(graph)
+    if process == "edge":
+        return EdgeScheduler(graph)
+    raise ProcessError(f"unknown process {process!r}; expected 'vertex' or 'edge'")

@@ -1,0 +1,273 @@
+"""Opinion state with O(1) incremental bookkeeping.
+
+:class:`OpinionState` holds the opinion vector ``X`` together with every
+aggregate the paper's analysis tracks, updated in O(1) per opinion
+change:
+
+* ``counts[i]`` — ``N_i(t) = |A_i(t)|``, the number of holders of ``i``;
+* ``degree_counts[i]`` — ``d(A_i(t))``, so ``π(A_i(t))`` is O(1);
+* ``S(t) = Σ_v X_v`` — the edge-process total weight (Lemma 3(i));
+* ``Σ_v d(v) X_v`` — giving ``Z(t) = n Σ_v π_v X_v`` (Lemma 3(ii));
+* the support size and the current extreme opinions ``s`` and ``ℓ``.
+
+The state is shared by DIV and all baseline dynamics; each dynamic calls
+:meth:`apply` for every opinion change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidOpinionsError
+from repro.graphs.graph import Graph
+
+
+class OpinionState:
+    """Mutable opinion assignment on a graph with cached aggregates.
+
+    Parameters
+    ----------
+    graph:
+        The interaction topology.
+    opinions:
+        Integer opinion per vertex (length ``graph.n``). Values may be any
+        integers; internally they are offset by the initial minimum.
+        Dynamics may never move a vertex outside the initial range
+        ``[min X(0), max X(0)]`` (true for DIV, pull, push, median,
+        best-of-k and load balancing); :meth:`apply` enforces this.
+    """
+
+    __slots__ = (
+        "graph",
+        "_values",
+        "_offset",
+        "_counts",
+        "_degree_counts",
+        "_sum",
+        "_degree_sum",
+        "_support_size",
+        "_min_idx",
+        "_max_idx",
+    )
+
+    def __init__(self, graph: Graph, opinions: Sequence[int]) -> None:
+        values = np.asarray(opinions, dtype=np.int64).copy()
+        if values.shape != (graph.n,):
+            raise InvalidOpinionsError(
+                f"opinions must have shape ({graph.n},), got {values.shape}"
+            )
+        self.graph = graph
+        self._values = values
+        self._offset = int(values.min())
+        width = int(values.max()) - self._offset + 1
+        shifted = values - self._offset
+        self._counts = np.bincount(shifted, minlength=width).astype(np.int64)
+        degrees = graph.degrees
+        self._degree_counts = np.bincount(
+            shifted, weights=degrees.astype(np.float64), minlength=width
+        ).astype(np.int64)
+        self._sum = int(values.sum())
+        self._degree_sum = int((values * degrees).sum())
+        self._support_size = int(np.count_nonzero(self._counts))
+        self._min_idx = 0
+        self._max_idx = width - 1
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self.graph.n
+
+    @property
+    def values(self) -> np.ndarray:
+        """The opinion vector (live read-only view)."""
+        view = self._values.view()
+        view.setflags(write=False)
+        return view
+
+    def value(self, v: int) -> int:
+        """Opinion of vertex ``v``."""
+        return int(self._values[v])
+
+    def count(self, opinion: int) -> int:
+        """``N_i(t)`` — the number of vertices holding ``opinion``."""
+        idx = opinion - self._offset
+        if not 0 <= idx < self._counts.size:
+            return 0
+        return int(self._counts[idx])
+
+    def degree_count(self, opinion: int) -> int:
+        """``d(A_i(t))`` — total degree of the holders of ``opinion``."""
+        idx = opinion - self._offset
+        if not 0 <= idx < self._degree_counts.size:
+            return 0
+        return int(self._degree_counts[idx])
+
+    def stationary_measure(self, opinion: int) -> float:
+        """``π(A_i(t)) = d(A_i(t)) / 2m`` — the walk measure of an opinion."""
+        return self.degree_count(opinion) / (2.0 * self.graph.m)
+
+    def holders(self, opinion: int) -> np.ndarray:
+        """Vertices currently holding ``opinion`` (O(n) scan)."""
+        return np.flatnonzero(self._values == opinion)
+
+    @property
+    def support_size(self) -> int:
+        """Number of distinct opinions currently present."""
+        return self._support_size
+
+    def support(self) -> List[int]:
+        """Sorted list of opinions currently present."""
+        present = np.flatnonzero(self._counts)
+        return [int(i) + self._offset for i in present]
+
+    @property
+    def min_opinion(self) -> int:
+        """The smallest opinion present, ``s`` in the paper."""
+        self._advance_extremes()
+        return self._min_idx + self._offset
+
+    @property
+    def max_opinion(self) -> int:
+        """The largest opinion present, ``ℓ`` in the paper."""
+        self._advance_extremes()
+        return self._max_idx + self._offset
+
+    @property
+    def range_width(self) -> int:
+        """``ℓ - s`` — zero at consensus, one in the final stage."""
+        self._advance_extremes()
+        return self._max_idx - self._min_idx
+
+    @property
+    def is_consensus(self) -> bool:
+        """Whether all vertices hold the same opinion."""
+        return self._support_size == 1
+
+    @property
+    def is_two_adjacent(self) -> bool:
+        """Whether at most two consecutive opinions remain (Theorem 1's stage)."""
+        return self._support_size == 1 or (
+            self._support_size == 2 and self.range_width == 1
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregates from the paper
+    # ------------------------------------------------------------------
+    @property
+    def total_sum(self) -> int:
+        """``S(t) = Σ_v X_v(t)`` — the edge-process total weight."""
+        return self._sum
+
+    @property
+    def degree_weighted_sum(self) -> int:
+        """``Σ_v d(v) X_v(t) = 2m · Σ_v π_v X_v(t)``."""
+        return self._degree_sum
+
+    def mean(self) -> float:
+        """Simple average opinion ``S(t) / n``."""
+        return self._sum / self.graph.n
+
+    def weighted_mean(self) -> float:
+        """Degree-weighted average ``Σ_v π_v X_v(t) = Z(t) / n``."""
+        return self._degree_sum / (2.0 * self.graph.m)
+
+    def total_weight(self, process: str) -> float:
+        """``W(t)``: ``S(t)`` for the edge process, ``Z(t)`` for the vertex process."""
+        if process == "edge":
+            return float(self._sum)
+        if process == "vertex":
+            return self.graph.n * self.weighted_mean()
+        raise InvalidOpinionsError(f"unknown process {process!r}")
+
+    def counts_dict(self) -> Dict[int, int]:
+        """Mapping ``opinion -> N_i(t)`` over the present opinions."""
+        present = np.flatnonzero(self._counts)
+        return {int(i) + self._offset: int(self._counts[i]) for i in present}
+
+    def consensus_value(self) -> Optional[int]:
+        """The unanimous opinion, or ``None`` if not at consensus."""
+        if not self.is_consensus:
+            return None
+        return self.min_opinion
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def apply(self, v: int, new_value: int) -> int:
+        """Set vertex ``v`` to ``new_value``, updating all aggregates.
+
+        Returns the previous value. Raises if ``new_value`` falls outside
+        the initial opinion range (no dynamic in this package can produce
+        such a value; hitting this indicates an engine bug).
+        """
+        old_value = int(self._values[v])
+        if new_value == old_value:
+            return old_value
+        new_idx = new_value - self._offset
+        if not 0 <= new_idx < self._counts.size:
+            raise InvalidOpinionsError(
+                f"value {new_value} outside the initial opinion range "
+                f"[{self._offset}, {self._offset + self._counts.size - 1}]"
+            )
+        old_idx = old_value - self._offset
+        degree = int(self.graph.degrees[v])
+
+        self._values[v] = new_value
+        self._counts[old_idx] -= 1
+        if self._counts[old_idx] == 0:
+            self._support_size -= 1
+        if self._counts[new_idx] == 0:
+            self._support_size += 1
+        self._counts[new_idx] += 1
+        self._degree_counts[old_idx] -= degree
+        self._degree_counts[new_idx] += degree
+        delta = new_value - old_value
+        self._sum += delta
+        self._degree_sum += delta * degree
+        return old_value
+
+    def copy(self) -> "OpinionState":
+        """An independent copy sharing the (immutable) graph."""
+        return OpinionState(self.graph, self._values)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _advance_extremes(self) -> None:
+        """Lazily move the extreme pointers past emptied opinion classes."""
+        counts = self._counts
+        lo, hi = self._min_idx, self._max_idx
+        while counts[lo] == 0 and lo < hi:
+            lo += 1
+        while counts[hi] == 0 and hi > lo:
+            hi -= 1
+        self._min_idx, self._max_idx = lo, hi
+
+    def check_consistency(self) -> None:
+        """Recompute every aggregate from scratch and assert equality.
+
+        Used by the property-based test-suite; O(n + k).
+        """
+        values = self._values
+        shifted = values - self._offset
+        counts = np.bincount(shifted, minlength=self._counts.size)
+        assert np.array_equal(counts, self._counts), "counts drifted"
+        degree_counts = np.bincount(
+            shifted,
+            weights=self.graph.degrees.astype(np.float64),
+            minlength=self._degree_counts.size,
+        ).astype(np.int64)
+        assert np.array_equal(degree_counts, self._degree_counts), "degree counts drifted"
+        assert int(values.sum()) == self._sum, "sum drifted"
+        assert int((values * self.graph.degrees).sum()) == self._degree_sum, (
+            "degree-weighted sum drifted"
+        )
+        assert int(np.count_nonzero(counts)) == self._support_size, "support size drifted"
+        present = np.flatnonzero(counts)
+        assert int(present[0]) + self._offset == self.min_opinion, "min drifted"
+        assert int(present[-1]) + self._offset == self.max_opinion, "max drifted"

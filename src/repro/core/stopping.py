@@ -1,0 +1,96 @@
+"""Composable stopping conditions for the asynchronous engines.
+
+A stopping condition is a callable taking the :class:`OpinionState` and
+returning a reason string when the run should stop, or ``None`` to
+continue. The engine evaluates conditions only after an actual opinion
+change (the tracked predicates cannot become true otherwise) and at
+step 0.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.state import OpinionState
+from repro.errors import StoppingConditionError
+
+StopCondition = Callable[[OpinionState], Optional[str]]
+
+#: Reason reported when the engine exhausts its step budget.
+MAX_STEPS_REASON = "max_steps"
+
+
+def consensus(state: OpinionState) -> Optional[str]:
+    """Stop once a single opinion remains (the absorbing states)."""
+    return "consensus" if state.is_consensus else None
+
+
+def two_adjacent(state: OpinionState) -> Optional[str]:
+    """Stop once at most two consecutive opinions remain (Theorem 1's event)."""
+    return "two_adjacent" if state.is_two_adjacent else None
+
+
+def range_at_most(width: int) -> StopCondition:
+    """Stop once ``max - min <= width`` (e.g. 2 for 'three consecutive values')."""
+    if width < 0:
+        raise StoppingConditionError(f"width must be >= 0, got {width}")
+
+    def condition(state: OpinionState) -> Optional[str]:
+        if state.range_width <= width:
+            return f"range<={width}"
+        return None
+
+    return condition
+
+
+def support_at_most(size: int) -> StopCondition:
+    """Stop once at most ``size`` distinct opinions remain."""
+    if size < 1:
+        raise StoppingConditionError(f"size must be >= 1, got {size}")
+
+    def condition(state: OpinionState) -> Optional[str]:
+        if state.support_size <= size:
+            return f"support<={size}"
+        return None
+
+    return condition
+
+
+def never(state: OpinionState) -> Optional[str]:
+    """Never stop early — run to the step budget (martingale traces)."""
+    return None
+
+
+def first_of(*conditions: StopCondition) -> StopCondition:
+    """Stop at the first condition that fires, reporting its reason."""
+    if not conditions:
+        raise StoppingConditionError("first_of needs at least one condition")
+
+    def condition(state: OpinionState) -> Optional[str]:
+        for candidate in conditions:
+            reason = candidate(state)
+            if reason is not None:
+                return reason
+        return None
+
+    return condition
+
+
+_NAMED: dict = {
+    "consensus": consensus,
+    "two_adjacent": two_adjacent,
+    "never": never,
+}
+
+
+def make_stop_condition(spec) -> StopCondition:
+    """Resolve a stop condition from a name or pass a callable through."""
+    if callable(spec):
+        return spec
+    try:
+        return _NAMED[spec]
+    except (KeyError, TypeError):
+        known = ", ".join(sorted(_NAMED))
+        raise StoppingConditionError(
+            f"unknown stop condition {spec!r}; known names: {known}"
+        ) from None

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so downstream users can catch a single type.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or graph arguments."""
+
+
+class GraphConstructionError(GraphError):
+    """A graph could not be built (bad edge list, unsatisfiable request)."""
+
+
+class DisconnectedGraphError(GraphError):
+    """An operation requiring a connected graph received a disconnected one."""
+
+
+class ProcessError(ReproError):
+    """Invalid process configuration or state."""
+
+
+class InvalidOpinionsError(ProcessError):
+    """An opinion vector does not match the graph or contains bad values."""
+
+
+class StoppingConditionError(ProcessError):
+    """An unknown or malformed stopping condition was requested."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver received an invalid configuration."""
+
+
+class AnalysisError(ReproError):
+    """Invalid statistical analysis request (e.g. empty sample)."""

@@ -1,0 +1,11 @@
+"""Experiment drivers reproducing every quantitative claim of the paper.
+
+See ``DESIGN.md`` §4 for the experiment-to-claim index. Each module
+``eNN_*`` exposes ``EXPERIMENT_ID``, ``TITLE``, a ``Config`` dataclass
+(with a ``quick()`` benchmark-scale variant) and a
+``run(config, seed) -> ExperimentReport`` driver.
+"""
+
+from repro.experiments.tables import ExperimentReport, Table
+
+__all__ = ["ExperimentReport", "Table"]

@@ -1,0 +1,116 @@
+"""E1 — Winning-opinion distribution on K_n (Theorem 2, Lemma 5(iii)).
+
+Claim: with initial average ``c``, DIV's consensus value is ``⌊c⌋`` with
+probability ``~ ⌈c⌉ - c`` and ``⌈c⌉`` with probability ``~ c - ⌊c⌋``.
+We sweep the fractional part of ``c`` on the complete graph (where the
+count-based engine is exact and fast) and compare measured winning
+frequencies against the prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.gof import chi_square_gof
+from repro.analysis.montecarlo import run_trials_over
+from repro.analysis.statistics import wilson_interval
+from repro.core.fast_complete import run_div_complete
+from repro.core.theory import winning_probabilities
+from repro.experiments.tables import ExperimentReport, Table
+from repro.rng import RngLike
+
+EXPERIMENT_ID = "E1"
+TITLE = "Winning-opinion distribution on K_n vs Theorem 2"
+
+
+@dataclass
+class Config:
+    """Sweep of the fractional part of the initial average on K_n."""
+
+    n: int = 600
+    k: int = 5
+    fractions: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9)
+    trials: int = 400
+    base: int = 3  # integer part of c; the mixture uses opinions 1 and k
+
+    @classmethod
+    def quick(cls) -> "Config":
+        """Benchmark-scale configuration."""
+        return cls(n=150, k=5, fractions=(0.25, 0.5, 0.75), trials=120)
+
+
+def counts_for_average(n: int, k: int, c: float) -> dict:
+    """Two-point mixture of opinions 1 and k whose average is ≈ c."""
+    x = round(n * (c - 1) / (k - 1))
+    x = min(max(x, 0), n)
+    return {1: n - x, k: x}
+
+
+def run(config: Config = None, seed: RngLike = 0) -> ExperimentReport:
+    """Run E1 and return the report."""
+    config = config or Config()
+    report = ExperimentReport(EXPERIMENT_ID, TITLE)
+    table = Table(
+        title=f"K_{config.n}, k={config.k}, {config.trials} trials per row",
+        headers=[
+            "c",
+            "floor",
+            "pred P(floor)",
+            "meas P(floor)",
+            "CI low",
+            "CI high",
+            "P(win in {floor,ceil})",
+            "pred in CI",
+            "GoF p",
+        ],
+    )
+
+    def trial(fraction, index, rng):
+        counts = counts_for_average(config.n, config.k, config.base + fraction)
+        return run_div_complete(config.n, counts, rng=rng).winner
+
+    for fraction, outcomes in run_trials_over(
+        list(config.fractions), config.trials, trial, seed=seed
+    ):
+        counts = counts_for_average(config.n, config.k, config.base + fraction)
+        c = sum(o * m for o, m in counts.items()) / config.n
+        prediction = winning_probabilities(c)
+        floor_wins = outcomes.count_where(lambda w: w == prediction.floor)
+        hits = outcomes.count_where(
+            lambda w: w in (prediction.floor, prediction.ceil)
+        )
+        proportion = wilson_interval(floor_wins, config.trials)
+        gof = chi_square_gof(
+            outcomes.outcomes,
+            {prediction.floor: prediction.p_floor, prediction.ceil: prediction.p_ceil},
+        )
+        table.add_row(
+            c,
+            prediction.floor,
+            prediction.p_floor,
+            proportion.estimate,
+            proportion.low,
+            proportion.high,
+            hits / config.trials,
+            proportion.contains(prediction.p_floor),
+            gof.p_value,
+        )
+    table.add_note(
+        "Theorem 2 predicts P(floor wins) = ceil(c) - c; "
+        "'pred in CI' checks the 95% Wilson interval and 'GoF p' is a "
+        "chi-square test of the full winner distribution against the "
+        "prediction. The prediction is asymptotic: at finite n the "
+        "weight diffuses by ~sqrt(T)/n before the final stage, biasing "
+        "measured frequencies a few points toward 1/2."
+    )
+    report.add_table(table)
+    return report
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

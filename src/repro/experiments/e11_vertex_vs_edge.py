@@ -1,0 +1,119 @@
+"""E11 — Vertex vs edge process on irregular graphs (Remark 1, footnote 1).
+
+Claim: the edge process converges around the *simple* average
+``c_S = S(0)/n`` while the vertex process converges around the
+*degree-weighted* average ``c_Z = Σ π_v X_v``; on (near-)regular graphs
+these coincide, on irregular graphs they can differ by several opinion
+units. Because ``W(t)`` is a martingale on *arbitrary* graphs
+(Lemma 3) and DIV absorbs at a single value, optional stopping forces
+``E[winner] = c`` exactly for the matching average, expander or not. We
+plant opinion 5 on a star's hub (``c_S ≈ 1.04``, ``c_Z = 3``) and on a
+lollipop's clique and compare the winner distributions of the two
+processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.analysis.montecarlo import run_trials_over
+from repro.analysis.statistics import summarize
+from repro.core.div import run_div
+from repro.core.state import OpinionState
+from repro.experiments.tables import ExperimentReport, Table
+from repro.graphs import Graph, lollipop_graph, star_graph
+from repro.rng import RngLike
+
+EXPERIMENT_ID = "E11"
+TITLE = "Vertex process rounds the degree-weighted average; edge the simple one"
+
+
+@dataclass
+class Config:
+    """High opinions planted on high-degree vertices of irregular graphs."""
+
+    star_n: int = 101
+    lollipop_clique: int = 20
+    lollipop_tail: int = 40
+    trials: int = 300
+    max_steps: int = 20_000_000
+
+    @classmethod
+    def quick(cls) -> "Config":
+        return cls(star_n=61, lollipop_clique=12, lollipop_tail=24, trials=100)
+
+
+def _scenarios(config: Config) -> List[Tuple[str, Graph, np.ndarray]]:
+    star = star_graph(config.star_n)
+    star_opinions = np.ones(star.n, dtype=np.int64)
+    star_opinions[0] = 5  # hub holds the extreme opinion
+
+    lollipop = lollipop_graph(config.lollipop_clique, config.lollipop_tail)
+    lollipop_opinions = np.ones(lollipop.n, dtype=np.int64)
+    lollipop_opinions[: config.lollipop_clique] = 5  # clique holds 5
+
+    return [
+        ("star, hub=5, leaves=1", star, star_opinions),
+        ("lollipop, clique=5, tail=1", lollipop, lollipop_opinions),
+    ]
+
+
+def run(config: Config = None, seed: RngLike = 0) -> ExperimentReport:
+    """Run E11 and return the report."""
+    config = config or Config()
+    report = ExperimentReport(EXPERIMENT_ID, TITLE)
+    table = Table(
+        title=f"{config.trials} trials per row",
+        headers=[
+            "scenario",
+            "process",
+            "target c",
+            "mean winner",
+            "|mean winner - c|",
+            "stderr",
+        ],
+    )
+
+    cases = [
+        (name, graph, opinions, process)
+        for name, graph, opinions in _scenarios(config)
+        for process in ("edge", "vertex")
+    ]
+
+    def trial(case, index, rng):
+        name, graph, opinions, process = case
+        return run_div(
+            graph, opinions, process=process, rng=rng, max_steps=config.max_steps
+        ).winner
+
+    for case, outcomes in run_trials_over(cases, config.trials, trial, seed=seed):
+        name, graph, opinions, process = case
+        state = OpinionState(graph, opinions)
+        c = state.mean() if process == "edge" else state.weighted_mean()
+        stats = summarize([w for w in outcomes.outcomes if w is not None])
+        table.add_row(
+            name,
+            process,
+            c,
+            stats.mean,
+            abs(stats.mean - c),
+            stats.stderr,
+        )
+    table.add_note(
+        "Lemma 3 + optional stopping force E[winner] = c exactly, even on "
+        "these non-expanders (the star is bipartite, λ = 1). Theorem 2's "
+        "extra content on expanders is *concentration* on floor/ceil of c."
+    )
+    report.add_table(table)
+    return report
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

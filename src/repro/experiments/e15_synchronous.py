@@ -1,0 +1,108 @@
+"""E15 — Extension: synchronous (round-based) DIV vs the asynchronous process.
+
+The paper analyses the asynchronous process; a practical deployment
+would batch updates into synchronous rounds of ``n`` simultaneous
+one-sided observations. This ablation checks that (on regular
+expanders, where the round-level martingale argument still applies)
+
+* the synchronous variant converges to the same rounded average, and
+* its total update count (rounds × n) is of the same order as the
+  asynchronous step count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import math
+
+from repro.analysis.initializers import opinions_with_mean
+from repro.analysis.montecarlo import run_trials_over
+from repro.analysis.statistics import summarize, wilson_interval
+from repro.core.div import run_div
+from repro.core.synchronous import run_synchronous_div
+from repro.experiments.tables import ExperimentReport, Table
+from repro.graphs import random_regular_graph
+from repro.rng import RngLike
+
+EXPERIMENT_ID = "E15"
+TITLE = "Extension: synchronous rounds vs asynchronous steps"
+
+
+@dataclass
+class Config:
+    """n sweep on random regular graphs, same inputs for both engines."""
+
+    ns: Sequence[int] = (100, 200, 400)
+    degree: int = 20
+    k: int = 5
+    target_mean: float = 3.4
+    trials: int = 30
+
+    @classmethod
+    def quick(cls) -> "Config":
+        return cls(ns=(100, 200), trials=12)
+
+
+def run(config: Config = None, seed: RngLike = 0) -> ExperimentReport:
+    """Run E15 and return the report."""
+    config = config or Config()
+    report = ExperimentReport(EXPERIMENT_ID, TITLE)
+    floor_c = math.floor(config.target_mean)
+    ceil_c = math.ceil(config.target_mean)
+    table = Table(
+        title=(
+            f"random {config.degree}-regular graphs, k={config.k}, "
+            f"mean {config.target_mean}, {config.trials} trials per n"
+        ),
+        headers=[
+            "n",
+            "sync P(hit)",
+            "async P(hit)",
+            "sync updates (rounds*n)",
+            "async steps",
+            "updates ratio sync/async",
+        ],
+    )
+
+    def trial(n, index, rng):
+        graph = random_regular_graph(n, config.degree, rng=rng)
+        opinions = opinions_with_mean(n, 1, config.k, config.target_mean, rng=rng)
+        sync = run_synchronous_div(graph, opinions, rng=rng, max_rounds=50_000)
+        asyn = run_div(graph, opinions, process="vertex", rng=rng)
+        return {
+            "sync_hit": sync.winner in (floor_c, ceil_c),
+            "async_hit": asyn.winner in (floor_c, ceil_c),
+            "sync_updates": sync.equivalent_steps,
+            "async_steps": asyn.steps,
+        }
+
+    for n, outcomes in run_trials_over(list(config.ns), config.trials, trial, seed=seed):
+        sync_hits = outcomes.count_where(lambda o: o["sync_hit"])
+        async_hits = outcomes.count_where(lambda o: o["async_hit"])
+        sync_updates = summarize([o["sync_updates"] for o in outcomes.outcomes])
+        async_steps = summarize([o["async_steps"] for o in outcomes.outcomes])
+        table.add_row(
+            n,
+            wilson_interval(sync_hits, config.trials).estimate,
+            wilson_interval(async_hits, config.trials).estimate,
+            sync_updates.mean,
+            async_steps.mean,
+            sync_updates.mean / async_steps.mean,
+        )
+    table.add_note(
+        "on regular expanders the synchronous variant keeps Theorem 2's "
+        "accuracy; its update count stays within a small constant of the "
+        "asynchronous step count (rounds parallelize the same work)."
+    )
+    report.add_table(table)
+    return report
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,96 @@
+"""Registry of the experiment drivers E1–E12.
+
+Maps experiment ids to their modules so the CLI and the benchmark suite
+can enumerate and run them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    e01_winning_distribution,
+    e02_graph_classes,
+    e03_time_scaling,
+    e04_k_scaling,
+    e05_martingale,
+    e06_two_opinion,
+    e07_path_counterexample,
+    e08_mode_median_mean,
+    e09_load_balancing,
+    e10_stage_evolution,
+    e11_vertex_vs_edge,
+    e12_lambda_k_ablation,
+    e13_extreme_contraction,
+    e14_corollary7,
+    e15_synchronous,
+    e16_strong_concentration,
+)
+from repro.experiments.tables import ExperimentReport
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: id, title and how to run it."""
+
+    experiment_id: str
+    title: str
+    config_cls: type
+    run: Callable
+
+    def run_full(self, seed=0) -> ExperimentReport:
+        """Run with the paper-scale default configuration."""
+        return self.run(self.config_cls(), seed=seed)
+
+    def run_quick(self, seed=0) -> ExperimentReport:
+        """Run with the benchmark-scale configuration."""
+        return self.run(self.config_cls.quick(), seed=seed)
+
+
+_MODULES = (
+    e01_winning_distribution,
+    e02_graph_classes,
+    e03_time_scaling,
+    e04_k_scaling,
+    e05_martingale,
+    e06_two_opinion,
+    e07_path_counterexample,
+    e08_mode_median_mean,
+    e09_load_balancing,
+    e10_stage_evolution,
+    e11_vertex_vs_edge,
+    e12_lambda_k_ablation,
+    e13_extreme_contraction,
+    e14_corollary7,
+    e15_synchronous,
+    e16_strong_concentration,
+)
+
+REGISTRY: Dict[str, ExperimentSpec] = {
+    module.EXPERIMENT_ID: ExperimentSpec(
+        experiment_id=module.EXPERIMENT_ID,
+        title=module.TITLE,
+        config_cls=module.Config,
+        run=module.run,
+    )
+    for module in _MODULES
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up an experiment by id (case-insensitive)."""
+    key = experiment_id.upper()
+    try:
+        return REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY, key=lambda e: int(e[1:])))
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def all_experiments() -> List[ExperimentSpec]:
+    """All experiments in numeric order."""
+    return [REGISTRY[key] for key in sorted(REGISTRY, key=lambda e: int(e[1:]))]

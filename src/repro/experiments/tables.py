@@ -1,0 +1,83 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints each experiment's measured rows next to the
+paper's predictions; these helpers keep the format uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.errors import ExperimentError
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table with headers, rows and free-form notes."""
+
+    title: str
+    headers: List[str]
+    rows: List[Sequence] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; must match the header width."""
+        if len(cells) != len(self.headers):
+            raise ExperimentError(
+                f"row has {len(cells)} cells, table {self.title!r} has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(tuple(cells))
+
+    def add_note(self, note: str) -> None:
+        """Append a free-form footnote."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Render as an aligned plain-text table."""
+        cells = [[_format_cell(c) for c in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "-" * len(self.title)]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ExperimentReport:
+    """The rendered outcome of one experiment driver."""
+
+    experiment_id: str
+    title: str
+    tables: List[Table] = field(default_factory=list)
+    lines: List[str] = field(default_factory=list)
+
+    def add_table(self, table: Table) -> None:
+        self.tables.append(table)
+
+    def add_line(self, line: str) -> None:
+        """Append a free-form report line (printed before the tables)."""
+        self.lines.append(line)
+
+    def render(self) -> str:
+        header = f"== {self.experiment_id}: {self.title} =="
+        parts = [header]
+        parts.extend(self.lines)
+        parts.extend(table.render() for table in self.tables)
+        return "\n\n".join(parts)

@@ -1,0 +1,34 @@
+"""Optional conversions between :class:`repro.graphs.Graph` and networkx.
+
+networkx is an optional dependency — it is used only for interoperability
+(e.g. users bringing their own topology), never inside the simulators.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphConstructionError
+from repro.graphs.graph import Graph
+
+
+def to_networkx(graph: Graph):
+    """Return the graph as a :class:`networkx.Graph`."""
+    import networkx as nx
+
+    result = nx.Graph()
+    result.add_nodes_from(range(graph.n))
+    result.add_edges_from(graph.edges())
+    return result
+
+
+def from_networkx(nx_graph, name: str = "") -> Graph:
+    """Build a :class:`Graph` from a networkx graph.
+
+    Node labels must be hashable; they are relabelled to ``0..n-1`` in
+    sorted-by-insertion order. Self-loops and multi-edges are rejected.
+    """
+    nodes = list(nx_graph.nodes())
+    if not nodes:
+        raise GraphConstructionError("cannot convert an empty networkx graph")
+    index = {node: i for i, node in enumerate(nodes)}
+    edges = [(index[u], index[v]) for u, v in nx_graph.edges()]
+    return Graph(len(nodes), edges, name=name or "from_networkx")

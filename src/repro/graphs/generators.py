@@ -1,0 +1,300 @@
+"""Graph generators used throughout the paper's experiments.
+
+Deterministic families (complete, path, cycle, star, grid, hypercube,
+trees, barbell, lollipop) plus the two random families the paper's
+"Graphs with small second eigenvalue" section relies on: random
+``d``-regular graphs (pairing/configuration model) and Erdős–Rényi
+``G(n, p)``. All random generators accept a seed or generator per
+:mod:`repro.rng`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import GraphConstructionError
+from repro.graphs.graph import Edge, Graph
+from repro.rng import RngLike, make_rng
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph ``K_n`` (λ = 1/(n-1))."""
+    if n < 1:
+        raise GraphConstructionError(f"K_n needs n >= 1, got {n}")
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    return Graph(n, edges, name=f"K_{n}")
+
+
+def path_graph(n: int) -> Graph:
+    """The path ``P_n`` — the paper's non-expander counterexample family."""
+    if n < 1:
+        raise GraphConstructionError(f"path needs n >= 1, got {n}")
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return Graph(n, edges, name=f"P_{n}")
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle ``C_n``."""
+    if n < 3:
+        raise GraphConstructionError(f"cycle needs n >= 3, got {n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph(n, edges, name=f"C_{n}")
+
+
+def star_graph(n: int) -> Graph:
+    """The star ``S_n``: vertex 0 joined to ``n - 1`` leaves.
+
+    Maximally irregular: the degree-weighted average differs most strongly
+    from the simple average, which experiment E11 exploits.
+    """
+    if n < 2:
+        raise GraphConstructionError(f"star needs n >= 2, got {n}")
+    edges = [(0, v) for v in range(1, n)]
+    return Graph(n, edges, name=f"star_{n}")
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """The complete bipartite graph ``K_{a,b}`` (bipartite, so λ = 1)."""
+    if a < 1 or b < 1:
+        raise GraphConstructionError("both sides of K_{a,b} need >= 1 vertices")
+    edges = [(u, a + v) for u in range(a) for v in range(b)]
+    return Graph(a + b, edges, name=f"K_{a},{b}")
+
+
+def grid_graph(rows: int, cols: int, periodic: bool = False) -> Graph:
+    """A ``rows × cols`` grid; ``periodic=True`` gives the torus."""
+    if rows < 1 or cols < 1:
+        raise GraphConstructionError("grid needs rows, cols >= 1")
+    if periodic and (rows < 3 or cols < 3):
+        raise GraphConstructionError("torus needs rows, cols >= 3 to stay simple")
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges: List[Edge] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((vid(r, c), vid(r, c + 1)))
+            elif periodic:
+                edges.append((vid(r, c), vid(r, 0)))
+            if r + 1 < rows:
+                edges.append((vid(r, c), vid(r + 1, c)))
+            elif periodic:
+                edges.append((vid(r, c), vid(0, c)))
+    kind = "torus" if periodic else "grid"
+    return Graph(rows * cols, edges, name=f"{kind}_{rows}x{cols}")
+
+
+def hypercube_graph(dim: int) -> Graph:
+    """The ``dim``-dimensional hypercube ``Q_dim`` (bipartite, so λ = 1)."""
+    if dim < 1:
+        raise GraphConstructionError(f"hypercube needs dim >= 1, got {dim}")
+    n = 1 << dim
+    edges = [(v, v ^ (1 << b)) for v in range(n) for b in range(dim) if v < v ^ (1 << b)]
+    return Graph(n, edges, name=f"Q_{dim}")
+
+
+def binary_tree_graph(height: int) -> Graph:
+    """The complete binary tree of the given height (root = vertex 0)."""
+    if height < 0:
+        raise GraphConstructionError(f"tree height must be >= 0, got {height}")
+    n = (1 << (height + 1)) - 1
+    edges = [(v, 2 * v + 1) for v in range(n) if 2 * v + 1 < n]
+    edges += [(v, 2 * v + 2) for v in range(n) if 2 * v + 2 < n]
+    return Graph(n, edges, name=f"btree_h{height}")
+
+
+def barbell_graph(clique: int, bridge: int = 0) -> Graph:
+    """Two ``K_clique`` cliques joined by a path of ``bridge`` extra vertices.
+
+    A classic poor expander: constant-size cut between two dense halves.
+    """
+    if clique < 2:
+        raise GraphConstructionError("barbell cliques need >= 2 vertices")
+    if bridge < 0:
+        raise GraphConstructionError("bridge length must be >= 0")
+    n = 2 * clique + bridge
+    edges = [(u, v) for u in range(clique) for v in range(u + 1, clique)]
+    right = list(range(clique + bridge, n))
+    edges += [(u, v) for u in right for v in right if u < v]
+    chain = [clique - 1] + list(range(clique, clique + bridge)) + [clique + bridge]
+    edges += [(chain[i], chain[i + 1]) for i in range(len(chain) - 1)]
+    return Graph(n, edges, name=f"barbell_{clique}+{bridge}")
+
+
+def lollipop_graph(clique: int, tail: int) -> Graph:
+    """A ``K_clique`` with a path of ``tail`` vertices attached."""
+    if clique < 2:
+        raise GraphConstructionError("lollipop clique needs >= 2 vertices")
+    if tail < 1:
+        raise GraphConstructionError("lollipop tail needs >= 1 vertex")
+    n = clique + tail
+    edges = [(u, v) for u in range(clique) for v in range(u + 1, clique)]
+    chain = [clique - 1] + list(range(clique, n))
+    edges += [(chain[i], chain[i + 1]) for i in range(len(chain) - 1)]
+    return Graph(n, edges, name=f"lollipop_{clique}+{tail}")
+
+
+def random_regular_graph(
+    n: int,
+    d: int,
+    rng: RngLike = None,
+    max_attempts: int = 20,
+) -> Graph:
+    """A random simple ``d``-regular graph via the repaired pairing model.
+
+    Samples a perfect matching on the ``n·d`` half-edge stubs (the
+    configuration model) and then removes loops and multi-edges with
+    random degree-preserving edge swaps — the standard repair that keeps
+    the distribution asymptotically uniform while avoiding the pairing
+    model's exponentially small acceptance rate at large ``d``. The paper
+    uses this family with λ = O(1/√d) w.h.p.
+    """
+    if n < 1 or d < 0:
+        raise GraphConstructionError("random regular graph needs n >= 1, d >= 0")
+    if d >= n:
+        raise GraphConstructionError(f"d-regular simple graph needs d < n (d={d}, n={n})")
+    if (n * d) % 2 != 0:
+        raise GraphConstructionError(f"n*d must be even (n={n}, d={d})")
+    if d == 0:
+        return Graph(n, [], name=f"RR({n},0)")
+
+    gen = make_rng(rng)
+    stubs = np.repeat(np.arange(n, dtype=np.int64), d)
+    for _ in range(max_attempts):
+        perm = gen.permutation(stubs)
+        edges = np.stack([perm[0::2], perm[1::2]], axis=1)
+        if _repair_multigraph(edges, gen):
+            lo = np.minimum(edges[:, 0], edges[:, 1])
+            hi = np.maximum(edges[:, 0], edges[:, 1])
+            return Graph(n, np.stack([lo, hi], axis=1), name=f"RR({n},{d})")
+    raise GraphConstructionError(
+        f"failed to produce a simple {d}-regular graph on {n} vertices "
+        f"after {max_attempts} pairing attempts"
+    )
+
+
+def _repair_multigraph(edges: np.ndarray, gen: np.random.Generator) -> bool:
+    """Remove loops/multi-edges from ``edges`` in place via edge swaps.
+
+    Each swap replaces a bad edge ``(a, b)`` and a random edge ``(c, e)``
+    by ``(a, e)`` and ``(c, b)`` when the replacements are simple and
+    new. Returns ``False`` if the repair budget runs out (caller then
+    redraws the pairing).
+    """
+    m = edges.shape[0]
+    if m < 2:
+        return not _bad_keys(edges)
+
+    counts: dict = {}
+    for a, b in edges:
+        counts[_key(int(a), int(b))] = counts.get(_key(int(a), int(b)), 0) + 1
+    bad = [
+        i
+        for i in range(m)
+        if edges[i, 0] == edges[i, 1] or counts[_key(*map(int, edges[i]))] > 1
+    ]
+    budget = 200 * (len(bad) + 1)
+    while bad and budget > 0:
+        budget -= 1
+        i = bad[-1]
+        a, b = int(edges[i, 0]), int(edges[i, 1])
+        if a != b and counts[_key(a, b)] == 1:
+            bad.pop()
+            continue
+        j = int(gen.integers(0, m))
+        if j == i:
+            continue
+        c, e = int(edges[j, 0]), int(edges[j, 1])
+        # Propose (a, e) and (c, b).
+        if a == e or c == b:
+            continue
+        new1, new2 = _key(a, e), _key(c, b)
+        if new1 == new2 or counts.get(new1, 0) > 0 or counts.get(new2, 0) > 0:
+            continue
+        for key in (_key(a, b), _key(c, e)):
+            counts[key] -= 1
+            if counts[key] == 0:
+                del counts[key]
+        counts[new1] = counts.get(new1, 0) + 1
+        counts[new2] = counts.get(new2, 0) + 1
+        edges[i] = (a, e)
+        edges[j] = (c, b)
+    return not bad or all(
+        edges[i, 0] != edges[i, 1] and counts[_key(*map(int, edges[i]))] == 1
+        for i in bad
+    )
+
+
+def _key(u: int, v: int) -> tuple:
+    return (u, v) if u <= v else (v, u)
+
+
+def _bad_keys(edges: np.ndarray) -> bool:
+    lo = np.minimum(edges[:, 0], edges[:, 1])
+    hi = np.maximum(edges[:, 0], edges[:, 1])
+    if np.any(lo == hi):
+        return True
+    keys = set()
+    for a, b in zip(lo, hi):
+        key = (int(a), int(b))
+        if key in keys:
+            return True
+        keys.add(key)
+    return False
+
+
+def gnp_random_graph(
+    n: int,
+    p: float,
+    rng: RngLike = None,
+    require_connected: bool = False,
+    max_attempts: int = 50,
+) -> Graph:
+    """An Erdős–Rényi random graph ``G(n, p)``.
+
+    With ``require_connected=True`` the draw is repeated until connected
+    (the paper's regime ``np >= 2(1+o(1)) log n`` makes this fast).
+    """
+    if n < 1:
+        raise GraphConstructionError(f"G(n,p) needs n >= 1, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise GraphConstructionError(f"p must lie in [0, 1], got {p}")
+    gen = make_rng(rng)
+    iu, iv = np.triu_indices(n, k=1)
+    for _ in range(max_attempts):
+        mask = gen.random(iu.size) < p
+        edges = np.stack([iu[mask], iv[mask]], axis=1)
+        graph = Graph(n, edges, name=f"G({n},{p:g})")
+        if not require_connected or graph.is_connected():
+            return graph
+    raise GraphConstructionError(
+        f"G({n},{p}) failed to produce a connected graph in {max_attempts} attempts"
+    )
+
+
+def two_clique_bridge_graph(clique: int) -> Graph:
+    """Two cliques sharing a single bridge edge (barbell with no path)."""
+    return barbell_graph(clique, bridge=0)
+
+
+_NAMED_FAMILIES = {
+    "complete": complete_graph,
+    "path": path_graph,
+    "cycle": cycle_graph,
+    "star": star_graph,
+    "hypercube": hypercube_graph,
+}
+
+
+def by_name(family: str, *args, **kwargs) -> Graph:
+    """Build a graph family by name (used by the CLI)."""
+    try:
+        factory = _NAMED_FAMILIES[family]
+    except KeyError:
+        known = ", ".join(sorted(_NAMED_FAMILIES))
+        raise GraphConstructionError(f"unknown family {family!r}; known: {known}") from None
+    return factory(*args, **kwargs)

@@ -1,0 +1,81 @@
+"""Classical graph properties: distances, diameter, degree statistics.
+
+BFS-based utilities used by the analysis (e.g. the absorbing states of
+load balancing span at most ``diameter + 1`` consecutive values) and by
+users validating their own topologies against the paper's hypotheses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import DisconnectedGraphError, GraphError
+from repro.graphs.graph import Graph
+
+
+def bfs_distances(graph: Graph, source: int) -> np.ndarray:
+    """Hop distances from ``source``; unreachable vertices get -1."""
+    if not 0 <= source < graph.n:
+        raise GraphError(f"source {source} out of range")
+    distances = np.full(graph.n, -1, dtype=np.int64)
+    distances[source] = 0
+    queue = deque([source])
+    indptr, indices = graph.indptr, graph.indices
+    while queue:
+        v = queue.popleft()
+        for w in indices[indptr[v]:indptr[v + 1]]:
+            if distances[w] == -1:
+                distances[w] = distances[v] + 1
+                queue.append(int(w))
+    return distances
+
+
+def eccentricity(graph: Graph, vertex: int) -> int:
+    """Largest hop distance from ``vertex`` (graph must be connected)."""
+    distances = bfs_distances(graph, vertex)
+    if np.any(distances == -1):
+        raise DisconnectedGraphError("eccentricity requires a connected graph")
+    return int(distances.max())
+
+
+def diameter(graph: Graph) -> int:
+    """Largest hop distance between any two vertices (connected graphs).
+
+    Exact O(n·m) all-sources BFS — intended for the moderate sizes the
+    simulations use.
+    """
+    best = 0
+    for source in range(graph.n):
+        best = max(best, eccentricity(graph, source))
+    return best
+
+
+@dataclass(frozen=True)
+class DegreeStatistics:
+    """Summary of the degree sequence."""
+
+    minimum: int
+    maximum: int
+    mean: float
+    is_regular: bool
+
+
+def degree_statistics(graph: Graph) -> DegreeStatistics:
+    """Min/max/mean degree and regularity of the graph."""
+    degrees = graph.degrees
+    return DegreeStatistics(
+        minimum=int(degrees.min()),
+        maximum=int(degrees.max()),
+        mean=float(degrees.mean()),
+        is_regular=bool(degrees.min() == degrees.max()),
+    )
+
+
+def degree_histogram(graph: Graph) -> Dict[int, int]:
+    """Mapping ``degree -> number of vertices with that degree``."""
+    values, counts = np.unique(graph.degrees, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}

@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    lollipop_graph,
+    path_graph,
+    random_regular_graph,
+    star_graph,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed generator; tests stay deterministic."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K_3 — the smallest connected non-bipartite graph."""
+    return Graph(3, [(0, 1), (1, 2), (0, 2)], name="triangle")
+
+
+@pytest.fixture
+def small_complete() -> Graph:
+    return complete_graph(8)
+
+
+@pytest.fixture
+def small_path() -> Graph:
+    return path_graph(6)
+
+
+@pytest.fixture
+def small_cycle() -> Graph:
+    return cycle_graph(7)
+
+
+@pytest.fixture
+def small_star() -> Graph:
+    return star_graph(7)
+
+
+@pytest.fixture
+def small_lollipop() -> Graph:
+    return lollipop_graph(5, 4)
+
+
+@pytest.fixture
+def small_regular(rng) -> Graph:
+    return random_regular_graph(20, 4, rng=rng)
+
+
+@pytest.fixture(
+    params=["complete", "path", "cycle", "star", "lollipop"],
+    ids=lambda p: p,
+)
+def any_graph(request) -> Graph:
+    """A parametrized selection of small connected graphs."""
+    factories = {
+        "complete": lambda: complete_graph(8),
+        "path": lambda: path_graph(6),
+        "cycle": lambda: cycle_graph(7),
+        "star": lambda: star_graph(7),
+        "lollipop": lambda: lollipop_graph(5, 4),
+    }
+    return factories[request.param]()

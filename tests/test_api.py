@@ -1,0 +1,58 @@
+"""Public API surface checks: exports resolve and carry documentation."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.graphs",
+    "repro.core",
+    "repro.baselines",
+    "repro.analysis",
+    "repro.experiments",
+]
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists missing name {name!r}"
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_subpackage_all_resolves(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists {name!r}"
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES + ["repro"])
+def test_public_items_are_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name in getattr(module, "__all__", []):
+        item = getattr(module, name)
+        if inspect.isfunction(item) or inspect.isclass(item):
+            if not inspect.getdoc(item):
+                undocumented.append(name)
+    assert not undocumented, f"{module_name}: missing docstrings on {undocumented}"
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_experiment_modules_follow_contract():
+    from repro.experiments.registry import all_experiments
+
+    for spec in all_experiments():
+        module = importlib.import_module(spec.run.__module__)
+        assert module.EXPERIMENT_ID == spec.experiment_id
+        assert module.TITLE
+        signature = inspect.signature(module.run)
+        assert list(signature.parameters) == ["config", "seed"]
+        assert inspect.getdoc(module.run)

@@ -1,0 +1,161 @@
+"""Unit tests for the baseline dynamics (repro.baselines)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    opinions_from_set,
+    run_baseline,
+    run_best_of_three,
+    run_best_of_two,
+    run_load_balancing,
+    run_median_voting,
+    run_pull_voting,
+    run_push_voting,
+    run_two_opinion_voting,
+)
+from repro.baselines.load_balancing import is_locally_balanced
+from repro.core.dynamics import PullVoting
+from repro.errors import InvalidOpinionsError
+from repro.graphs import complete_graph, path_graph, star_graph
+
+
+@pytest.fixture
+def graph():
+    return complete_graph(10)
+
+
+@pytest.fixture
+def opinions(rng):
+    return rng.integers(1, 5, size=10)
+
+
+class TestPullPush:
+    def test_pull_reaches_consensus_on_initial_value(self, graph, opinions):
+        outcome = run_pull_voting(graph, opinions, rng=1)
+        assert outcome.stop_reason == "consensus"
+        assert outcome.winner in set(opinions.tolist())
+        assert outcome.dynamics == "pull"
+
+    def test_push_reaches_consensus(self, graph, opinions):
+        outcome = run_push_voting(graph, opinions, rng=1)
+        assert outcome.stop_reason == "consensus"
+        assert outcome.winner in set(opinions.tolist())
+
+    def test_pull_preserves_value_set_membership(self, graph):
+        # Pull voting can only ever hold initially-present values.
+        outcome = run_pull_voting(graph, [1, 1, 1, 7, 7, 7, 9, 9, 9, 9], rng=2)
+        assert outcome.winner in (1, 7, 9)
+
+
+class TestTwoOpinion:
+    def test_winner_is_zero_or_one(self, graph):
+        result = run_two_opinion_voting(graph, [0, 1, 2], rng=1)
+        assert result.winner in (0, 1)
+        assert result.one_won == (result.winner == 1)
+
+    def test_prediction_fields(self):
+        graph = star_graph(5)
+        result = run_two_opinion_voting(graph, [0], process="vertex", rng=1)
+        assert result.predicted_p_one == pytest.approx(0.5)
+        result = run_two_opinion_voting(graph, [0], process="edge", rng=1)
+        assert result.predicted_p_one == pytest.approx(0.2)
+
+    def test_degenerate_sets_rejected(self, graph):
+        with pytest.raises(InvalidOpinionsError):
+            run_two_opinion_voting(graph, [], rng=1)
+        with pytest.raises(InvalidOpinionsError):
+            run_two_opinion_voting(graph, list(range(10)), rng=1)
+
+    def test_opinions_from_set(self, graph):
+        opinions = opinions_from_set(graph, [2, 5])
+        assert opinions.sum() == 2
+        assert opinions[2] == opinions[5] == 1
+
+    def test_opinions_from_set_out_of_range(self, graph):
+        with pytest.raises(InvalidOpinionsError):
+            opinions_from_set(graph, [99])
+
+
+class TestMedian:
+    def test_reaches_consensus(self, graph, opinions):
+        outcome = run_median_voting(graph, opinions, rng=1, max_steps=1_000_000)
+        assert outcome.stop_reason == "consensus"
+        assert int(opinions.min()) <= outcome.winner <= int(opinions.max())
+
+    def test_lands_near_median(self, rng):
+        graph = complete_graph(60)
+        opinions = np.array([1] * 20 + [2] * 25 + [9] * 15)
+        winners = []
+        for seed in range(20):
+            outcome = run_median_voting(graph, opinions, rng=seed, max_steps=2_000_000)
+            winners.append(outcome.winner)
+        # Median is 2; the heavy tail at 9 must not drag the result there.
+        assert np.mean(winners) < 4
+        assert max(winners, key=winners.count) == 2
+
+
+class TestBestOfK:
+    def test_best_of_two_consensus(self, graph, opinions):
+        outcome = run_best_of_two(graph, opinions, rng=1, max_steps=2_000_000)
+        assert outcome.stop_reason == "consensus"
+        assert outcome.winner in set(opinions.tolist())
+
+    def test_best_of_three_consensus(self, graph, opinions):
+        outcome = run_best_of_three(graph, opinions, rng=1, max_steps=2_000_000)
+        assert outcome.stop_reason == "consensus"
+        assert outcome.winner in set(opinions.tolist())
+
+    def test_majority_amplification(self):
+        # With a 70/30 split on K_n, best-of-two should let the majority
+        # win almost always (much more often than pull voting's 0.7).
+        graph = complete_graph(40)
+        opinions = [1] * 28 + [2] * 12
+        wins = sum(
+            run_best_of_two(graph, opinions, rng=seed, max_steps=2_000_000).winner == 1
+            for seed in range(20)
+        )
+        assert wins >= 18
+
+
+class TestLoadBalancing:
+    def test_conserves_sum_and_contracts(self, rng):
+        graph = complete_graph(20)
+        loads = rng.integers(1, 30, size=20)
+        outcome = run_load_balancing(graph, loads, rng=1)
+        assert outcome.state.total_sum == int(loads.sum())
+        assert outcome.state.range_width <= 2
+        assert outcome.stop_reason.startswith("range<=")
+
+    def test_locally_balanced_detection(self):
+        graph = path_graph(4)
+        done = run_load_balancing(graph, [1, 1, 2, 2], rng=1)
+        assert is_locally_balanced(done.state)
+
+    def test_gradient_state_on_path_is_absorbing(self):
+        # 1-2-3 on a path is locally balanced with range 2: the target
+        # range<=1 is unreachable, so the budget must stop the run.
+        graph = path_graph(3)
+        outcome = run_load_balancing(
+            graph, [1, 2, 3], target_width=1, rng=1, max_steps=5000
+        )
+        assert outcome.stop_reason == "max_steps"
+        assert is_locally_balanced(outcome.state)
+        assert sorted(outcome.state.values.tolist()) == [1, 2, 3]
+
+    def test_integer_average_can_reach_consensus_width_zero(self):
+        graph = complete_graph(4)
+        outcome = run_load_balancing(graph, [1, 3, 1, 3], target_width=0, rng=2)
+        assert outcome.winner == 2
+
+
+class TestRunBaselineGeneric:
+    def test_custom_dynamics_and_stop(self, graph, opinions):
+        outcome = run_baseline(
+            graph, opinions, PullVoting(), stop="never", max_steps=25, rng=1
+        )
+        assert outcome.steps == 25
+        assert outcome.winner is None or outcome.state.is_consensus
+        assert outcome.initial_mean == pytest.approx(float(np.mean(opinions)))

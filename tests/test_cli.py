@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for i in range(1, 13):
+            assert f"E{i}" in out
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "stage evolution" in out
+        assert "winner" in out
+
+
+class TestRun:
+    def test_run_quick_experiment(self, capsys, monkeypatch):
+        # Shrink E10 further so the CLI test stays fast.
+        from repro.experiments import e10_stage_evolution
+
+        monkeypatch.setattr(
+            e10_stage_evolution.Config,
+            "quick",
+            classmethod(lambda cls: cls(n=12, trials=5, sample_trajectories=1)),
+        )
+        assert main(["run", "E10", "--quick", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "E10" in out
+        assert "finished in" in out
+
+    def test_run_unknown_experiment(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["run", "E77"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReport:
+    def test_combined_report(self, tmp_path, capsys, monkeypatch):
+        # Limit the registry to one cheap experiment for the test.
+        import repro.cli as cli
+        from repro.experiments import e10_stage_evolution
+        from repro.experiments.registry import REGISTRY
+
+        monkeypatch.setattr(
+            e10_stage_evolution.Config,
+            "quick",
+            classmethod(lambda cls: cls(n=12, trials=5, sample_trajectories=1)),
+        )
+        monkeypatch.setattr(
+            cli, "all_experiments", lambda: [REGISTRY["E10"]]
+        )
+        target = tmp_path / "report.md"
+        assert main(["report", str(target), "--quick", "--seed", "2"]) == 0
+        text = target.read_text()
+        assert text.startswith("# DIV reproduction")
+        assert "E10" in text

@@ -1,0 +1,70 @@
+"""Unit tests for the continuous gossip baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import run_continuous_gossip, spread_trace
+from repro.errors import ProcessError
+from repro.graphs import Graph, complete_graph, random_regular_graph
+
+
+class TestGossip:
+    def test_converges_to_exact_average(self, rng):
+        graph = complete_graph(30)
+        values = rng.normal(20, 5, size=30)
+        result = run_continuous_gossip(graph, values, tolerance=1e-8, rng=1)
+        assert result.stop_reason == "converged"
+        assert result.final_spread <= 1e-8
+        assert result.final_mean == pytest.approx(float(np.mean(values)), abs=1e-9)
+        assert result.initial_mean == pytest.approx(float(np.mean(values)))
+
+    def test_mean_conserved_even_unconverged(self, rng):
+        graph = random_regular_graph(40, 4, rng=rng)
+        values = rng.integers(0, 100, size=40).astype(float)
+        result = run_continuous_gossip(graph, values, tolerance=1e-12, max_steps=500, rng=2)
+        assert result.final_mean == pytest.approx(float(np.mean(values)), abs=1e-9)
+
+    def test_already_converged(self):
+        graph = complete_graph(5)
+        result = run_continuous_gossip(graph, [3.0] * 5, rng=0)
+        assert result.steps == 0
+        assert result.stop_reason == "converged"
+
+    def test_spread_monotone_non_increasing(self, rng):
+        graph = complete_graph(25)
+        values = rng.normal(0, 1, size=25)
+        spreads = spread_trace(graph, values, [0, 100, 200, 400, 800], rng=3)
+        assert all(a >= b - 1e-12 for a, b in zip(spreads, spreads[1:]))
+        assert spreads[-1] < spreads[0]
+
+    def test_faster_on_better_expanders(self, rng):
+        # Spread decay rate grows with the spectral gap: K_n beats a
+        # sparse ring-like random regular graph at equal step counts.
+        n = 60
+        values = np.concatenate([np.zeros(30), np.ones(30)])
+        dense = spread_trace(complete_graph(n), values, [2000], rng=4)[0]
+        sparse = spread_trace(
+            random_regular_graph(n, 3, rng=5), values, [2000], rng=4
+        )[0]
+        assert dense < sparse
+
+    def test_validation(self):
+        graph = complete_graph(4)
+        with pytest.raises(ProcessError):
+            run_continuous_gossip(graph, [1.0, 2.0])  # wrong length
+        with pytest.raises(ProcessError):
+            run_continuous_gossip(graph, [1.0] * 4, tolerance=0.0)
+        with pytest.raises(ProcessError):
+            run_continuous_gossip(Graph(2, []), [1.0, 2.0])
+        with pytest.raises(ProcessError):
+            spread_trace(graph, [1.0] * 4, [5, 3])
+
+    def test_deterministic(self, rng):
+        graph = complete_graph(20)
+        values = list(range(20))
+        a = run_continuous_gossip(graph, values, rng=7)
+        b = run_continuous_gossip(graph, values, rng=7)
+        assert a.steps == b.steps
+        assert np.array_equal(a.values, b.values)

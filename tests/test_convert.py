@@ -1,0 +1,53 @@
+"""Tests for networkx interop (skipped when networkx is unavailable)."""
+
+from __future__ import annotations
+
+import pytest
+
+nx = pytest.importorskip("networkx")
+
+from repro.errors import GraphConstructionError
+from repro.graphs import complete_graph
+from repro.graphs.convert import from_networkx, to_networkx
+
+
+def test_round_trip():
+    original = complete_graph(6)
+    converted = from_networkx(to_networkx(original))
+    assert converted == original
+
+
+def test_to_networkx_preserves_counts():
+    graph = complete_graph(5)
+    nx_graph = to_networkx(graph)
+    assert nx_graph.number_of_nodes() == 5
+    assert nx_graph.number_of_edges() == 10
+
+
+def test_from_networkx_relabels():
+    nx_graph = nx.Graph()
+    nx_graph.add_edge("a", "b")
+    nx_graph.add_edge("b", "c")
+    graph = from_networkx(nx_graph)
+    assert graph.n == 3
+    assert graph.m == 2
+
+
+def test_from_networkx_empty_rejected():
+    with pytest.raises(GraphConstructionError):
+        from_networkx(nx.Graph())
+
+
+def test_agrees_with_networkx_spectrum():
+    # Cross-check our λ against networkx's adjacency spectrum on a
+    # regular graph (where the walk spectrum is adjacency/d).
+    from repro.graphs import random_regular_graph, second_eigenvalue
+
+    graph = random_regular_graph(30, 4, rng=3)
+    eigenvalues = sorted(
+        abs(x) for x in nx.adjacency_spectrum(to_networkx(graph)).real
+    )
+    # Drop one copy of the Perron value d, take the largest remaining.
+    eigenvalues.remove(max(eigenvalues))
+    expected = max(eigenvalues) / 4
+    assert second_eigenvalue(graph) == pytest.approx(expected, abs=1e-8)

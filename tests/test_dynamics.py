@@ -1,0 +1,154 @@
+"""Unit tests for repro.core.dynamics — one update rule at a time."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import OpinionState
+from repro.core.dynamics import (
+    BestOfThree,
+    BestOfTwo,
+    IncrementalVoting,
+    LoadBalancing,
+    MedianVoting,
+    PullVoting,
+    PushVoting,
+    make_dynamics,
+)
+from repro.errors import ProcessError
+from repro.graphs import complete_graph, path_graph
+
+
+@pytest.fixture
+def k4_state():
+    return OpinionState(complete_graph(4), [1, 3, 3, 5])
+
+
+class TestIncrementalVoting:
+    """Eq. (1): X'_v = X_v + sign(X_w - X_v)."""
+
+    def test_moves_up(self, k4_state, rng):
+        assert IncrementalVoting().step(k4_state, 0, 3, rng)
+        assert k4_state.value(0) == 2
+
+    def test_moves_down(self, k4_state, rng):
+        assert IncrementalVoting().step(k4_state, 3, 0, rng)
+        assert k4_state.value(3) == 4
+
+    def test_equal_no_change(self, k4_state, rng):
+        assert not IncrementalVoting().step(k4_state, 1, 2, rng)
+        assert k4_state.value(1) == 3
+
+    def test_observed_vertex_never_changes(self, k4_state, rng):
+        IncrementalVoting().step(k4_state, 0, 3, rng)
+        assert k4_state.value(3) == 5
+
+    def test_single_unit_even_for_large_gap(self, k4_state, rng):
+        IncrementalVoting().step(k4_state, 0, 3, rng)  # 1 observes 5
+        assert k4_state.value(0) == 2  # +1, not jump
+
+
+class TestPullAndPush:
+    def test_pull_adopts(self, k4_state, rng):
+        assert PullVoting().step(k4_state, 0, 3, rng)
+        assert k4_state.value(0) == 5
+
+    def test_pull_same_noop(self, k4_state, rng):
+        assert not PullVoting().step(k4_state, 1, 2, rng)
+
+    def test_push_imposes(self, k4_state, rng):
+        assert PushVoting().step(k4_state, 0, 3, rng)
+        assert k4_state.value(3) == 1
+        assert k4_state.value(0) == 1
+
+
+class TestMedianVoting:
+    def test_median_of_three(self, rng):
+        # On K_4 with values {1, 3, 3, 5}: vertex 0 (value 1) sampling two
+        # vertices with value 3 must move to median(1, 3, 3) = 3.
+        state = OpinionState(complete_graph(4), [1, 3, 3, 5])
+        changed = MedianVoting().step(state, 0, 1, rng)
+        # The second sample is random; median is 3 unless it sampled 5,
+        # in which case median(1, 3, 5) = 3 as well.
+        assert changed
+        assert state.value(0) == 3
+
+    def test_stays_within_range(self, rng):
+        state = OpinionState(complete_graph(6), [1, 1, 2, 2, 9, 9])
+        for _ in range(200):
+            v = int(rng.integers(0, 6))
+            nbrs = state.graph.neighbors(v)
+            w = int(nbrs[rng.integers(0, nbrs.size)])
+            MedianVoting().step(state, v, w, rng)
+            assert 1 <= state.value(v) <= 9
+
+
+class TestBestOfK:
+    def test_best_of_two_needs_agreement(self, rng):
+        # Path 0-1-2 with v=1: both neighbours hold 7, so two samples agree.
+        state = OpinionState(path_graph(3), [7, 1, 7])
+        assert BestOfTwo().step(state, 1, 0, rng)
+        assert state.value(1) == 7
+
+    def test_best_of_two_disagreement_keeps(self, rng):
+        state = OpinionState(path_graph(3), [7, 1, 3])
+        # Samples are {7,3}, {7,7}, {3,3}, {3,7}; only agreement adopts.
+        BestOfTwo().step(state, 1, 0, rng)
+        assert state.value(1) in (1, 3, 7)
+
+    def test_best_of_three_majority(self, rng):
+        state = OpinionState(path_graph(3), [4, 1, 4])
+        assert BestOfThree().step(state, 1, 0, rng)
+        assert state.value(1) == 4
+
+
+class TestLoadBalancing:
+    def test_averages_floor_ceil(self, rng):
+        state = OpinionState(complete_graph(4), [1, 6, 3, 3])
+        assert LoadBalancing().step(state, 0, 1, rng)
+        values = sorted([state.value(0), state.value(1)])
+        assert values == [3, 4]
+        assert state.value(0) == 3  # smaller endpoint got the floor
+
+    def test_conserves_total(self, rng):
+        state = OpinionState(complete_graph(4), [1, 6, 3, 3])
+        before = state.total_sum
+        for _ in range(50):
+            v = int(rng.integers(0, 4))
+            w = (v + 1 + int(rng.integers(0, 3))) % 4
+            LoadBalancing().step(state, v, w, rng)
+        assert state.total_sum == before
+
+    def test_adjacent_values_absorbing(self, rng):
+        state = OpinionState(complete_graph(2), [3, 4])
+        assert not LoadBalancing().step(state, 0, 1, rng)
+        assert not LoadBalancing().step(state, 1, 0, rng)
+        assert state.value(0) == 3 and state.value(1) == 4
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("div", IncrementalVoting),
+            ("pull", PullVoting),
+            ("push", PushVoting),
+            ("median", MedianVoting),
+            ("best_of_two", BestOfTwo),
+            ("best_of_three", BestOfThree),
+            ("load_balancing", LoadBalancing),
+        ],
+    )
+    def test_by_name(self, name, cls):
+        assert isinstance(make_dynamics(name), cls)
+
+    def test_instance_passthrough(self):
+        dynamics = IncrementalVoting()
+        assert make_dynamics(dynamics) is dynamics
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ProcessError):
+            make_dynamics("telepathy")
+        with pytest.raises(ProcessError):
+            make_dynamics(42)

@@ -1,0 +1,202 @@
+"""Unit tests for repro.core.engine.run_dynamics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    IncrementalVoting,
+    OpinionState,
+    PullVoting,
+    VertexScheduler,
+    WeightTrace,
+    run_dynamics,
+)
+from repro.core.observers import ChangeLog, FirstTimeTracker
+from repro.core.stopping import MAX_STEPS_REASON, never, two_adjacent
+from repro.errors import ProcessError
+from repro.graphs import complete_graph
+
+
+@pytest.fixture
+def graph():
+    return complete_graph(12)
+
+
+def fresh_state(graph, rng=None):
+    rng = rng or np.random.default_rng(0)
+    return OpinionState(graph, rng.integers(1, 5, size=graph.n))
+
+
+class TestBasicRuns:
+    def test_runs_to_consensus(self, graph):
+        state = fresh_state(graph)
+        result = run_dynamics(
+            state, VertexScheduler(graph), IncrementalVoting(), rng=1
+        )
+        assert result.stop_reason == "consensus"
+        assert result.reached_stop
+        assert state.is_consensus
+        assert result.steps > 0
+        assert result.state is state
+
+    def test_already_stopped_at_start(self, graph):
+        state = OpinionState(graph, [3] * graph.n)
+        result = run_dynamics(
+            state, VertexScheduler(graph), IncrementalVoting(), rng=1
+        )
+        assert result.steps == 0
+        assert result.stop_reason == "consensus"
+
+    def test_max_steps(self, graph):
+        state = fresh_state(graph)
+        result = run_dynamics(
+            state,
+            VertexScheduler(graph),
+            IncrementalVoting(),
+            stop=never,
+            rng=1,
+            max_steps=37,
+        )
+        assert result.steps == 37
+        assert result.stop_reason == MAX_STEPS_REASON
+        assert not result.reached_stop
+
+    def test_never_without_budget_rejected(self, graph):
+        state = fresh_state(graph)
+        with pytest.raises(ProcessError):
+            run_dynamics(
+                state, VertexScheduler(graph), IncrementalVoting(), stop="never"
+            )
+
+    def test_bad_block_size(self, graph):
+        state = fresh_state(graph)
+        with pytest.raises(ProcessError):
+            run_dynamics(
+                state,
+                VertexScheduler(graph),
+                IncrementalVoting(),
+                rng=1,
+                block_size=0,
+            )
+
+    def test_two_adjacent_stop(self, graph):
+        state = fresh_state(graph)
+        result = run_dynamics(
+            state, VertexScheduler(graph), IncrementalVoting(), stop=two_adjacent, rng=1
+        )
+        assert result.stop_reason == "two_adjacent"
+        assert state.is_two_adjacent
+
+    def test_dynamics_by_name(self, graph):
+        state = fresh_state(graph)
+        result = run_dynamics(state, VertexScheduler(graph), "pull", rng=1)
+        assert result.stop_reason == "consensus"
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self, graph):
+        results = []
+        for _ in range(2):
+            state = fresh_state(graph)
+            result = run_dynamics(
+                state, VertexScheduler(graph), IncrementalVoting(), rng=42
+            )
+            results.append((result.steps, state.consensus_value()))
+        assert results[0] == results[1]
+
+    def test_block_size_only_changes_sample_path(self, graph):
+        # Any block size yields a valid run ending in consensus on a value
+        # drawn from the initial support (block sampling reorders RNG
+        # consumption but not the process law).
+        initial = set(fresh_state(graph).support())
+        for block_size in (1, 7, 4096):
+            state = fresh_state(graph)
+            result = run_dynamics(
+                state,
+                VertexScheduler(graph),
+                IncrementalVoting(),
+                rng=9,
+                block_size=block_size,
+            )
+            assert result.stop_reason == "consensus"
+            assert min(initial) <= state.consensus_value() <= max(initial)
+
+
+class TestObservers:
+    def test_weight_trace_sampling(self, graph):
+        state = fresh_state(graph)
+        trace = WeightTrace("edge", interval=10)
+        result = run_dynamics(
+            state,
+            VertexScheduler(graph),
+            IncrementalVoting(),
+            stop=never,
+            rng=3,
+            max_steps=100,
+            observers=[trace],
+        )
+        assert trace.steps[0] == 0
+        assert trace.steps[-1] == 100
+        assert trace.steps == sorted(trace.steps)
+        assert len(trace.steps) == 11
+        assert result.steps == 100
+
+    def test_weight_trace_final_sample_not_duplicated(self, graph):
+        state = fresh_state(graph)
+        trace = WeightTrace("edge", interval=7)
+        run_dynamics(
+            state,
+            VertexScheduler(graph),
+            IncrementalVoting(),
+            stop=never,
+            rng=3,
+            max_steps=21,
+            observers=[trace],
+        )
+        assert trace.steps == [0, 7, 14, 21]
+
+    def test_change_log_records_only_changes(self, graph):
+        state = fresh_state(graph)
+        log = ChangeLog()
+        result = run_dynamics(
+            state,
+            VertexScheduler(graph),
+            IncrementalVoting(),
+            rng=3,
+            observers=[log],
+        )
+        assert 0 < len(log.entries) <= result.steps
+        steps = [entry[0] for entry in log.entries]
+        assert steps == sorted(steps)
+
+    def test_first_time_tracker(self, graph):
+        state = fresh_state(graph)
+        tracker = FirstTimeTracker(lambda s: s.is_two_adjacent)
+        run_dynamics(
+            state,
+            VertexScheduler(graph),
+            IncrementalVoting(),
+            rng=3,
+            observers=[tracker],
+        )
+        assert tracker.first_step is not None
+        assert tracker.first_step >= 0
+
+    def test_pull_voting_weight_is_exact_martingale_per_run_mean(self, graph):
+        # Weak sanity: over many short pull runs the mean S-drift is ~0.
+        drifts = []
+        for seed in range(40):
+            state = fresh_state(graph, np.random.default_rng(1))
+            s0 = state.total_sum
+            run_dynamics(
+                state,
+                VertexScheduler(graph),
+                PullVoting(),
+                stop=never,
+                rng=seed,
+                max_steps=50,
+            )
+            drifts.append(state.total_sum - s0)
+        assert abs(np.mean(drifts)) < 3.0

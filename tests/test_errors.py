@@ -1,0 +1,32 @@
+"""The exception hierarchy: everything derives from ReproError."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        errors.GraphError,
+        errors.GraphConstructionError,
+        errors.DisconnectedGraphError,
+        errors.ProcessError,
+        errors.InvalidOpinionsError,
+        errors.StoppingConditionError,
+        errors.ExperimentError,
+        errors.AnalysisError,
+    ],
+)
+def test_derives_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    with pytest.raises(errors.ReproError):
+        raise exc("boom")
+
+
+def test_specific_parents():
+    assert issubclass(errors.GraphConstructionError, errors.GraphError)
+    assert issubclass(errors.InvalidOpinionsError, errors.ProcessError)
+    assert issubclass(errors.StoppingConditionError, errors.ProcessError)

@@ -1,0 +1,100 @@
+"""Smoke tests for the experiment drivers E1–E12 (tiny configurations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    e01_winning_distribution,
+    e02_graph_classes,
+    e03_time_scaling,
+    e04_k_scaling,
+    e05_martingale,
+    e06_two_opinion,
+    e07_path_counterexample,
+    e08_mode_median_mean,
+    e09_load_balancing,
+    e10_stage_evolution,
+    e11_vertex_vs_edge,
+    e12_lambda_k_ablation,
+    e13_extreme_contraction,
+    e14_corollary7,
+    e15_synchronous,
+    e16_strong_concentration,
+)
+from repro.experiments.registry import REGISTRY, all_experiments, get_experiment
+
+TINY_CONFIGS = [
+    (e01_winning_distribution, e01_winning_distribution.Config(
+        n=60, k=5, fractions=(0.5,), trials=20)),
+    (e02_graph_classes, e02_graph_classes.Config(
+        n=49, k=3, trials=6, regular_degree=8, gnp_degree=10.0)),
+    (e03_time_scaling, e03_time_scaling.Config(ns=(60, 120), trials=3)),
+    (e04_k_scaling, e04_k_scaling.Config(n=80, ks=(3, 6), trials=3)),
+    (e05_martingale, e05_martingale.Config(
+        n=60, degree=8, k=5, horizon=2000, sample_every=500, trials=10)),
+    (e06_two_opinion, e06_two_opinion.Config(
+        star_n=21, lollipop_clique=6, lollipop_tail=6, trials=20)),
+    (e07_path_counterexample, e07_path_counterexample.Config(
+        ns=(21, 30), trials=10)),
+    (e08_mode_median_mean, e08_mode_median_mean.Config(n=60, k=7, trials=10)),
+    (e09_load_balancing, e09_load_balancing.Config(
+        cases=((60, 5),), degree=8, trials=4)),
+    (e10_stage_evolution, e10_stage_evolution.Config(
+        n=15, trials=10, sample_trajectories=1)),
+    (e11_vertex_vs_edge, e11_vertex_vs_edge.Config(
+        star_n=21, lollipop_clique=6, lollipop_tail=8, trials=15)),
+    (e12_lambda_k_ablation, e12_lambda_k_ablation.Config(
+        n=60, degrees=(8,), k=5, target_mean=3.5, trials=6, ring_n=30)),
+    (e13_extreme_contraction, e13_extreme_contraction.Config(
+        ns=(60,), degree=8, trials=6)),
+    (e14_corollary7, e14_corollary7.Config(n=60, ks=(2, 4), trials=6)),
+    (e15_synchronous, e15_synchronous.Config(ns=(60,), degree=8, trials=6)),
+    (e16_strong_concentration, e16_strong_concentration.Config(
+        ns=(60, 120), trials=30)),
+]
+
+
+@pytest.mark.parametrize(
+    "module,config", TINY_CONFIGS, ids=[m.EXPERIMENT_ID for m, _ in TINY_CONFIGS]
+)
+def test_experiment_runs_and_renders(module, config):
+    report = module.run(config, seed=0)
+    rendered = report.render()
+    assert report.experiment_id == module.EXPERIMENT_ID
+    assert module.EXPERIMENT_ID in rendered
+    assert report.tables, "every experiment must produce at least one table"
+    for table in report.tables:
+        assert table.rows, f"table {table.title!r} is empty"
+
+
+def test_experiment_is_deterministic():
+    module, config = TINY_CONFIGS[0]
+    a = module.run(config, seed=3).render()
+    b = module.run(config, seed=3).render()
+    assert a == b
+
+
+def test_default_config_has_quick_variant():
+    for module, _ in TINY_CONFIGS:
+        quick = module.Config.quick()
+        assert isinstance(quick, module.Config)
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        ids = [spec.experiment_id for spec in all_experiments()]
+        assert ids == [f"E{i}" for i in range(1, 17)]
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("e3").experiment_id == "E3"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("E99")
+
+    def test_spec_fields(self):
+        spec = REGISTRY["E1"]
+        assert spec.title
+        assert spec.config_cls is e01_winning_distribution.Config

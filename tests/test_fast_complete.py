@@ -1,0 +1,141 @@
+"""Unit tests for the count-based K_n engine (repro.core.fast_complete)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import run_trials
+from repro.core.fast_complete import run_div_complete
+from repro.errors import ProcessError
+
+
+class TestValidation:
+    def test_counts_must_sum_to_n(self):
+        with pytest.raises(ProcessError):
+            run_div_complete(10, {1: 3, 2: 3})
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ProcessError):
+            run_div_complete(2, {1: 3, 2: -1})
+
+    def test_n_too_small(self):
+        with pytest.raises(ProcessError):
+            run_div_complete(1, {1: 1})
+
+    def test_unknown_stop(self):
+        with pytest.raises(ProcessError):
+            run_div_complete(4, {1: 4}, stop="quorum")
+
+    def test_empty_counts(self):
+        with pytest.raises(ProcessError):
+            run_div_complete(4, {1: 0, 2: 0})
+
+
+class TestBasicRuns:
+    def test_consensus_from_consensus(self):
+        result = run_div_complete(10, {4: 10}, rng=0)
+        assert result.steps == 0
+        assert result.winner == 4
+        assert result.stop_reason == "consensus"
+        assert result.two_adjacent_step == 0
+
+    def test_two_adjacent_start_detected(self):
+        result = run_div_complete(10, {4: 5, 5: 5}, stop="two_adjacent", rng=0)
+        assert result.steps == 0
+        assert result.stop_reason == "two_adjacent"
+        assert result.support == [4, 5]
+
+    def test_reaches_consensus(self):
+        result = run_div_complete(50, {1: 20, 2: 10, 5: 20}, rng=1)
+        assert result.stop_reason == "consensus"
+        assert result.winner in (1, 2, 3, 4, 5)
+        assert result.two_adjacent_step is not None
+        assert result.two_adjacent_step <= result.steps
+
+    def test_max_steps(self):
+        result = run_div_complete(50, {1: 25, 9: 25}, max_steps=10, rng=1)
+        assert result.steps == 10
+        assert result.stop_reason == "max_steps"
+        assert result.winner is None
+
+    def test_negative_and_sparse_opinions(self):
+        result = run_div_complete(30, {-2: 15, 3: 15}, rng=2)
+        assert result.stop_reason == "consensus"
+        assert -2 <= result.winner <= 3
+
+    def test_weight_trace(self):
+        result = run_div_complete(
+            40, {1: 20, 5: 20}, rng=3, weight_interval=100, stop="two_adjacent"
+        )
+        assert result.weight_steps[0] == 0
+        assert result.weights[0] == 20 * 1 + 20 * 5
+        # Weights move by at most 1 per step.
+        diffs = np.abs(np.diff(result.weights))
+        gaps = np.diff(result.weight_steps)
+        assert np.all(diffs <= gaps)
+
+    def test_deterministic_given_seed(self):
+        a = run_div_complete(60, {1: 30, 4: 30}, rng=7)
+        b = run_div_complete(60, {1: 30, 4: 30}, rng=7)
+        assert (a.winner, a.steps) == (b.winner, b.steps)
+
+
+class TestSingleStepLaw:
+    def test_one_step_transition_probabilities(self):
+        # From {1: 1, 3: n-1} on K_n, one step moves the lone 1-holder up
+        # (to counts {2:1, 3:n-1}) iff it is selected: probability 1/n.
+        # A 3-holder moves down (to {1:1, 2:1, 3:n-2}) iff a 3-holder is
+        # selected AND observes the 1-holder: (n-1)/n * 1/(n-1) = 1/n.
+        n, trials = 12, 4000
+        up = down = unchanged = 0
+        for seed in range(trials):
+            result = run_div_complete(
+                n, {1: 1, 3: n - 1}, max_steps=1, rng=seed
+            )
+            if result.counts == {2: 1, 3: n - 1}:
+                up += 1
+            elif result.counts == {1: 1, 2: 1, 3: n - 2}:
+                down += 1
+            elif result.counts == {1: 1, 3: n - 1}:
+                unchanged += 1
+        assert up + down + unchanged == trials
+        assert up / trials == pytest.approx(1 / n, abs=0.02)
+        assert down / trials == pytest.approx(1 / n, abs=0.02)
+        assert unchanged / trials == pytest.approx(1 - 2 / n, abs=0.03)
+
+
+class TestAgainstTheory:
+    def test_two_opinion_winning_probability(self):
+        # With only {0,1} the process is two-opinion pull voting:
+        # P(1 wins) = N_1/n exactly (eq. (3)).
+        n, ones = 30, 9
+
+        def trial(i, rng):
+            return run_div_complete(n, {0: n - ones, 1: ones}, rng=rng).winner
+
+        outcomes = run_trials(600, trial, seed=5)
+        share = outcomes.frequency(lambda w: w == 1)
+        assert share == pytest.approx(ones / n, abs=0.06)
+
+    def test_matches_generic_engine_distribution(self):
+        # The count chain must agree in law with the generic engine on K_n.
+        from repro.core.div import run_div
+        from repro.graphs import complete_graph
+
+        n = 40
+        counts = {1: 16, 2: 12, 3: 12}  # c = 1.9
+        graph = complete_graph(n)
+
+        def fast_trial(i, rng):
+            return run_div_complete(n, counts, rng=rng).winner
+
+        def generic_trial(i, rng):
+            opinions = [1] * 16 + [2] * 12 + [3] * 12
+            return run_div(graph, opinions, rng=rng).winner
+
+        fast = run_trials(300, fast_trial, seed=11)
+        generic = run_trials(300, generic_trial, seed=12)
+        p_fast = fast.frequency(lambda w: w == 2)
+        p_generic = generic.frequency(lambda w: w == 2)
+        assert p_fast == pytest.approx(p_generic, abs=0.12)

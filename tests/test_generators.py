@@ -1,0 +1,187 @@
+"""Unit tests for repro.graphs.generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graphs import (
+    barbell_graph,
+    binary_tree_graph,
+    by_name,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    grid_graph,
+    hypercube_graph,
+    lollipop_graph,
+    path_graph,
+    random_regular_graph,
+    star_graph,
+    two_clique_bridge_graph,
+)
+
+
+class TestDeterministicFamilies:
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.n == 6
+        assert g.m == 15
+        assert g.is_regular()
+        assert g.is_connected()
+
+    def test_complete_trivial(self):
+        assert complete_graph(1).m == 0
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.m == 4
+        assert g.degree(0) == 1
+        assert g.degree(2) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.m == 6
+        assert g.is_regular()
+        assert g.is_connected()
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphConstructionError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degree(0) == 5
+        assert all(g.degree(v) == 1 for v in range(1, 6))
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(2, 3)
+        assert g.n == 5
+        assert g.m == 6
+        assert g.is_bipartite()
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical edges
+        assert g.is_connected()
+
+    def test_torus_regular(self):
+        g = grid_graph(4, 5, periodic=True)
+        assert g.is_regular()
+        assert g.degrees[0] == 4
+        assert g.m == 2 * 20
+
+    def test_torus_too_small(self):
+        with pytest.raises(GraphConstructionError):
+            grid_graph(2, 5, periodic=True)
+
+    def test_hypercube(self):
+        g = hypercube_graph(4)
+        assert g.n == 16
+        assert g.is_regular()
+        assert g.degrees[0] == 4
+        assert g.is_bipartite()
+
+    def test_binary_tree(self):
+        g = binary_tree_graph(3)
+        assert g.n == 15
+        assert g.m == 14
+        assert g.is_connected()
+        assert g.degree(0) == 2
+
+    def test_binary_tree_height_zero(self):
+        assert binary_tree_graph(0).n == 1
+
+    def test_barbell(self):
+        g = barbell_graph(4, bridge=2)
+        assert g.n == 10
+        assert g.is_connected()
+        # Two K_4's plus a 3-edge chain through the bridge vertices.
+        assert g.m == 2 * 6 + 3
+
+    def test_two_clique_bridge(self):
+        g = two_clique_bridge_graph(4)
+        assert g.n == 8
+        assert g.m == 2 * 6 + 1
+
+    def test_lollipop(self):
+        g = lollipop_graph(4, 3)
+        assert g.n == 7
+        assert g.is_connected()
+        assert g.degree(6) == 1  # tail end
+
+    def test_by_name(self):
+        assert by_name("complete", 5) == complete_graph(5)
+        with pytest.raises(GraphConstructionError):
+            by_name("nonexistent", 5)
+
+
+class TestRandomRegular:
+    @pytest.mark.parametrize("n,d", [(10, 3), (30, 4), (24, 11), (50, 20)])
+    def test_regularity(self, n, d, rng):
+        g = random_regular_graph(n, d, rng=rng)
+        assert g.n == n
+        assert np.all(g.degrees == d)
+
+    def test_simple_no_duplicates(self, rng):
+        g = random_regular_graph(40, 12, rng=rng)
+        edges = list(g.edges())
+        assert len(edges) == len(set(edges)) == g.m
+        assert all(u != v for u, v in edges)
+
+    def test_dense_case(self, rng):
+        g = random_regular_graph(16, 15, rng=rng)  # forced to be K_16
+        assert g == complete_graph(16)
+
+    def test_d_zero(self):
+        assert random_regular_graph(5, 0).m == 0
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            random_regular_graph(5, 3)
+
+    def test_d_too_large(self):
+        with pytest.raises(GraphConstructionError):
+            random_regular_graph(5, 5)
+
+    def test_deterministic_given_seed(self):
+        g1 = random_regular_graph(30, 6, rng=7)
+        g2 = random_regular_graph(30, 6, rng=7)
+        assert g1 == g2
+
+    def test_usually_connected(self, rng):
+        # d >= 3 random regular graphs are connected w.h.p.
+        connected = sum(
+            random_regular_graph(40, 4, rng=rng).is_connected() for _ in range(10)
+        )
+        assert connected >= 9
+
+
+class TestGnp:
+    def test_extreme_p(self, rng):
+        assert gnp_random_graph(10, 0.0, rng=rng).m == 0
+        assert gnp_random_graph(10, 1.0, rng=rng) == complete_graph(10)
+
+    def test_edge_count_plausible(self, rng):
+        n, p = 80, 0.2
+        g = gnp_random_graph(n, p, rng=rng)
+        expected = p * n * (n - 1) / 2
+        assert 0.6 * expected < g.m < 1.4 * expected
+
+    def test_require_connected(self, rng):
+        g = gnp_random_graph(60, 0.2, rng=rng, require_connected=True)
+        assert g.is_connected()
+
+    def test_connectivity_failure_raises(self, rng):
+        with pytest.raises(GraphConstructionError):
+            gnp_random_graph(30, 0.0, rng=rng, require_connected=True, max_attempts=3)
+
+    def test_invalid_p(self):
+        with pytest.raises(GraphConstructionError):
+            gnp_random_graph(10, 1.5)
+
+    def test_deterministic_given_seed(self):
+        assert gnp_random_graph(25, 0.3, rng=11) == gnp_random_graph(25, 0.3, rng=11)

@@ -1,0 +1,83 @@
+"""Unit tests for repro.graphs.properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DisconnectedGraphError, GraphError
+from repro.graphs import (
+    Graph,
+    bfs_distances,
+    complete_graph,
+    cycle_graph,
+    degree_histogram,
+    degree_statistics,
+    diameter,
+    eccentricity,
+    path_graph,
+    star_graph,
+)
+
+
+class TestDistances:
+    def test_bfs_on_path(self):
+        distances = bfs_distances(path_graph(5), 0)
+        assert distances.tolist() == [0, 1, 2, 3, 4]
+
+    def test_bfs_unreachable(self):
+        graph = Graph(4, [(0, 1), (2, 3)])
+        distances = bfs_distances(graph, 0)
+        assert distances[1] == 1
+        assert distances[2] == -1
+
+    def test_bfs_source_validation(self):
+        with pytest.raises(GraphError):
+            bfs_distances(path_graph(3), 5)
+
+    def test_eccentricity(self):
+        assert eccentricity(path_graph(5), 0) == 4
+        assert eccentricity(path_graph(5), 2) == 2
+
+    def test_eccentricity_disconnected(self):
+        graph = Graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(DisconnectedGraphError):
+            eccentricity(graph, 0)
+
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (complete_graph(7), 1),
+            (path_graph(6), 5),
+            (cycle_graph(8), 4),
+            (star_graph(9), 2),
+        ],
+    )
+    def test_diameter(self, graph, expected):
+        assert diameter(graph) == expected
+
+    def test_load_balancing_range_bounded_by_diameter(self, rng):
+        # Absorbing LB states (every edge balanced) span <= diameter + 1
+        # consecutive values; checked against a stuck gradient on a path.
+        from repro.baselines.load_balancing import is_locally_balanced
+        from repro.core import OpinionState
+
+        graph = path_graph(5)
+        state = OpinionState(graph, [1, 2, 3, 4, 5])
+        assert is_locally_balanced(state)
+        assert state.range_width <= diameter(graph)
+
+
+class TestDegreeStatistics:
+    def test_star(self):
+        stats = degree_statistics(star_graph(5))
+        assert stats.minimum == 1
+        assert stats.maximum == 4
+        assert stats.mean == pytest.approx(8 / 5)
+        assert not stats.is_regular
+
+    def test_regular(self):
+        assert degree_statistics(cycle_graph(5)).is_regular
+
+    def test_histogram(self):
+        assert degree_histogram(star_graph(5)) == {1: 4, 4: 1}

@@ -1,0 +1,123 @@
+"""Unit tests for repro.analysis.initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    extremes_only_opinions,
+    opinions_from_counts,
+    opinions_with_fractional_part,
+    opinions_with_mean,
+    path_block_opinions,
+    planted_set_opinions,
+    skewed_opinions,
+    uniform_random_opinions,
+)
+from repro.analysis.statistics import median_of, mode_of
+from repro.errors import AnalysisError
+
+
+class TestUniform:
+    def test_range_and_shape(self, rng):
+        opinions = uniform_random_opinions(500, 7, rng=rng)
+        assert opinions.shape == (500,)
+        assert opinions.min() >= 1
+        assert opinions.max() <= 7
+
+    def test_all_values_hit(self, rng):
+        opinions = uniform_random_opinions(2000, 5, rng=rng)
+        assert set(np.unique(opinions)) == {1, 2, 3, 4, 5}
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            uniform_random_opinions(0, 5)
+        with pytest.raises(AnalysisError):
+            uniform_random_opinions(10, 0)
+
+
+class TestFromCounts:
+    def test_multiplicities(self, rng):
+        opinions = opinions_from_counts({3: 4, 1: 2}, rng=rng)
+        assert sorted(opinions.tolist()) == [1, 1, 3, 3, 3, 3]
+
+    def test_unshuffled_is_sorted(self):
+        opinions = opinions_from_counts({2: 2, 1: 2}, shuffle=False)
+        assert opinions.tolist() == [1, 1, 2, 2]
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            opinions_from_counts({1: -1})
+        with pytest.raises(AnalysisError):
+            opinions_from_counts({})
+
+
+class TestWithMean:
+    @pytest.mark.parametrize("mean", [1.0, 2.5, 3.26, 5.0])
+    def test_mean_achieved(self, mean, rng):
+        opinions = opinions_with_mean(400, 1, 5, mean, rng=rng)
+        assert float(np.mean(opinions)) == pytest.approx(mean, abs=4 / 400)
+        assert set(np.unique(opinions)) <= {1, 5}
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            opinions_with_mean(10, 1, 5, 7.0)
+        with pytest.raises(AnalysisError):
+            opinions_with_mean(10, 5, 5, 5.0)
+
+    def test_fractional_part(self, rng):
+        opinions = opinions_with_fractional_part(300, 5, 0.5, rng=rng)
+        mean = float(np.mean(opinions))
+        assert mean == pytest.approx(3.5, abs=0.02)
+
+    def test_fractional_validation(self):
+        with pytest.raises(AnalysisError):
+            opinions_with_fractional_part(10, 5, 1.5)
+        with pytest.raises(AnalysisError):
+            opinions_with_fractional_part(10, 1, 0.5)
+        with pytest.raises(AnalysisError):
+            opinions_with_fractional_part(10, 5, 0.5, base=5)
+
+
+class TestSkewed:
+    def test_mode_median_mean_ordering(self, rng):
+        opinions = skewed_opinions(3000, 7, rng=rng)
+        mode = mode_of(opinions.tolist())
+        median = median_of(opinions.tolist())
+        mean = float(np.mean(opinions))
+        assert mode == 1
+        assert mode < median < mean
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            skewed_opinions(10, 2)
+
+
+class TestLayouts:
+    def test_path_blocks(self):
+        opinions = path_block_opinions(6, [(0, 2), (5, 1), (2, 3)])
+        assert opinions.tolist() == [0, 0, 5, 2, 2, 2]
+
+    def test_path_blocks_validation(self):
+        with pytest.raises(AnalysisError):
+            path_block_opinions(5, [(0, 2), (1, 2)])
+        with pytest.raises(AnalysisError):
+            path_block_opinions(2, [(0, 3), (1, -1)])
+
+    def test_planted_set(self):
+        opinions = planted_set_opinions(5, [0, 4])
+        assert opinions.tolist() == [1, 0, 0, 0, 1]
+
+    def test_planted_set_validation(self):
+        with pytest.raises(AnalysisError):
+            planted_set_opinions(5, [7])
+
+    def test_extremes_only(self, rng):
+        opinions = extremes_only_opinions(11, 9, rng=rng)
+        assert sorted(set(opinions.tolist())) == [1, 9]
+        assert (opinions == 9).sum() == 5
+
+    def test_extremes_validation(self):
+        with pytest.raises(AnalysisError):
+            extremes_only_opinions(10, 1)

@@ -1,0 +1,116 @@
+"""Tests for serialization (repro.io)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.experiments.tables import ExperimentReport, Table
+from repro.graphs import complete_graph, random_regular_graph
+from repro.io import (
+    read_edge_list,
+    report_to_dict,
+    report_to_json,
+    table_to_csv,
+    table_to_dict,
+    write_edge_list,
+    write_report_json,
+)
+
+
+class TestEdgeLists:
+    def test_round_trip(self, tmp_path):
+        graph = random_regular_graph(20, 4, rng=1)
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert loaded == graph
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("3 2\n0 1\n# comment\n\n1 2\n")
+        graph = read_edge_list(path)
+        assert graph.n == 3
+        assert graph.m == 2
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("3\n0 1\n")
+        with pytest.raises(GraphConstructionError):
+            read_edge_list(path)
+
+    def test_edge_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("3 5\n0 1\n")
+        with pytest.raises(GraphConstructionError):
+            read_edge_list(path)
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("3 1\n0 1 2\n")
+        with pytest.raises(GraphConstructionError):
+            read_edge_list(path)
+
+
+def _sample_report():
+    report = ExperimentReport("E1", "demo")
+    report.add_line("hello")
+    table = Table(title="t", headers=["a", "b"])
+    table.add_row(1, 2.5)
+    table.add_note("n")
+    report.add_table(table)
+    return report
+
+
+class TestReports:
+    def test_table_to_dict(self):
+        table = _sample_report().tables[0]
+        payload = table_to_dict(table)
+        assert payload["headers"] == ["a", "b"]
+        assert payload["rows"] == [[1, 2.5]]
+        assert payload["notes"] == ["n"]
+
+    def test_report_round_trip_through_json(self):
+        report = _sample_report()
+        payload = json.loads(report_to_json(report))
+        assert payload == report_to_dict(report)
+        assert payload["experiment_id"] == "E1"
+        assert payload["lines"] == ["hello"]
+
+    def test_numpy_scalars_serialized(self):
+        import numpy as np
+
+        report = ExperimentReport("E2", "numpy")
+        table = Table(title="t", headers=["x"])
+        table.add_row(np.float64(1.25))
+        report.add_table(table)
+        payload = json.loads(report_to_json(report))
+        assert payload["tables"][0]["rows"] == [[1.25]]
+
+    def test_write_report_json(self, tmp_path):
+        target = tmp_path / "report.json"
+        write_report_json(_sample_report(), target)
+        assert json.loads(target.read_text())["title"] == "demo"
+
+    def test_table_to_csv(self):
+        csv_text = table_to_csv(_sample_report().tables[0])
+        assert csv_text.splitlines() == ["a,b", "1,2.5"]
+
+
+class TestCliJson:
+    def test_run_with_json_dir(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+        from repro.experiments import e10_stage_evolution
+
+        monkeypatch.setattr(
+            e10_stage_evolution.Config,
+            "quick",
+            classmethod(lambda cls: cls(n=12, trials=5, sample_trajectories=1)),
+        )
+        out_dir = tmp_path / "json"
+        assert main(["run", "E10", "--quick", "--json", str(out_dir)]) == 0
+        payload = json.loads((out_dir / "e10.json").read_text())
+        assert payload["experiment_id"] == "E10"
+        assert payload["tables"]

@@ -1,0 +1,141 @@
+"""Unit tests for repro.core.observers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OpinionState
+from repro.core.observers import (
+    ChangeLog,
+    ExtremeMeasureTrace,
+    FirstTimeTracker,
+    OpinionCountsTrace,
+    Stage,
+    StageRecorder,
+    SupportTrace,
+    WeightTrace,
+)
+from repro.graphs import complete_graph
+
+
+@pytest.fixture
+def graph():
+    return complete_graph(6)
+
+
+class TestWeightTrace:
+    def test_records_weight(self, graph):
+        state = OpinionState(graph, [1, 1, 2, 2, 3, 3])
+        trace = WeightTrace("edge", interval=5)
+        trace.sample(0, state)
+        state.apply(0, 2)
+        trace.sample(5, state)
+        assert trace.steps == [0, 5]
+        assert trace.weights == [12.0, 13.0]
+
+    def test_interval_floor(self):
+        assert WeightTrace("edge", interval=0).interval == 1
+
+
+class TestSupportAndCounts:
+    def test_support_trace(self, graph):
+        state = OpinionState(graph, [1, 1, 2, 2, 5, 5])
+        trace = SupportTrace(interval=1)
+        trace.sample(0, state)
+        state.apply(4, 4)
+        state.apply(5, 4)
+        trace.sample(1, state)
+        assert trace.sizes == [3, 3]
+        assert trace.maxs == [5, 4]
+        assert trace.mins == [1, 1]
+
+    def test_counts_trace(self, graph):
+        state = OpinionState(graph, [1, 1, 2, 2, 5, 5])
+        trace = OpinionCountsTrace()
+        trace.sample(0, state)
+        assert trace.histograms == [{1: 2, 2: 2, 5: 2}]
+
+
+class TestStageRecorder:
+    def test_records_support_changes_only(self, graph):
+        state = OpinionState(graph, [1, 1, 2, 2, 5, 5])
+        recorder = StageRecorder()
+        recorder.sample(0, state)
+        # A change that does not alter the support set: no new stage.
+        state.apply(0, 2)
+        state.apply(0, 1)
+        recorder.on_change(1, 0, 1, state)
+        recorder.on_change(2, 0, 1, state)
+        assert len(recorder.stages) == 1
+        # Remove opinion 5 entirely: new stage.
+        state.apply(4, 4)
+        recorder.on_change(3, 4, 0, state)
+        state.apply(5, 4)
+        recorder.on_change(4, 5, 0, state)
+        assert recorder.stages[-1].support == (1, 2, 4)
+        assert recorder.stages[0] == Stage(step=0, support=(1, 2, 5))
+
+    def test_extreme_removals(self, graph):
+        state = OpinionState(graph, [1, 1, 2, 2, 5, 5])
+        recorder = StageRecorder()
+        recorder.sample(0, state)
+        state.apply(4, 4)
+        recorder.on_change(1, 4, 0, state)  # support {1,2,4,5}
+        state.apply(5, 4)
+        recorder.on_change(2, 5, 0, state)  # support {1,2,4}: 5 removed
+        assert recorder.extreme_removals() == [5]
+
+    def test_interior_disappearance_not_a_removal(self, graph):
+        state = OpinionState(graph, [1, 2, 3, 3, 5, 5])
+        recorder = StageRecorder()
+        recorder.sample(0, state)
+        state.apply(1, 1)  # opinion 2 vanishes (interior)
+        recorder.on_change(1, 1, 0, state)
+        assert recorder.extreme_removals() == []
+
+
+class TestFirstTimeTracker:
+    def test_detects_on_change(self, graph):
+        state = OpinionState(graph, [1, 1, 1, 1, 1, 3])
+        tracker = FirstTimeTracker(lambda s: s.is_two_adjacent, label="x")
+        tracker.sample(0, state)
+        assert tracker.first_step is None
+        state.apply(5, 2)
+        tracker.on_change(4, 5, 0, state)
+        assert tracker.first_step == 4
+        # Later triggers do not overwrite the first time.
+        tracker.on_change(9, 5, 0, state)
+        assert tracker.first_step == 4
+
+    def test_true_at_start(self, graph):
+        state = OpinionState(graph, [2] * 6)
+        tracker = FirstTimeTracker(lambda s: s.is_consensus)
+        tracker.sample(0, state)
+        assert tracker.first_step == 0
+
+
+class TestExtremeMeasureTrace:
+    def test_records_products(self, graph):
+        # K_6 is 5-regular: π(A_i) = N_i / 6.
+        state = OpinionState(graph, [1, 1, 2, 2, 5, 5])
+        trace = ExtremeMeasureTrace(interval=1)
+        trace.sample(0, state)
+        assert trace.pi_min_class == [pytest.approx(2 / 6)]
+        assert trace.pi_max_class == [pytest.approx(2 / 6)]
+        assert trace.products == [pytest.approx(4 / 36)]
+        assert trace.support_sizes == [3]
+
+    def test_consensus_product_is_zero(self, graph):
+        state = OpinionState(graph, [3] * 6)
+        trace = ExtremeMeasureTrace()
+        trace.sample(0, state)
+        assert trace.products == [0.0]
+
+
+class TestChangeLog:
+    def test_entries(self, graph):
+        state = OpinionState(graph, [1, 1, 2, 2, 3, 3])
+        log = ChangeLog()
+        state.apply(0, 2)
+        log.on_change(1, 0, 3, state)
+        assert log.entries == [(1, 0, 3, 2, 2)]

@@ -1,0 +1,273 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These are the load-bearing correctness checks: they exercise arbitrary
+graphs, opinion vectors and update sequences rather than hand-picked
+examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import IncrementalVoting, OpinionState, VertexScheduler, run_dynamics
+from repro.core.dynamics import LoadBalancing, MedianVoting, PullVoting
+from repro.core.theory import winning_probabilities
+from repro.graphs import Graph
+from repro.graphs.spectral import mixing_lemma_bound, second_eigenvalue, walk_spectrum
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def connected_graphs(draw, max_n: int = 12):
+    """A small connected graph: a random spanning tree plus extra edges."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    edges = set()
+    for v in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=v - 1))
+        edges.add((parent, v))
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return Graph(n, sorted(edges))
+
+
+@st.composite
+def graph_with_opinions(draw, max_n: int = 12, max_k: int = 6):
+    graph = draw(connected_graphs(max_n))
+    opinions = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=max_k),
+            min_size=graph.n,
+            max_size=graph.n,
+        )
+    )
+    return graph, opinions
+
+
+# ---------------------------------------------------------------------------
+# Graph invariants
+# ---------------------------------------------------------------------------
+
+
+class TestGraphProperties:
+    @given(connected_graphs())
+    def test_handshake_lemma(self, graph):
+        assert graph.degrees.sum() == 2 * graph.m
+
+    @given(connected_graphs())
+    def test_adjacency_symmetry(self, graph):
+        for u, v in graph.edges():
+            assert graph.has_edge(u, v)
+            assert graph.has_edge(v, u)
+
+    @given(connected_graphs())
+    def test_stationary_distribution_normalized(self, graph):
+        pi = graph.stationary_distribution()
+        assert pi.sum() == pytest.approx(1.0)
+
+    @given(connected_graphs())
+    def test_walk_spectrum_in_unit_interval(self, graph):
+        spectrum = walk_spectrum(graph)
+        assert spectrum[0] == pytest.approx(1.0, abs=1e-9)
+        assert spectrum[-1] >= -1.0 - 1e-9
+        assert second_eigenvalue(graph) <= 1.0 + 1e-9
+
+    @given(connected_graphs(), st.data())
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_expander_mixing_lemma(self, graph, data):
+        size_s = data.draw(st.integers(min_value=1, max_value=graph.n))
+        size_u = data.draw(st.integers(min_value=1, max_value=graph.n))
+        S = list(range(size_s))
+        U = list(range(graph.n - size_u, graph.n))
+        deviation, bound = mixing_lemma_bound(graph, S, U)
+        assert deviation <= bound + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# State invariants
+# ---------------------------------------------------------------------------
+
+
+class TestStateProperties:
+    @given(graph_with_opinions(), st.lists(st.tuples(st.integers(0, 11), st.integers(1, 6)), max_size=60))
+    @settings(deadline=None)
+    def test_aggregates_survive_any_update_sequence(self, graph_opinions, updates):
+        graph, opinions = graph_opinions
+        state = OpinionState(graph, opinions)
+        lo, hi = min(opinions), max(opinions)
+        for v, value in updates:
+            state.apply(v % graph.n, min(max(value, lo), hi))
+        state.check_consistency()
+
+    @given(graph_with_opinions())
+    def test_initial_weights_match_definitions(self, graph_opinions):
+        graph, opinions = graph_opinions
+        state = OpinionState(graph, opinions)
+        values = np.asarray(opinions)
+        assert state.total_weight("edge") == pytest.approx(values.sum())
+        pi = graph.stationary_distribution()
+        assert state.total_weight("vertex") == pytest.approx(
+            graph.n * float((pi * values).sum())
+        )
+
+
+# ---------------------------------------------------------------------------
+# Dynamics invariants
+# ---------------------------------------------------------------------------
+
+
+class TestDynamicsProperties:
+    @given(graph_with_opinions(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_div_range_never_expands(self, graph_opinions, seed):
+        graph, opinions = graph_opinions
+        state = OpinionState(graph, opinions)
+        lo0, hi0 = state.min_opinion, state.max_opinion
+        rng = np.random.default_rng(seed)
+        scheduler = VertexScheduler(graph)
+        previous_lo, previous_hi = lo0, hi0
+        for _ in range(10):
+            run_dynamics(
+                state, scheduler, IncrementalVoting(),
+                stop="never", rng=rng, max_steps=20,
+            )
+            # The support range is monotone under DIV.
+            assert previous_lo <= state.min_opinion
+            assert state.max_opinion <= previous_hi
+            previous_lo, previous_hi = state.min_opinion, state.max_opinion
+        state.check_consistency()
+
+    @given(graph_with_opinions(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_div_expected_weight_change_is_zero(self, graph_opinions, seed):
+        """Lemma 3, verified *exactly* by enumerating every interaction.
+
+        For both processes, sums the probability-weighted one-step change
+        of the corresponding weight over all (v, w) pairs; it must be 0.
+        """
+        graph, opinions = graph_opinions
+        state = OpinionState(graph, opinions)
+        pi = graph.stationary_distribution()
+        for process in ("edge", "vertex"):
+            drift = 0.0
+            for v in range(graph.n):
+                neighbors = graph.neighbors(v)
+                for w in neighbors:
+                    if process == "edge":
+                        # v updates w.p. d(v)/2m * 1/d(v) per neighbour.
+                        probability = 1.0 / (2 * graph.m)
+                        weight_per_unit = 1.0
+                    else:
+                        probability = 1.0 / (graph.n * neighbors.size)
+                        weight_per_unit = graph.n * pi[v]
+                    delta = np.sign(state.value(int(w)) - state.value(v))
+                    drift += probability * weight_per_unit * delta
+            assert drift == pytest.approx(0.0, abs=1e-12)
+
+    @given(graph_with_opinions(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_load_balancing_conserves_sum(self, graph_opinions, seed):
+        graph, opinions = graph_opinions
+        state = OpinionState(graph, opinions)
+        total = state.total_sum
+        from repro.core.schedulers import EdgeScheduler
+
+        run_dynamics(
+            state, EdgeScheduler(graph), LoadBalancing(),
+            stop="never", rng=seed, max_steps=200,
+        )
+        assert state.total_sum == total
+        state.check_consistency()
+
+    @given(graph_with_opinions(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_all_dynamics_stay_in_initial_range(self, graph_opinions, seed):
+        graph, opinions = graph_opinions
+        lo, hi = min(opinions), max(opinions)
+        for dynamics in (IncrementalVoting(), PullVoting(), MedianVoting()):
+            state = OpinionState(graph, opinions)
+            run_dynamics(
+                state, VertexScheduler(graph), dynamics,
+                stop="never", rng=seed, max_steps=100,
+            )
+            assert state.values.min() >= lo
+            assert state.values.max() <= hi
+
+
+# ---------------------------------------------------------------------------
+# Count-engine invariants
+# ---------------------------------------------------------------------------
+
+
+class TestFastCompleteProperties:
+    @given(
+        st.dictionaries(
+            st.integers(min_value=-5, max_value=10),
+            st.integers(min_value=0, max_value=30),
+            min_size=1,
+            max_size=5,
+        ),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_winner_in_initial_range_and_counts_conserved(self, counts, seed):
+        from repro.core.fast_complete import run_div_complete
+
+        counts = {o: c for o, c in counts.items() if c > 0}
+        n = sum(counts.values())
+        if n < 2:
+            return
+        result = run_div_complete(n, counts, max_steps=2000, rng=seed)
+        assert sum(result.counts.values()) == n
+        lo, hi = min(counts), max(counts)
+        assert all(lo <= opinion <= hi for opinion in result.counts)
+        if result.stop_reason == "consensus":
+            assert result.winner is not None
+            assert result.two_adjacent_step is not None
+            assert result.two_adjacent_step <= result.steps
+        support = result.support
+        assert support == sorted(result.counts)
+
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_weight_trace_steps_by_at_most_one(self, n, seed):
+        from repro.core.fast_complete import run_div_complete
+
+        half = n // 2
+        result = run_div_complete(
+            n,
+            {1: n - half, 4: half},
+            max_steps=500,
+            rng=seed,
+            weight_interval=1,
+        )
+        diffs = np.abs(np.diff(result.weights))
+        assert np.all(diffs <= 1)
+        assert result.weights[0] == (n - half) * 1 + half * 4
+
+
+# ---------------------------------------------------------------------------
+# Theory invariants
+# ---------------------------------------------------------------------------
+
+
+class TestTheoryProperties:
+    @given(st.floats(min_value=-100, max_value=100, allow_nan=False))
+    def test_winning_probabilities_form_distribution(self, c):
+        prediction = winning_probabilities(c)
+        assert prediction.floor <= c <= prediction.ceil
+        if prediction.floor != prediction.ceil:
+            assert prediction.p_floor + prediction.p_ceil == pytest.approx(1.0)
+            assert 0.0 <= prediction.p_floor <= 1.0

@@ -1,0 +1,58 @@
+"""Unit tests for repro.analysis.scaling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import fit_power_law, loglog_slope, ratio_to_bound
+from repro.errors import AnalysisError
+
+
+class TestPowerLaw:
+    def test_exact_recovery(self):
+        xs = [10, 20, 40, 80]
+        ys = [3 * x**1.7 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.7)
+        assert fit.prefactor == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(160) == pytest.approx(3 * 160**1.7)
+
+    def test_noisy_recovery(self, rng):
+        xs = np.array([100, 200, 400, 800, 1600])
+        ys = 2 * xs**1.5 * np.exp(rng.normal(0, 0.05, size=5))
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.5, abs=0.2)
+        assert fit.r_squared > 0.95
+
+    def test_constant_data(self):
+        fit = fit_power_law([1, 2, 4], [5, 5, 5])
+        assert fit.exponent == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_loglog_slope_shorthand(self):
+        assert loglog_slope([1, 10], [1, 100]) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            fit_power_law([1], [1])
+        with pytest.raises(AnalysisError):
+            fit_power_law([1, 2], [1, 2, 3])
+        with pytest.raises(AnalysisError):
+            fit_power_law([0, 1], [1, 2])
+        with pytest.raises(AnalysisError):
+            fit_power_law([1, 2], [1, -2])
+
+
+class TestRatioToBound:
+    def test_max_ratio(self):
+        assert ratio_to_bound([1, 4, 9], [2, 2, 3]) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            ratio_to_bound([], [])
+        with pytest.raises(AnalysisError):
+            ratio_to_bound([1, 2], [1])
+        with pytest.raises(AnalysisError):
+            ratio_to_bound([1], [0])

@@ -1,0 +1,98 @@
+"""Unit tests for repro.core.schedulers — eq. (2) and the edge process."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core import EdgeScheduler, VertexScheduler, make_scheduler
+from repro.errors import ProcessError
+from repro.graphs import Graph, path_graph, star_graph
+
+
+class TestVertexScheduler:
+    def test_pairs_are_adjacent(self, any_graph, rng):
+        scheduler = VertexScheduler(any_graph)
+        v, w = scheduler.draw_block(rng, 500)
+        assert v.shape == w.shape == (500,)
+        for a, b in zip(v, w):
+            assert any_graph.has_edge(int(a), int(b))
+
+    def test_updating_vertex_uniform(self, rng):
+        # P(v chosen) = 1/n regardless of degree.
+        graph = star_graph(5)
+        scheduler = VertexScheduler(graph)
+        v, _ = scheduler.draw_block(rng, 20000)
+        counts = Counter(v.tolist())
+        for vertex in range(graph.n):
+            assert counts[vertex] / 20000 == pytest.approx(1 / 5, abs=0.02)
+
+    def test_neighbour_uniform_given_vertex(self, rng):
+        graph = path_graph(3)  # middle vertex has two neighbours
+        scheduler = VertexScheduler(graph)
+        v, w = scheduler.draw_block(rng, 30000)
+        picks = w[v == 1]
+        share = np.mean(picks == 0)
+        assert share == pytest.approx(0.5, abs=0.02)
+
+    def test_eq2_pair_probability(self, rng):
+        # P(v chooses w) = 1/(n d(v)) — eq. (2) — measured on the star.
+        graph = star_graph(5)
+        scheduler = VertexScheduler(graph)
+        v, w = scheduler.draw_block(rng, 40000)
+        hub_to_leaf1 = np.mean((v == 0) & (w == 1))
+        leaf1_to_hub = np.mean((v == 1) & (w == 0))
+        assert hub_to_leaf1 == pytest.approx(1 / (5 * 4), abs=0.01)
+        assert leaf1_to_hub == pytest.approx(1 / 5, abs=0.01)
+
+    def test_rejects_isolated_vertices(self):
+        with pytest.raises(ProcessError):
+            VertexScheduler(Graph(3, [(0, 1)]))
+
+
+class TestEdgeScheduler:
+    def test_pairs_are_adjacent(self, any_graph, rng):
+        scheduler = EdgeScheduler(any_graph)
+        v, w = scheduler.draw_block(rng, 500)
+        for a, b in zip(v, w):
+            assert any_graph.has_edge(int(a), int(b))
+
+    def test_updating_vertex_degree_proportional(self, rng):
+        # P(v updates) = d(v)/2m under the edge process.
+        graph = star_graph(5)  # hub degree 4, 2m = 8
+        scheduler = EdgeScheduler(graph)
+        v, _ = scheduler.draw_block(rng, 30000)
+        hub_share = np.mean(v == 0)
+        assert hub_share == pytest.approx(0.5, abs=0.02)
+
+    def test_pair_probability_uniform_over_directed_edges(self, rng):
+        graph = path_graph(4)  # 3 edges, 6 directed pairs
+        scheduler = EdgeScheduler(graph)
+        v, w = scheduler.draw_block(rng, 30000)
+        counts = Counter(zip(v.tolist(), w.tolist()))
+        assert len(counts) == 6
+        for pair, count in counts.items():
+            assert count / 30000 == pytest.approx(1 / 6, abs=0.02)
+
+    def test_rejects_edgeless(self):
+        with pytest.raises(ProcessError):
+            EdgeScheduler(Graph(2, []))
+
+
+class TestFactory:
+    def test_make_scheduler(self, small_complete):
+        assert isinstance(make_scheduler(small_complete, "vertex"), VertexScheduler)
+        assert isinstance(make_scheduler(small_complete, "edge"), EdgeScheduler)
+
+    def test_unknown_process(self, small_complete):
+        with pytest.raises(ProcessError):
+            make_scheduler(small_complete, "gossip")
+
+    def test_deterministic_given_seed(self, small_complete):
+        scheduler = VertexScheduler(small_complete)
+        v1, w1 = scheduler.draw_block(np.random.default_rng(5), 100)
+        v2, w2 = scheduler.draw_block(np.random.default_rng(5), 100)
+        assert np.array_equal(v1, v2)
+        assert np.array_equal(w1, w2)

@@ -1,0 +1,169 @@
+"""Unit tests for repro.graphs.spectral."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    Graph,
+    complete_bipartite_graph,
+    complete_graph,
+    conductance,
+    cycle_graph,
+    edge_measure,
+    gnp_random_graph,
+    mixing_lemma_bound,
+    normalized_adjacency,
+    path_graph,
+    random_regular_graph,
+    second_eigenvalue,
+    spectral_gap,
+    spectral_profile,
+    star_graph,
+    transition_matrix,
+    walk_spectrum,
+)
+
+
+class TestTransitionMatrix:
+    def test_rows_sum_to_one(self, any_graph):
+        P = transition_matrix(any_graph)
+        assert np.allclose(P.sum(axis=1), 1.0)
+
+    def test_entries(self, triangle):
+        P = transition_matrix(triangle)
+        assert P[0, 1] == pytest.approx(0.5)
+        assert P[0, 0] == 0.0
+
+    def test_detailed_balance(self, any_graph):
+        P = transition_matrix(any_graph)
+        pi = any_graph.stationary_distribution()
+        assert np.allclose(pi[:, None] * P, (pi[:, None] * P).T)
+
+    def test_rejects_isolated_vertices(self):
+        with pytest.raises(GraphError):
+            transition_matrix(Graph(3, [(0, 1)]))
+
+
+class TestSecondEigenvalue:
+    def test_complete_graph(self):
+        # λ(K_n) = 1/(n-1), the paper's first example.
+        for n in (3, 10, 50):
+            assert second_eigenvalue(complete_graph(n)) == pytest.approx(
+                1 / (n - 1), abs=1e-9
+            )
+
+    def test_cycle_graph(self):
+        # Walk eigenvalues of C_n are cos(2πj/n); for odd n the largest
+        # absolute non-trivial one is |cos(π(n-1)/n)| = cos(π/n).
+        n = 11
+        assert second_eigenvalue(cycle_graph(n)) == pytest.approx(
+            math.cos(math.pi / n), abs=1e-9
+        )
+
+    def test_even_cycle_is_bipartite(self):
+        assert second_eigenvalue(cycle_graph(12)) == pytest.approx(1.0)
+
+    def test_bipartite_is_one(self):
+        assert second_eigenvalue(complete_bipartite_graph(3, 4)) == pytest.approx(1.0)
+        assert second_eigenvalue(star_graph(6)) == pytest.approx(1.0)
+
+    def test_path_close_to_one(self):
+        # λ(P_n) = 1 - O(1/n²), the paper's counterexample family.
+        lam = second_eigenvalue(path_graph(50))
+        assert 0.99 < lam < 1.0
+
+    def test_spectrum_sorted_and_bounded(self, any_graph):
+        spectrum = walk_spectrum(any_graph)
+        assert spectrum[0] == pytest.approx(1.0)
+        assert np.all(np.diff(spectrum) <= 1e-12)
+        assert np.all(spectrum >= -1.0 - 1e-9)
+
+    def test_sparse_path_agrees_with_dense(self, rng):
+        # Force the Lanczos path by lowering the dense threshold.
+        from repro.graphs import spectral
+
+        g = random_regular_graph(80, 6, rng=rng)
+        dense = second_eigenvalue(g)
+        old = spectral._DENSE_LIMIT
+        spectral._DENSE_LIMIT = 10
+        try:
+            sparse = second_eigenvalue(g)
+        finally:
+            spectral._DENSE_LIMIT = old
+        assert sparse == pytest.approx(dense, abs=1e-6)
+
+    def test_edgeless_graph_rejected(self):
+        # A vertex with no neighbours has no random walk.
+        with pytest.raises(GraphError):
+            second_eigenvalue(Graph(1, []))
+
+    def test_spectral_gap(self):
+        assert spectral_gap(complete_graph(11)) == pytest.approx(0.9)
+
+    def test_random_regular_lambda_small(self, rng):
+        g = random_regular_graph(100, 16, rng=rng)
+        assert second_eigenvalue(g) < 0.7  # 2/sqrt(16) = 0.5 plus slack
+
+
+class TestProfileAndMeasures:
+    def test_spectral_profile(self):
+        profile = spectral_profile(complete_graph(10))
+        assert profile.n == 10
+        assert profile.lam == pytest.approx(1 / 9)
+        assert profile.pi_min == pytest.approx(0.1)
+        assert profile.lambda_k(5) == pytest.approx(5 / 9)
+
+    def test_theorem_conditions(self):
+        good = spectral_profile(complete_graph(200))
+        assert good.satisfies_theorem_conditions(5)
+        bad = spectral_profile(path_graph(200))
+        assert not bad.satisfies_theorem_conditions(5)
+
+    def test_edge_measure_full_sets(self, any_graph):
+        everything = list(range(any_graph.n))
+        assert edge_measure(any_graph, everything, everything) == pytest.approx(1.0)
+
+    def test_edge_measure_matches_definition(self, small_lollipop):
+        # Q(S, U) = (# ordered S->U adjacent pairs) / 2m.
+        S, U = [0, 1], [2, 3, 4]
+        count = sum(
+            1
+            for s in S
+            for u in U
+            if small_lollipop.has_edge(s, u)
+        )
+        assert edge_measure(small_lollipop, S, U) == pytest.approx(
+            count / (2 * small_lollipop.m)
+        )
+
+    def test_mixing_lemma_holds(self, rng):
+        # Lemma 9 audit on random graphs and random sets.
+        for _ in range(5):
+            g = gnp_random_graph(40, 0.3, rng=rng, require_connected=True)
+            size_s = int(rng.integers(1, 20))
+            size_u = int(rng.integers(1, 20))
+            S = rng.choice(40, size=size_s, replace=False)
+            U = rng.choice(40, size=size_u, replace=False)
+            deviation, bound = mixing_lemma_bound(g, S, U)
+            assert deviation <= bound + 1e-9
+
+    def test_conductance_complete(self):
+        g = complete_graph(10)
+        # For K_n, Q(S, S^c)/pi(S) = |S^c|/(n-1); conductance of a half-cut.
+        value = conductance(g, list(range(5)))
+        assert value == pytest.approx((5 / 10) * (5 / 9) / 0.5)
+
+    def test_conductance_needs_proper_cut(self, small_complete):
+        with pytest.raises(GraphError):
+            conductance(small_complete, [])
+        with pytest.raises(GraphError):
+            conductance(small_complete, list(range(small_complete.n)))
+
+    def test_normalized_adjacency_symmetric(self, any_graph):
+        N = normalized_adjacency(any_graph).toarray()
+        assert np.allclose(N, N.T)

@@ -1,0 +1,156 @@
+"""Unit tests for repro.core.state.OpinionState."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import OpinionState
+from repro.errors import InvalidOpinionsError
+from repro.graphs import complete_graph, star_graph
+
+
+@pytest.fixture
+def state(small_complete):
+    return OpinionState(small_complete, [1, 1, 2, 2, 3, 3, 5, 5])
+
+
+class TestConstruction:
+    def test_wrong_length_rejected(self, small_complete):
+        with pytest.raises(InvalidOpinionsError):
+            OpinionState(small_complete, [1, 2, 3])
+
+    def test_initial_aggregates(self, state):
+        assert state.n == 8
+        assert state.total_sum == 22
+        assert state.support_size == 4
+        assert state.support() == [1, 2, 3, 5]
+        assert state.min_opinion == 1
+        assert state.max_opinion == 5
+        assert state.range_width == 4
+        assert state.mean() == pytest.approx(22 / 8)
+
+    def test_counts(self, state):
+        assert state.count(1) == 2
+        assert state.count(4) == 0
+        assert state.count(99) == 0
+        assert state.counts_dict() == {1: 2, 2: 2, 3: 2, 5: 2}
+
+    def test_negative_opinions_supported(self, small_complete):
+        state = OpinionState(small_complete, [-3, -3, -2, -2, -1, -1, 0, 0])
+        assert state.min_opinion == -3
+        assert state.max_opinion == 0
+        assert state.total_sum == -12
+
+    def test_input_not_aliased(self, small_complete):
+        opinions = np.ones(8, dtype=np.int64)
+        state = OpinionState(small_complete, opinions)
+        opinions[0] = 99
+        assert state.value(0) == 1
+
+    def test_values_view_read_only(self, state):
+        with pytest.raises(ValueError):
+            state.values[0] = 9
+
+
+class TestDegreeWeighting:
+    def test_regular_graph_weighted_equals_simple(self, state):
+        assert state.weighted_mean() == pytest.approx(state.mean())
+        assert state.total_weight("vertex") == pytest.approx(
+            state.total_weight("edge")
+        )
+
+    def test_star_weighted_mean(self):
+        graph = star_graph(5)  # hub degree 4, 4 leaves degree 1
+        state = OpinionState(graph, [5, 1, 1, 1, 1])
+        # Z/n = pi-weighted: 0.5*5 + 4*(1/8)*1 = 3.0
+        assert state.weighted_mean() == pytest.approx(3.0)
+        assert state.mean() == pytest.approx(9 / 5)
+        assert state.degree_count(5) == 4
+        assert state.stationary_measure(5) == pytest.approx(0.5)
+
+    def test_unknown_process_rejected(self, state):
+        with pytest.raises(InvalidOpinionsError):
+            state.total_weight("bogus")
+
+
+class TestApply:
+    def test_apply_updates_everything(self, state):
+        old = state.apply(0, 2)
+        assert old == 1
+        assert state.value(0) == 2
+        assert state.count(1) == 1
+        assert state.count(2) == 3
+        assert state.total_sum == 23
+        state.check_consistency()
+
+    def test_apply_same_value_noop(self, state):
+        before = state.total_sum
+        assert state.apply(0, 1) == 1
+        assert state.total_sum == before
+
+    def test_apply_out_of_range_rejected(self, state):
+        with pytest.raises(InvalidOpinionsError):
+            state.apply(0, 0)
+        with pytest.raises(InvalidOpinionsError):
+            state.apply(0, 6)
+
+    def test_support_tracking_through_removal(self, state):
+        state.apply(6, 4)
+        state.apply(7, 4)  # opinion 5 now empty
+        assert state.max_opinion == 4
+        assert state.support() == [1, 2, 3, 4]
+        state.check_consistency()
+
+    def test_min_advances(self, state):
+        state.apply(0, 2)
+        state.apply(1, 2)
+        assert state.min_opinion == 2
+        assert state.range_width == 3
+
+    def test_interior_reappearance(self, small_complete):
+        state = OpinionState(small_complete, [1, 1, 1, 1, 3, 3, 3, 3])
+        state.apply(4, 2)
+        assert state.support() == [1, 2, 3]
+        state.apply(4, 3)
+        assert state.support() == [1, 3]
+        state.check_consistency()
+
+    def test_consensus_detection(self, small_complete):
+        state = OpinionState(small_complete, [2] * 8)
+        assert state.is_consensus
+        assert state.is_two_adjacent
+        assert state.consensus_value() == 2
+
+    def test_two_adjacent_detection(self, small_complete):
+        adjacent = OpinionState(small_complete, [2, 2, 3, 3, 3, 3, 3, 3])
+        assert adjacent.is_two_adjacent
+        assert not adjacent.is_consensus
+        assert adjacent.consensus_value() is None
+        gap = OpinionState(small_complete, [2, 2, 4, 4, 4, 4, 4, 4])
+        assert not gap.is_two_adjacent
+
+    def test_holders(self, state):
+        assert list(state.holders(2)) == [2, 3]
+        assert list(state.holders(4)) == []
+
+    def test_copy_is_independent(self, state):
+        clone = state.copy()
+        clone.apply(0, 3)
+        assert state.value(0) == 1
+        assert clone.value(0) == 3
+        state.check_consistency()
+        clone.check_consistency()
+
+
+class TestConsistencyUnderRandomUpdates:
+    def test_random_walk_of_applies(self, rng):
+        graph = complete_graph(12)
+        opinions = rng.integers(1, 6, size=12)
+        state = OpinionState(graph, opinions)
+        lo, hi = int(opinions.min()), int(opinions.max())
+        for _ in range(300):
+            v = int(rng.integers(0, 12))
+            new = int(rng.integers(lo, hi + 1))
+            state.apply(v, new)
+        state.check_consistency()

@@ -1,0 +1,113 @@
+"""Unit tests for repro.analysis.statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    empirical_distribution,
+    median_of,
+    mode_of,
+    summarize,
+    total_variation_distance,
+    wilson_interval,
+    winner_proportions,
+)
+from repro.errors import AnalysisError
+
+
+class TestWilson:
+    def test_basic_interval(self):
+        proportion = wilson_interval(50, 100)
+        assert proportion.estimate == pytest.approx(0.5)
+        assert proportion.low < 0.5 < proportion.high
+        assert proportion.contains(0.5)
+        assert not proportion.contains(0.9)
+
+    def test_extremes_stay_in_unit_interval(self):
+        zero = wilson_interval(0, 50)
+        assert zero.low == pytest.approx(0.0, abs=1e-12)
+        assert zero.high > 0.001
+        full = wilson_interval(50, 50)
+        assert full.high == pytest.approx(1.0, abs=1e-12)
+        assert full.low < 0.999
+
+    def test_narrows_with_trials(self):
+        wide = wilson_interval(5, 10)
+        narrow = wilson_interval(500, 1000)
+        assert (narrow.high - narrow.low) < (wide.high - wide.low)
+
+    def test_coverage_simulation(self):
+        # The 95% interval should contain the truth ~95% of the time.
+        rng = np.random.default_rng(0)
+        p, trials, hits = 0.3, 200, 0
+        for _ in range(300):
+            successes = rng.binomial(trials, p)
+            if wilson_interval(int(successes), trials).contains(p):
+                hits += 1
+        assert hits / 300 > 0.9
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            wilson_interval(1, 0)
+        with pytest.raises(AnalysisError):
+            wilson_interval(5, 3)
+        with pytest.raises(AnalysisError):
+            wilson_interval(-1, 3)
+
+
+class TestSummaries:
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.count == 4
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.stderr == pytest.approx(summary.std / 2)
+
+    def test_single_value(self):
+        summary = summarize([7.0])
+        assert summary.std == 0.0
+        assert summary.stderr == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            summarize([])
+
+
+class TestDistributions:
+    def test_empirical(self):
+        dist = empirical_distribution([1, 1, 2, 4])
+        assert dist == {1: 0.5, 2: 0.25, 4: 0.25}
+
+    def test_empirical_empty(self):
+        with pytest.raises(AnalysisError):
+            empirical_distribution([])
+
+    def test_winner_proportions(self):
+        props = winner_proportions([1, 1, 2], values=[1, 2, 3])
+        assert props[1].estimate == pytest.approx(2 / 3)
+        assert props[3].estimate == 0.0
+
+    def test_winner_proportions_empty(self):
+        with pytest.raises(AnalysisError):
+            winner_proportions([], values=[1])
+
+    def test_total_variation(self):
+        p = {1: 0.5, 2: 0.5}
+        q = {1: 0.5, 3: 0.5}
+        assert total_variation_distance(p, q) == pytest.approx(0.5)
+        assert total_variation_distance(p, p) == 0.0
+
+    def test_mode_and_median(self):
+        assert mode_of([3, 1, 1, 2]) == 1
+        assert mode_of([2, 1, 1, 2]) == 1  # smallest on ties
+        assert median_of([1, 2, 9]) == 2.0
+        assert median_of([1, 2, 3, 10]) == 2.5
+
+    def test_mode_median_empty(self):
+        with pytest.raises(AnalysisError):
+            mode_of([])
+        with pytest.raises(AnalysisError):
+            median_of([])

@@ -1,0 +1,88 @@
+"""Unit tests for repro.core.stopping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OpinionState
+from repro.core.stopping import (
+    consensus,
+    first_of,
+    make_stop_condition,
+    never,
+    range_at_most,
+    support_at_most,
+    two_adjacent,
+)
+from repro.errors import StoppingConditionError
+from repro.graphs import complete_graph
+
+
+@pytest.fixture
+def graph():
+    return complete_graph(6)
+
+
+def state_of(graph, values):
+    return OpinionState(graph, values)
+
+
+class TestPredicates:
+    def test_consensus(self, graph):
+        assert consensus(state_of(graph, [2] * 6)) == "consensus"
+        assert consensus(state_of(graph, [2, 2, 2, 2, 2, 3])) is None
+
+    def test_two_adjacent(self, graph):
+        assert two_adjacent(state_of(graph, [2, 2, 3, 3, 3, 3])) == "two_adjacent"
+        assert two_adjacent(state_of(graph, [2] * 6)) == "two_adjacent"
+        assert two_adjacent(state_of(graph, [2, 2, 4, 4, 4, 4])) is None
+        assert two_adjacent(state_of(graph, [2, 3, 4, 4, 4, 4])) is None
+
+    def test_range_at_most(self, graph):
+        condition = range_at_most(2)
+        assert condition(state_of(graph, [1, 2, 3, 3, 3, 3])) == "range<=2"
+        assert condition(state_of(graph, [1, 2, 3, 4, 4, 4])) is None
+
+    def test_range_at_most_invalid(self):
+        with pytest.raises(StoppingConditionError):
+            range_at_most(-1)
+
+    def test_support_at_most(self, graph):
+        condition = support_at_most(3)
+        # Three distinct values, not necessarily adjacent.
+        assert condition(state_of(graph, [1, 1, 5, 5, 9, 9])) == "support<=3"
+        assert condition(state_of(graph, [1, 2, 3, 4, 4, 4])) is None
+
+    def test_support_at_most_invalid(self):
+        with pytest.raises(StoppingConditionError):
+            support_at_most(0)
+
+    def test_never(self, graph):
+        assert never(state_of(graph, [2] * 6)) is None
+
+    def test_first_of(self, graph):
+        condition = first_of(consensus, range_at_most(3))
+        assert condition(state_of(graph, [1, 1, 4, 4, 4, 4])) == "range<=3"
+        assert condition(state_of(graph, [1] * 6)) == "consensus"
+        assert condition(state_of(graph, [1, 1, 9, 9, 9, 9])) is None
+
+    def test_first_of_empty(self):
+        with pytest.raises(StoppingConditionError):
+            first_of()
+
+
+class TestFactory:
+    def test_names(self):
+        assert make_stop_condition("consensus") is consensus
+        assert make_stop_condition("two_adjacent") is two_adjacent
+        assert make_stop_condition("never") is never
+
+    def test_callable_passthrough(self):
+        condition = range_at_most(1)
+        assert make_stop_condition(condition) is condition
+
+    def test_unknown(self):
+        with pytest.raises(StoppingConditionError):
+            make_stop_condition("eventually")
+        with pytest.raises(StoppingConditionError):
+            make_stop_condition(17)

@@ -1,0 +1,126 @@
+"""Unit tests for the synchronous DIV engine (repro.core.synchronous)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import OpinionState, WeightTrace
+from repro.core.synchronous import run_synchronous_div
+from repro.errors import ProcessError
+from repro.graphs import Graph, complete_graph, random_regular_graph
+
+
+class TestBasicRuns:
+    def test_reaches_consensus(self, rng):
+        graph = complete_graph(20)
+        opinions = rng.integers(1, 5, size=20)
+        result = run_synchronous_div(graph, opinions, rng=1)
+        assert result.stop_reason == "consensus"
+        assert result.winner is not None
+        assert int(opinions.min()) <= result.winner <= int(opinions.max())
+        assert result.final_support == [result.winner]
+        assert result.equivalent_steps == result.rounds * 20
+
+    def test_already_consensus(self):
+        graph = complete_graph(6)
+        result = run_synchronous_div(graph, [2] * 6, rng=0)
+        assert result.rounds == 0
+        assert result.winner == 2
+
+    def test_max_rounds(self):
+        graph = complete_graph(10)
+        result = run_synchronous_div(
+            graph, [1] * 5 + [9] * 5, stop="never", max_rounds=7, rng=0
+        )
+        assert result.rounds == 7
+        assert result.stop_reason == "max_steps"
+
+    def test_never_requires_budget(self):
+        graph = complete_graph(4)
+        with pytest.raises(ProcessError):
+            run_synchronous_div(graph, [1, 2, 1, 2], stop="never", rng=0)
+
+    def test_rejects_isolated_vertices(self):
+        with pytest.raises(ProcessError):
+            run_synchronous_div(Graph(3, [(0, 1)]), [1, 2, 3], rng=0)
+
+    def test_deterministic(self):
+        graph = complete_graph(15)
+        opinions = [1, 2, 3] * 5
+        a = run_synchronous_div(graph, opinions, rng=9)
+        b = run_synchronous_div(graph, opinions, rng=9)
+        assert (a.winner, a.rounds) == (b.winner, b.rounds)
+
+
+class TestSemantics:
+    def test_updates_are_simultaneous(self):
+        # Two vertices holding 1 and 3 on an edge: both observe each
+        # other and must *swap-converge* to 2 and 2 in one round — a
+        # sequential engine would move only one of them per step.
+        graph = Graph(2, [(0, 1)])
+        result = run_synchronous_div(graph, [1, 3], rng=0)
+        assert result.rounds == 1
+        assert result.winner == 2
+
+    def test_moves_are_single_unit(self):
+        graph = complete_graph(8)
+        opinions = [1, 1, 1, 1, 9, 9, 9, 9]
+        state_values = []
+
+        class Snap:
+            interval = 1
+
+            def sample(self, step, state):
+                state_values.append(state.values.copy())
+
+        run_synchronous_div(
+            graph, opinions, stop="never", max_rounds=5, rng=1, observers=[Snap()]
+        )
+        for before, after in zip(state_values, state_values[1:]):
+            assert np.max(np.abs(after - before)) <= 1
+
+    def test_range_never_expands(self, rng):
+        graph = random_regular_graph(30, 6, rng=rng)
+        opinions = rng.integers(2, 7, size=30)
+        result = run_synchronous_div(graph, opinions, rng=2)
+        assert 2 <= result.winner <= 6
+
+    def test_weight_trace_observer(self):
+        graph = complete_graph(12)
+        trace = WeightTrace("edge", interval=2)
+        run_synchronous_div(
+            graph,
+            [1, 1, 1, 1, 1, 1, 5, 5, 5, 5, 5, 5],
+            stop="never",
+            max_rounds=6,
+            rng=3,
+            observers=[trace],
+        )
+        assert trace.steps[0] == 0
+        assert all(s % 2 == 0 for s in trace.steps)
+
+    def test_oscillation_hits_round_budget(self):
+        # Two adjacent vertices holding {1, 2} swap forever under fully
+        # synchronous updates; the round budget must end the run.
+        graph = Graph(2, [(0, 1)])
+        result = run_synchronous_div(graph, [1, 2], max_rounds=50, rng=0)
+        assert result.stop_reason == "max_steps"
+        assert sorted(result.final_support) == [1, 2]
+
+    def test_lazy_mode_breaks_oscillation(self):
+        graph = Graph(2, [(0, 1)])
+        result = run_synchronous_div(graph, [1, 2], lazy=True, rng=0)
+        assert result.stop_reason == "consensus"
+        assert result.winner in (1, 2)
+
+    def test_rounded_average_on_regular_expander(self):
+        # Statistical: on K_n the synchronous variant also lands on the
+        # floor/ceil of the average essentially always.
+        graph = complete_graph(60)
+        opinions = [1] * 30 + [5] * 30  # mean 3
+        hits = sum(
+            run_synchronous_div(graph, opinions, rng=seed).winner in (2, 3, 4)
+            for seed in range(20)
+        )
+        assert hits >= 18

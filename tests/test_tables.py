@@ -1,0 +1,50 @@
+"""Unit tests for repro.experiments.tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.tables import ExperimentReport, Table
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(title="demo", headers=["name", "value"])
+        table.add_row("alpha", 1.23456)
+        table.add_row("b", True)
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "demo"
+        assert "alpha" in rendered
+        assert "1.235" in rendered  # 4 significant digits
+        assert "yes" in rendered  # booleans humanized
+
+    def test_row_width_checked(self):
+        table = Table(title="t", headers=["a", "b"])
+        with pytest.raises(ExperimentError):
+            table.add_row(1)
+
+    def test_notes_rendered(self):
+        table = Table(title="t", headers=["a"])
+        table.add_row(1)
+        table.add_note("hello note")
+        assert "note: hello note" in table.render()
+
+
+class TestReport:
+    def test_render_order(self):
+        report = ExperimentReport("E0", "title here")
+        report.add_line("the-preamble")
+        table = Table(title="the-table", headers=["a"])
+        table.add_row(5)
+        report.add_table(table)
+        rendered = report.render()
+        assert (
+            rendered.index("E0")
+            < rendered.index("the-preamble")
+            < rendered.index("the-table")
+        )
+
+    def test_empty_report(self):
+        assert ExperimentReport("E9", "x").render() == "== E9: x =="

@@ -25,6 +25,7 @@ from repro.analysis import run_trials
 from repro.core import StageRecorder, run_div
 from repro.core.theory import winning_probabilities
 from repro.graphs import random_regular_graph
+from repro.rng import make_rng
 
 POPULATION = 400
 ACQUAINTANCES = 16
@@ -32,9 +33,9 @@ LIKERT = {1: "disagree strongly", 2: "disagree", 3: "neutral",
           4: "agree", 5: "agree strongly"}
 
 
-def main() -> None:
+def main(seed: int = 1) -> None:
     network = random_regular_graph(POPULATION, ACQUAINTANCES, rng=0)
-    rng = np.random.default_rng(1)
+    rng = make_rng(seed)
     # A polarized survey: many strong disagreers, a block of enthusiasts.
     survey = rng.choice([1, 2, 4, 5], size=POPULATION, p=[0.35, 0.2, 0.15, 0.3])
     c = float(np.mean(survey))

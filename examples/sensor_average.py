@@ -26,17 +26,18 @@ import numpy as np
 from repro.baselines import run_continuous_gossip, run_load_balancing
 from repro.core import run_div
 from repro.graphs import gnp_random_graph
+from repro.rng import make_rng
 
 SENSORS = 250
 LINK_PROBABILITY = 0.08  # expected degree 20
 READING_RANGE = (15, 35)  # degrees Celsius
 
 
-def main() -> None:
+def main(seed: int = 1) -> None:
     mesh = gnp_random_graph(
         SENSORS, LINK_PROBABILITY, rng=0, require_connected=True
     )
-    rng = np.random.default_rng(1)
+    rng = make_rng(seed)
     readings = rng.integers(READING_RANGE[0], READING_RANGE[1] + 1, size=SENSORS)
     true_average = float(np.mean(readings))
     print(f"mesh: {mesh.n} sensors, {mesh.m} links")

@@ -2,6 +2,7 @@
 
 from repro.analysis.gof import GofResult, chi_square_gof
 from repro.analysis.initializers import (
+    counts_for_average,
     extremes_only_opinions,
     opinions_from_counts,
     opinions_with_fractional_part,
@@ -32,6 +33,7 @@ __all__ = [
     "SampleSummary",
     "TrialSet",
     "chi_square_gof",
+    "counts_for_average",
     "empirical_distribution",
     "extremes_only_opinions",
     "fit_power_law",

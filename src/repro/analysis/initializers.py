@@ -22,6 +22,18 @@ def uniform_random_opinions(n: int, k: int, rng: RngLike = None) -> np.ndarray:
     return make_rng(rng).integers(1, k + 1, size=n)
 
 
+def counts_for_average(n: int, k: int, c: float) -> Dict[int, int]:
+    """Two-point mixture of opinions ``1`` and ``k`` whose average is ≈ ``c``.
+
+    The count-level counterpart of :func:`opinions_with_mean`, shared by
+    the experiments that drive the exact complete-graph engine on
+    histograms instead of opinion vectors (E1, E3, E16).
+    """
+    x = round(n * (c - 1) / (k - 1))
+    x = min(max(x, 0), n)
+    return {1: n - x, k: x}
+
+
 def opinions_from_counts(
     counts: Dict[int, int], rng: RngLike = None, shuffle: bool = True
 ) -> np.ndarray:

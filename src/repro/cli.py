@@ -8,6 +8,9 @@ Commands
     Run experiments and print their reports (``all`` runs everything).
 ``demo``
     A 30-second tour: one DIV run with a stage trace on a small graph.
+``lint [--format json] [--rules R1,R2] [paths]``
+    Run the determinism & layering linter (see ``repro.devtools``) over
+    the given files/directories (default: ``src`` and ``tests``).
 """
 
 from __future__ import annotations
@@ -41,6 +44,31 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("demo", help="run a small annotated DIV demo")
+
+    lint = sub.add_parser(
+        "lint", help="run the determinism & layering linter"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src tests)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default text)",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
 
     report = sub.add_parser(
         "report", help="run every experiment and write one combined markdown report"
@@ -102,6 +130,39 @@ def _cmd_demo() -> int:
     return 0
 
 
+def _cmd_lint(
+    paths: List[str], fmt: str, rules: Optional[str], list_rules: bool
+) -> int:
+    from pathlib import Path
+
+    from repro import devtools
+
+    if list_rules:
+        for rule in devtools.get_rules():
+            print(f"{rule.rule_id}  [{rule.severity.value}]  {rule.title}")
+        return 0
+    rule_ids = None
+    if rules is not None:
+        # An empty --rules value falls back to the full rule set rather
+        # than silently linting with no rules at all.
+        rule_ids = [
+            part.strip() for part in rules.split(",") if part.strip()
+        ] or None
+    if not paths:
+        paths = [p for p in ("src", "tests") if Path(p).exists()] or ["."]
+    try:
+        run = devtools.lint_paths(paths, rule_ids=rule_ids)
+    except KeyError as exc:
+        known = ", ".join(devtools.all_rule_ids())
+        print(f"unknown rule id {exc.args[0]!r} (known: {known})", file=sys.stderr)
+        return 2
+    if fmt == "json":
+        print(devtools.render_json(run.findings, run.checked_files))
+    else:
+        print(devtools.render_text(run.findings, run.checked_files))
+    return 1 if run.findings else 0
+
+
 def _cmd_report(output: str, quick: bool, seed: int) -> int:
     from pathlib import Path
 
@@ -135,6 +196,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args.experiments, args.quick, args.seed, args.json)
     if args.command == "demo":
         return _cmd_demo()
+    if args.command == "lint":
+        return _cmd_lint(args.paths, args.format, args.rules, args.list_rules)
     if args.command == "report":
         return _cmd_report(args.output, args.quick, args.seed)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -1,0 +1,70 @@
+"""Developer tooling: the determinism & layering linter.
+
+``repro.devtools`` is a self-contained static-analysis pass over this
+repository's own source (stdlib ``ast`` only, no third-party linter
+involved).  It enforces the invariants the reproduction depends on:
+seed-threaded randomness (RNG001/RNG002), the core→analysis→experiments
+import DAG (LAY001), no mutable defaults (COR001) and tolerance-based
+float assertions in tests (TST001).
+
+Run it via ``div-repro lint [--format json] [--rules ...] [paths]`` or
+programmatically::
+
+    from repro.devtools import lint_paths
+    run = lint_paths(["src", "tests"])
+    assert not run.findings
+
+See ``docs/devtools.md`` for the rule catalogue and rationale.
+"""
+
+from repro.devtools.builtin import BUILTIN_RULES, RULE_DOCS
+from repro.devtools.findings import Finding, Severity
+from repro.devtools.reporters import (
+    JSON_SCHEMA_VERSION,
+    render_json,
+    render_text,
+    summarize_findings,
+)
+from repro.devtools.rules import (
+    LintContext,
+    Rule,
+    all_rule_ids,
+    get_rules,
+    register,
+)
+from repro.devtools.runner import (
+    LintRun,
+    PARSE_ERROR_RULE,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+from repro.devtools.suppressions import (
+    SuppressionIndex,
+    apply_suppressions,
+    parse_suppressions,
+)
+
+__all__ = [
+    "BUILTIN_RULES",
+    "RULE_DOCS",
+    "Finding",
+    "Severity",
+    "JSON_SCHEMA_VERSION",
+    "render_json",
+    "render_text",
+    "summarize_findings",
+    "LintContext",
+    "Rule",
+    "all_rule_ids",
+    "get_rules",
+    "register",
+    "LintRun",
+    "PARSE_ERROR_RULE",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "SuppressionIndex",
+    "apply_suppressions",
+    "parse_suppressions",
+]

@@ -1,0 +1,490 @@
+"""Built-in lint rules: determinism (RNG001/RNG002), layering (LAY001),
+correctness (COR001) and test hygiene (TST001).
+
+Every headline number this repo reproduces — the Lemma 3 martingale, the
+Lemma 5 / Theorem 2 winning probabilities — is a statistical claim whose
+verification depends on reproducible randomness and a clean
+``core → analysis → experiments`` layering.  These rules encode those
+invariants so they survive aggressive refactors; see ``docs/devtools.md``
+for the paper-grounded rationale of each rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.devtools.findings import Finding
+from repro.devtools.rules import LintContext, Rule, register
+
+#: numpy.random attributes that are *not* global-state draws: seed plumbing
+#: and generator classes are fine anywhere, module-level draw functions are
+#: not.  ``default_rng`` is deliberately absent — constructing generators is
+#: the job of :func:`repro.rng.make_rng` so seeds stay auditable.
+_NP_RANDOM_SAFE: Set[str] = {
+    "SeedSequence",
+    "Generator",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+_RNG_PARAM_NAMES = ("rng", "seed")
+
+
+def _is_rng_name(name: str) -> bool:
+    return (
+        name in _RNG_PARAM_NAMES
+        or name.endswith("_rng")
+        or name.endswith("_seed")
+    )
+
+
+def _dotted_chain(node: ast.AST) -> Optional[List[str]]:
+    """``np.random.rand`` → ``["np", "random", "rand"]``; None if the
+    expression is not a plain dotted name."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+class _ImportAliases:
+    """Track what local names refer to numpy / numpy.random / random."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.numpy: Set[str] = set()
+        self.np_random: Set[str] = set()
+        self.std_random: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "numpy":
+                        self.numpy.add(bound)
+                    elif alias.name == "numpy.random":
+                        if alias.asname:
+                            self.np_random.add(alias.asname)
+                        else:
+                            self.numpy.add("numpy")
+                    elif alias.name == "random":
+                        self.std_random.add(bound)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            self.np_random.add(alias.asname or "random")
+
+
+@register
+class GlobalRandomnessRule(Rule):
+    """RNG001 — no global-state randomness outside ``repro/rng.py``."""
+
+    rule_id = "RNG001"
+    title = "no global-state randomness"
+    rationale = (
+        "Calls to random.* or np.random.* module functions draw from hidden "
+        "global state, so two runs with the same --seed can diverge the "
+        "moment any import order or call order changes.  All randomness "
+        "must flow through repro.rng.make_rng / an rng parameter."
+    )
+
+    _SUGGESTION = (
+        "thread a numpy Generator through an `rng` parameter and create it "
+        "with repro.rng.make_rng(seed)"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.is_rng_module:
+            return
+        aliases = _ImportAliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "random":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "import from the stdlib `random` module (global-state "
+                        "randomness)",
+                        self._SUGGESTION,
+                    )
+                elif node.module == "numpy.random":
+                    bad = [a.name for a in node.names if a.name not in _NP_RANDOM_SAFE]
+                    if bad:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "import of numpy.random module function(s) "
+                            f"{', '.join(sorted(bad))}",
+                            self._SUGGESTION,
+                        )
+            elif isinstance(node, ast.Call):
+                chain = _dotted_chain(node.func)
+                if chain is None:
+                    continue
+                offender = self._classify(chain, aliases)
+                if offender is not None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"call to global-state randomness `{offender}`",
+                        self._SUGGESTION,
+                    )
+
+    @staticmethod
+    def _classify(chain: List[str], aliases: _ImportAliases) -> Optional[str]:
+        # np.random.<fn>(...) via a numpy alias
+        if len(chain) >= 3 and chain[0] in aliases.numpy and chain[1] == "random":
+            if chain[2] not in _NP_RANDOM_SAFE:
+                return ".".join(chain[:3])
+        # npr.<fn>(...) via a numpy.random alias
+        if len(chain) >= 2 and chain[0] in aliases.np_random:
+            if chain[1] not in _NP_RANDOM_SAFE:
+                return ".".join(chain[:2])
+        # random.<fn>(...) via the stdlib module
+        if len(chain) >= 2 and chain[0] in aliases.std_random:
+            return ".".join(chain[:2])
+        return None
+
+
+@register
+class RngThreadingRule(Rule):
+    """RNG002 — functions that make generators must thread a seed/rng
+    parameter into them."""
+
+    rule_id = "RNG002"
+    title = "thread rng/seed parameters into make_rng"
+    rationale = (
+        "A make_rng() call with no argument (fresh OS entropy) or with a "
+        "constant that ignores the caller's seed silently detaches a code "
+        "path from the experiment's master seed, so results tables stop "
+        "being reproducible even though every run 'uses make_rng'."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.is_test:
+            return
+        yield from self._walk(ctx, ctx.tree, scope_stack=[])
+
+    def _walk(
+        self,
+        ctx: LintContext,
+        node: ast.AST,
+        scope_stack: List["_Scope"],
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scope = _Scope(child.name, child)
+                yield from self._walk(ctx, child, scope_stack + [scope])
+            elif isinstance(child, ast.Lambda):
+                scope = _Scope("<lambda>", child)
+                yield from self._walk(ctx, child, scope_stack + [scope])
+            else:
+                if isinstance(child, ast.Call) and self._is_make_rng(child.func):
+                    yield from self._check_call(ctx, child, scope_stack)
+                yield from self._walk(ctx, child, scope_stack)
+
+    @staticmethod
+    def _is_make_rng(func: ast.AST) -> bool:
+        return (isinstance(func, ast.Name) and func.id == "make_rng") or (
+            isinstance(func, ast.Attribute) and func.attr == "make_rng"
+        )
+
+    def _check_call(
+        self,
+        ctx: LintContext,
+        call: ast.Call,
+        scope_stack: List["_Scope"],
+    ) -> Iterator[Finding]:
+        where = scope_stack[-1].name if scope_stack else "module level"
+        args = list(call.args) + [kw.value for kw in call.keywords]
+        if not args:
+            yield self.finding(
+                ctx,
+                call,
+                f"make_rng() with no argument in {where} draws fresh OS "
+                "entropy; results cannot be reproduced",
+                "accept an `rng: RngLike` parameter and pass it through",
+            )
+            return
+        if not any(_mentions_rng(arg, scope_stack) for arg in args):
+            yield self.finding(
+                ctx,
+                call,
+                f"make_rng(...) in {where} does not reference any rng/seed "
+                "name, so the caller's seed is ignored",
+                "derive the argument from an `rng`/`seed` parameter "
+                "(repro.rng.derive_seed helps for index paths)",
+            )
+            return
+        rng_params = [
+            name
+            for scope in scope_stack
+            for name in scope.params
+            if _is_rng_name(name)
+        ]
+        public = bool(scope_stack) and not scope_stack[0].name.startswith("_")
+        if public and not rng_params:
+            yield self.finding(
+                ctx,
+                call,
+                f"public function `{scope_stack[0].name}` draws randomness "
+                "but has no rng/seed parameter",
+                "add an `rng: RngLike = None` parameter and thread it to "
+                "make_rng",
+            )
+
+
+class _Scope:
+    """A function scope: its name, parameters and simple local bindings
+    (``name = expr``), used to trace a make_rng argument back to a seed."""
+
+    def __init__(self, name: str, node: ast.AST) -> None:
+        self.name = name
+        args = getattr(node, "args", None)
+        self.params: List[str] = (
+            [a.arg for a in _all_args(args)] if args is not None else []
+        )
+        self.assigns: Dict[str, ast.AST] = {}
+        for child in ast.walk(node):
+            if isinstance(child, ast.Assign) and len(child.targets) == 1:
+                target = child.targets[0]
+                if isinstance(target, ast.Name):
+                    self.assigns[target.id] = child.value
+            elif isinstance(child, ast.AnnAssign) and child.value is not None:
+                if isinstance(child.target, ast.Name):
+                    self.assigns[child.target.id] = child.value
+
+
+def _mentions_rng(
+    expr: ast.AST,
+    scope_stack: List[_Scope],
+    _seen: Optional[Set[str]] = None,
+    _depth: int = 3,
+) -> bool:
+    """True when ``expr`` references an rng/seed-ish name, following simple
+    local assignments a few hops (``ss = SeedSequence(seed); make_rng(ss)``)."""
+    seen = _seen if _seen is not None else set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute) and _is_rng_name(node.attr):
+            return True
+        if not isinstance(node, ast.Name):
+            continue
+        if _is_rng_name(node.id):
+            return True
+        if _depth <= 0 or node.id in seen:
+            continue
+        for scope in reversed(scope_stack):
+            value = scope.assigns.get(node.id)
+            if value is not None and value is not expr:
+                seen.add(node.id)
+                if _mentions_rng(value, scope_stack, seen, _depth - 1):
+                    return True
+                break
+    return False
+
+
+def _all_args(args: ast.arguments) -> List[ast.arg]:
+    out = list(getattr(args, "posonlyargs", [])) + list(args.args)
+    if args.vararg:
+        out.append(args.vararg)
+    out.extend(args.kwonlyargs)
+    if args.kwarg:
+        out.append(args.kwarg)
+    return out
+
+
+#: module prefixes repro.core may never import (directly): higher layers and
+#: the stochastic graph generators.
+_CORE_FORBIDDEN: Tuple[str, ...] = (
+    "repro.experiments",
+    "repro.analysis",
+    "repro.baselines",
+    "repro.graphs.generators",
+)
+
+
+@register
+class LayeringRule(Rule):
+    """LAY001 — enforce the ``core → analysis → experiments`` import DAG."""
+
+    rule_id = "LAY001"
+    title = "import layering"
+    rationale = (
+        "repro.core must stay a leaf layer (it may not import experiments, "
+        "analysis, baselines or the stochastic graph generators), and "
+        "experiment modules may not import each other — shared helpers "
+        "belong in repro.analysis or repro.experiments.tables.  Without the "
+        "DAG, a refactor of one experiment can silently shift the RNG "
+        "consumption order of another."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        module = ctx.module
+        if not module:
+            return
+        in_core = module == "repro.core" or module.startswith("repro.core.")
+        is_package = ctx.path.replace("\\", "/").endswith("/__init__.py")
+        for node in ast.walk(ctx.tree):
+            # One finding per import statement, even when several of the
+            # names it binds resolve into the same forbidden layer.
+            for target in self._imported_modules(node, module, is_package):
+                if in_core and any(
+                    target == p or target.startswith(p + ".")
+                    for p in _CORE_FORBIDDEN
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"repro.core module imports `{target}`; core may not "
+                        "depend on "
+                        "experiments/analysis/baselines/graphs.generators",
+                        "invert the dependency or move the shared helper "
+                        "below core",
+                    )
+                    break
+                if (
+                    ctx.is_experiment_module
+                    and _is_experiment_impl(target)
+                    and target != module
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"experiment module imports sibling experiment "
+                        f"`{target}`",
+                        "move the shared helper into repro.analysis (or the "
+                        "experiments registry/tables layer)",
+                    )
+                    break
+
+    @staticmethod
+    def _imported_modules(
+        node: ast.AST, current: str, is_package: bool
+    ) -> List[str]:
+        """Resolve an Import/ImportFrom to the dotted modules it binds,
+        treating ``from pkg import name`` as importing ``pkg.name`` (the
+        form used for submodule imports)."""
+        if isinstance(node, ast.Import):
+            return [alias.name for alias in node.names]
+        if isinstance(node, ast.ImportFrom):
+            if node.level:
+                hops = node.level if not is_package else node.level - 1
+                package = current
+                if hops:
+                    package = current.rsplit(".", hops)[0]
+                base = f"{package}.{node.module}" if node.module else package
+            else:
+                base = node.module or ""
+            return [base] + [f"{base}.{alias.name}" for alias in node.names]
+        return []
+
+
+def _is_experiment_impl(module: str) -> bool:
+    from repro.devtools.rules import _EXPERIMENT_MODULE
+
+    return bool(_EXPERIMENT_MODULE.match(module))
+
+
+@register
+class MutableDefaultRule(Rule):
+    """COR001 — no mutable default arguments."""
+
+    rule_id = "COR001"
+    title = "no mutable default arguments"
+    rationale = (
+        "A mutable default ([] / {} / set()) is evaluated once at import "
+        "time and shared across calls; accumulated state leaks between "
+        "trials, which is exactly the cross-run contamination the "
+        "Monte-Carlo harness is built to prevent."
+    )
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict"}
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if self._is_mutable(default):
+                        name = getattr(node, "name", "<lambda>")
+                        yield self.finding(
+                            ctx,
+                            default,
+                            f"mutable default argument in `{name}`",
+                            "default to None and create the container inside "
+                            "the function",
+                        )
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            return isinstance(func, ast.Name) and func.id in self._MUTABLE_CALLS
+        return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    """TST001 — no bare ``==`` float comparisons in tests."""
+
+    rule_id = "TST001"
+    title = "no bare float equality in tests"
+    rationale = (
+        "The quantities our tests assert on (winning probabilities, "
+        "potential drifts, spectral gaps) come out of floating-point "
+        "pipelines; `x == 0.1` passes or fails with BLAS version and "
+        "summation order.  Compare through pytest.approx or math.isclose "
+        "with an explicit tolerance."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.is_test:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            relevant = any(
+                isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+            )
+            if not relevant:
+                continue
+            for operand in operands:
+                if isinstance(operand, ast.Constant) and isinstance(
+                    operand.value, float
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "bare ==/!= against a float literal "
+                        f"({operand.value!r})",
+                        "use pytest.approx(...) or math.isclose(...) with an "
+                        "explicit tolerance",
+                    )
+                    break
+
+
+BUILTIN_RULES: Sequence[type] = (
+    GlobalRandomnessRule,
+    RngThreadingRule,
+    LayeringRule,
+    MutableDefaultRule,
+    FloatEqualityRule,
+)
+
+RULE_DOCS: Dict[str, str] = {
+    cls.rule_id: cls.rationale for cls in BUILTIN_RULES
+}

@@ -1,0 +1,61 @@
+"""Finding model for the determinism & layering linter.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+are plain frozen dataclasses so reporters can serialise them without any
+knowledge of the rule that produced them, and so tests can compare them
+structurally.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings make the lint run exit non-zero; ``WARNING``
+    findings are reported but advisory (no built-in rule currently uses
+    it — the hook exists so project-specific rules can opt out of gating
+    CI while they are being rolled out).
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at ``path:line:col``."""
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    suggestion: Optional[str] = field(default=None)
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (stable schema, see ``reporters``)."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suggestion": self.suggestion,
+        }

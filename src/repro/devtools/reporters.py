@@ -1,0 +1,70 @@
+"""Text and JSON reporters for lint findings.
+
+The JSON schema is versioned and stable so CI annotations and editor
+integrations can rely on it:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "summary": {"total": 2, "errors": 2, "warnings": 0, "files": 1},
+      "findings": [
+        {"rule": "RNG001", "severity": "error", "path": "src/x.py",
+         "line": 3, "col": 4, "message": "...", "suggestion": "..."}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from repro.devtools.findings import Finding, Severity
+
+JSON_SCHEMA_VERSION = 1
+
+
+def summarize_findings(findings: Sequence[Finding]) -> dict:
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    return {
+        "total": len(findings),
+        "errors": errors,
+        "warnings": len(findings) - errors,
+        "files": len({f.path for f in findings}),
+    }
+
+
+def render_text(findings: Sequence[Finding], checked_files: int = 0) -> str:
+    """GCC-style one-line-per-finding report with a trailing summary."""
+    lines: List[str] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        lines.append(
+            f"{finding.location}: {finding.rule_id} "
+            f"[{finding.severity.value}] {finding.message}"
+        )
+        if finding.suggestion:
+            lines.append(f"    hint: {finding.suggestion}")
+    summary = summarize_findings(findings)
+    if findings:
+        lines.append("")
+        lines.append(
+            f"{summary['total']} finding(s) "
+            f"({summary['errors']} error(s), {summary['warnings']} "
+            f"warning(s)) in {summary['files']} file(s)"
+        )
+    else:
+        lines.append(f"clean: no findings in {checked_files} file(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], checked_files: int = 0) -> str:
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "checked_files": checked_files,
+        "summary": summarize_findings(findings),
+        "findings": [
+            f.to_dict() for f in sorted(findings, key=Finding.sort_key)
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -1,0 +1,153 @@
+"""Rule base class, lint context, and the pluggable rule registry.
+
+A rule is a class with a ``rule_id``, a ``severity`` and a ``check``
+method that walks a parsed module and yields :class:`Finding` objects.
+Rules register themselves with the :func:`register` decorator; the
+runner asks the registry for the active set, so downstream projects (or
+tests) can add rules without touching the runner.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+
+from repro.devtools.findings import Finding, Severity
+
+_EXPERIMENT_MODULE = re.compile(r"^repro\.experiments\.e\d+_\w+$")
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may need about the file being linted."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: Dotted module name (``repro.core.engine``) when the file lives under
+    #: a ``repro`` package root, else ``None``.
+    module: Optional[str] = None
+    #: True for test code (``tests/`` directories, ``test_*.py``,
+    #: ``conftest.py``).  Some rules only apply to tests, some skip them.
+    is_test: bool = False
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+        if self.module is None:
+            self.module = module_name_for_path(self.path)
+        if not self.is_test:
+            self.is_test = is_test_path(self.path)
+
+    @property
+    def is_rng_module(self) -> bool:
+        """True for ``repro/rng.py`` — the one place global RNG APIs may live."""
+        return self.module == "repro.rng"
+
+    @property
+    def is_experiment_module(self) -> bool:
+        return bool(self.module and _EXPERIMENT_MODULE.match(self.module))
+
+
+def module_name_for_path(path: str) -> Optional[str]:
+    """Map a file path onto its dotted module name under ``repro``.
+
+    ``src/repro/core/engine.py`` → ``repro.core.engine``;
+    ``tests/test_engine.py`` → ``None`` (not part of the package).
+    """
+    parts = path.replace("\\", "/").split("/")
+    if "repro" not in parts:
+        return None
+    anchor = parts.index("repro")
+    dotted = parts[anchor:]
+    if not dotted[-1].endswith(".py"):
+        return None
+    dotted[-1] = dotted[-1][: -len(".py")]
+    if dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted)
+
+
+def is_test_path(path: str) -> bool:
+    parts = path.replace("\\", "/").split("/")
+    name = parts[-1]
+    return (
+        "tests" in parts[:-1]
+        or name.startswith("test_")
+        or name == "conftest.py"
+    )
+
+
+class Rule:
+    """Base class for lint rules.  Subclasses set the class attributes
+    and implement :meth:`check`."""
+
+    rule_id: str = ""
+    title: str = ""
+    severity: Severity = Severity.ERROR
+    #: One-paragraph rationale, surfaced by ``div-repro lint --list-rules``.
+    rationale: str = ""
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: LintContext,
+        node: ast.AST,
+        message: str,
+        suggestion: Optional[str] = None,
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            suggestion=suggestion,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} must define a rule_id")
+    if cls.rule_id in _REGISTRY and _REGISTRY[cls.rule_id] is not cls:
+        raise ValueError(f"duplicate rule id {cls.rule_id!r}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rule_ids() -> List[str]:
+    _ensure_builtin_loaded()
+    return sorted(_REGISTRY)
+
+
+def get_rules(rule_ids: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Instantiate the requested rules (all registered rules by default).
+
+    Raises :class:`KeyError` naming the first unknown id.
+    """
+    _ensure_builtin_loaded()
+    if rule_ids is None:
+        ids: Iterable[str] = sorted(_REGISTRY)
+    else:
+        ids = rule_ids
+    rules = []
+    for rule_id in ids:
+        if rule_id not in _REGISTRY:
+            raise KeyError(rule_id)
+        rules.append(_REGISTRY[rule_id]())
+    return rules
+
+
+def _ensure_builtin_loaded() -> None:
+    # Imported lazily to avoid a circular import at module load time.
+    from repro.devtools import builtin  # noqa: F401

@@ -1,0 +1,132 @@
+"""Lint runner: file discovery, parsing, rule execution, suppression.
+
+The public entry points are :func:`lint_source` (one in-memory snippet —
+what the test-suite fixtures use) and :func:`lint_paths` (files and
+directory trees — what the CLI uses).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.devtools.findings import Finding, Severity
+from repro.devtools.rules import LintContext, Rule, get_rules
+from repro.devtools.suppressions import apply_suppressions, parse_suppressions
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = {
+    "__pycache__",
+    ".git",
+    ".pytest_cache",
+    ".ruff_cache",
+    "build",
+    "dist",
+}
+
+#: Rule id used for files that fail to parse at all.
+PARSE_ERROR_RULE = "PARSE"
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen = set()
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            parts = set(candidate.parts)
+            if parts & _SKIP_DIRS or any(
+                p.endswith(".egg-info") for p in candidate.parts
+            ):
+                continue
+            key = str(candidate)
+            if key not in seen:
+                seen.add(key)
+                out.append(candidate)
+    return out
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+    rule_ids: Optional[Sequence[str]] = None,
+    is_test: Optional[bool] = None,
+    module: Optional[str] = None,
+) -> List[Finding]:
+    """Lint one source string and return the surviving findings.
+
+    ``path`` drives module-name and test-file inference exactly as it
+    would for an on-disk file, so fixtures can simulate any layout;
+    ``is_test``/``module`` override the inference when provided.
+    """
+    if rules is None:
+        rules = get_rules(rule_ids)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule_id=PARSE_ERROR_RULE,
+                severity=Severity.ERROR,
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = LintContext(path=path, source=source, tree=tree, module=module)
+    if is_test is not None:
+        ctx.is_test = is_test
+    findings: List[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(ctx))
+    return apply_suppressions(findings, parse_suppressions(source))
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    rule_ids: Optional[Sequence[str]] = None,
+) -> "LintRun":
+    """Lint every python file reachable from ``paths``."""
+    rules = get_rules(rule_ids)
+    files = iter_python_files(paths)
+    findings: List[Finding] = []
+    for file_path in files:
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(
+                Finding(
+                    rule_id=PARSE_ERROR_RULE,
+                    severity=Severity.ERROR,
+                    path=str(file_path),
+                    line=1,
+                    col=0,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            continue
+        findings.extend(lint_source(source, path=str(file_path), rules=rules))
+    return LintRun(findings=findings, checked_files=len(files))
+
+
+class LintRun:
+    """Result of a :func:`lint_paths` invocation."""
+
+    def __init__(self, findings: List[Finding], checked_files: int) -> None:
+        self.findings = sorted(findings, key=Finding.sort_key)
+        self.checked_files = checked_files
+
+    @property
+    def has_errors(self) -> bool:
+        return any(f.severity is Severity.ERROR for f in self.findings)
+
+    def __bool__(self) -> bool:  # truthy when clean, like a passing check
+        return not self.findings

@@ -1,0 +1,85 @@
+"""Suppression comments for the linter.
+
+Two forms, both parsed from real COMMENT tokens (so the marker inside a
+string literal does not suppress anything):
+
+``# lint: disable=RNG001[,LAY001]``
+    Suppress the named rules on this physical line; with no ``=RULES``
+    part, suppress every rule on the line.
+
+``# lint: disable-file=RNG001[,LAY001]``
+    Suppress the named rules (or all rules) for the whole file, wherever
+    the comment appears.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.devtools.findings import Finding
+
+_MARKER = re.compile(
+    r"#\s*lint:\s*(?P<kind>disable-file|disable)\s*(?:=\s*(?P<rules>[A-Za-z0-9_,\s]+?))?\s*(?:#|$)"
+)
+
+#: Sentinel meaning "every rule".
+ALL = "*"
+
+
+@dataclass
+class SuppressionIndex:
+    """Per-line and per-file suppressed rule ids for one source file."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    file_level: Set[str] = field(default_factory=set)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        if ALL in self.file_level or finding.rule_id in self.file_level:
+            return True
+        rules = self.by_line.get(finding.line)
+        if rules is None:
+            return False
+        return ALL in rules or finding.rule_id in rules
+
+
+def parse_suppressions(source: str) -> SuppressionIndex:
+    """Extract suppression markers from ``source``.
+
+    Tolerates files that do not tokenize (the runner reports those as
+    parse findings anyway) by returning an empty index.
+    """
+    index = SuppressionIndex()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return index
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _MARKER.search(token.string)
+        if match is None:
+            continue
+        rules = _parse_rule_list(match.group("rules"))
+        if match.group("kind") == "disable-file":
+            index.file_level |= rules
+        else:
+            line = token.start[0]
+            index.by_line.setdefault(line, set()).update(rules)
+    return index
+
+
+def _parse_rule_list(raw: Optional[str]) -> Set[str]:
+    if raw is None:
+        return {ALL}
+    rules = {part.strip() for part in raw.split(",") if part.strip()}
+    return rules or {ALL}
+
+
+def apply_suppressions(
+    findings: List[Finding], index: SuppressionIndex
+) -> List[Finding]:
+    return [f for f in findings if not index.is_suppressed(f)]

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.gof import chi_square_gof
+from repro.analysis.initializers import counts_for_average
 from repro.analysis.montecarlo import run_trials_over
 from repro.analysis.statistics import wilson_interval
 from repro.core.fast_complete import run_div_complete
@@ -38,13 +39,6 @@ class Config:
     def quick(cls) -> "Config":
         """Benchmark-scale configuration."""
         return cls(n=150, k=5, fractions=(0.25, 0.5, 0.75), trials=120)
-
-
-def counts_for_average(n: int, k: int, c: float) -> dict:
-    """Two-point mixture of opinions 1 and k whose average is ≈ c."""
-    x = round(n * (c - 1) / (k - 1))
-    x = min(max(x, 0), n)
-    return {1: n - x, k: x}
 
 
 def run(config: Config = None, seed: RngLike = 0) -> ExperimentReport:

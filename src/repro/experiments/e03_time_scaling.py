@@ -18,7 +18,7 @@ from repro.analysis.scaling import fit_power_law
 from repro.analysis.statistics import summarize
 from repro.core.fast_complete import run_div_complete
 from repro.core.theory import complete_graph_lambda, expected_reduction_time_bound
-from repro.experiments.e01_winning_distribution import counts_for_average
+from repro.analysis.initializers import counts_for_average
 from repro.experiments.tables import ExperimentReport, Table
 from repro.rng import RngLike
 

@@ -22,7 +22,7 @@ from typing import Sequence
 from repro.analysis.montecarlo import run_trials_over
 from repro.analysis.statistics import wilson_interval
 from repro.core.fast_complete import run_div_complete
-from repro.experiments.e01_winning_distribution import counts_for_average
+from repro.analysis.initializers import counts_for_average
 from repro.experiments.tables import ExperimentReport, Table
 from repro.rng import RngLike
 

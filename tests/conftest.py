@@ -5,6 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.rng import make_rng
+
 from repro.graphs import (
     Graph,
     complete_graph,
@@ -19,7 +21,7 @@ from repro.graphs import (
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A fixed-seed generator; tests stay deterministic."""
-    return np.random.default_rng(12345)
+    return make_rng(12345)
 
 
 @pytest.fixture

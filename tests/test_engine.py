@@ -17,6 +17,7 @@ from repro.core.observers import ChangeLog, FirstTimeTracker
 from repro.core.stopping import MAX_STEPS_REASON, never, two_adjacent
 from repro.errors import ProcessError
 from repro.graphs import complete_graph
+from repro.rng import make_rng
 
 
 @pytest.fixture
@@ -25,7 +26,7 @@ def graph():
 
 
 def fresh_state(graph, rng=None):
-    rng = rng or np.random.default_rng(0)
+    rng = rng or make_rng(0)
     return OpinionState(graph, rng.integers(1, 5, size=graph.n))
 
 
@@ -188,7 +189,7 @@ class TestObservers:
         # Weak sanity: over many short pull runs the mean S-drift is ~0.
         drifts = []
         for seed in range(40):
-            state = fresh_state(graph, np.random.default_rng(1))
+            state = fresh_state(graph, make_rng(1))
             s0 = state.total_sum
             run_dynamics(
                 state,

@@ -1,0 +1,532 @@
+"""Tests for the determinism & layering linter (``repro.devtools``).
+
+Each rule gets a known-bad fixture (must fire, with the right rule id
+and line number) and a known-good one (must stay silent).  Suppression
+comments, the JSON reporter schema, the CLI wiring and a self-check
+that ``src/repro`` is lint-clean round out the suite.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro import devtools
+from repro.cli import main as cli_main
+from repro.devtools import (
+    Finding,
+    Severity,
+    lint_paths,
+    lint_source,
+    parse_suppressions,
+    render_json,
+    render_text,
+)
+
+SRC_PATH = "src/repro/analysis/example.py"
+CORE_PATH = "src/repro/core/example.py"
+TEST_PATH = "tests/test_example.py"
+
+
+def lint(source: str, path: str = SRC_PATH, **kwargs):
+    return lint_source(textwrap.dedent(source), path=path, **kwargs)
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestRNG001:
+    def test_np_random_module_function_flagged(self):
+        findings = lint(
+            """\
+            import numpy as np
+
+            def sample(n):
+                return np.random.rand(n)
+            """
+        )
+        assert rule_ids(findings) == ["RNG001"]
+        assert findings[0].line == 4
+        assert "np.random.rand" in findings[0].message
+
+    def test_default_rng_flagged_outside_rng_module(self):
+        findings = lint(
+            """\
+            import numpy as np
+            gen = np.random.default_rng(0)
+            """
+        )
+        assert rule_ids(findings) == ["RNG001"]
+
+    def test_stdlib_random_call_flagged(self):
+        findings = lint(
+            """\
+            import random
+
+            def pick(items):
+                return random.choice(items)
+            """
+        )
+        assert rule_ids(findings) == ["RNG001"]
+        assert findings[0].line == 4
+
+    def test_stdlib_random_from_import_flagged(self):
+        findings = lint("from random import shuffle\n")
+        assert rule_ids(findings) == ["RNG001"]
+        assert findings[0].line == 1
+
+    def test_numpy_random_alias_flagged(self):
+        findings = lint(
+            """\
+            from numpy import random as npr
+            x = npr.normal(0.0, 1.0)
+            """
+        )
+        assert rule_ids(findings) == ["RNG001"]
+
+    def test_seed_plumbing_classes_allowed(self):
+        findings = lint(
+            """\
+            import numpy as np
+            from repro.rng import make_rng
+
+            def stream(seed):
+                ss = np.random.SeedSequence(seed)
+                return make_rng(ss)
+            """
+        )
+        assert findings == []
+
+    def test_rng_module_itself_exempt(self):
+        findings = lint(
+            """\
+            import numpy as np
+
+            def make_rng(seed=None):
+                return np.random.default_rng(seed)
+            """,
+            path="src/repro/rng.py",
+        )
+        assert findings == []
+
+    def test_generator_method_calls_allowed(self):
+        findings = lint(
+            """\
+            from repro.rng import make_rng
+
+            def sample(n, rng=None):
+                return make_rng(rng).integers(0, 10, size=n)
+            """
+        )
+        assert findings == []
+
+
+class TestRNG002:
+    def test_no_arg_make_rng_flagged(self):
+        findings = lint(
+            """\
+            from repro.rng import make_rng
+
+            def simulate(n):
+                gen = make_rng()
+                return gen.integers(0, n)
+            """
+        )
+        assert rule_ids(findings) == ["RNG002"]
+        assert findings[0].line == 4
+
+    def test_constant_seed_in_public_function_flagged(self):
+        findings = lint(
+            """\
+            from repro.rng import make_rng
+
+            def simulate(n):
+                gen = make_rng(42)
+                return gen.integers(0, n)
+            """
+        )
+        assert rule_ids(findings) == ["RNG002"]
+
+    def test_threaded_rng_parameter_ok(self):
+        findings = lint(
+            """\
+            from repro.rng import make_rng
+
+            def simulate(n, rng=None):
+                gen = make_rng(rng)
+                return gen.integers(0, n)
+            """
+        )
+        assert findings == []
+
+    def test_seed_attribute_threading_ok(self):
+        findings = lint(
+            """\
+            from repro.rng import make_rng
+
+            def simulate(config, seed=None):
+                gen = make_rng(config.seed if seed is None else seed)
+                return gen.integers(0, 10)
+            """
+        )
+        assert findings == []
+
+    def test_nested_closure_sees_enclosing_seed(self):
+        findings = lint(
+            """\
+            from repro.rng import make_rng
+
+            def driver(trials, seed=0):
+                def one(i):
+                    return make_rng(seed + i).integers(0, 10)
+                return [one(i) for i in range(trials)]
+            """
+        )
+        assert findings == []
+
+    def test_skipped_in_test_files(self):
+        findings = lint(
+            """\
+            from repro.rng import make_rng
+
+            def test_something():
+                gen = make_rng()
+                assert gen is not None
+            """,
+            path=TEST_PATH,
+        )
+        assert findings == []
+
+
+class TestLAY001:
+    def test_core_importing_experiments_flagged(self):
+        findings = lint(
+            "from repro.experiments.tables import Table\n", path=CORE_PATH
+        )
+        assert rule_ids(findings) == ["LAY001"]
+        assert findings[0].line == 1
+
+    def test_core_importing_generators_flagged(self):
+        findings = lint(
+            "from repro.graphs import generators\n", path=CORE_PATH
+        )
+        assert rule_ids(findings) == ["LAY001"]
+
+    def test_core_importing_graph_substrate_ok(self):
+        findings = lint(
+            """\
+            from repro.graphs.graph import Graph
+            from repro.rng import RngLike, make_rng
+            from repro.errors import ProcessError
+            """,
+            path=CORE_PATH,
+        )
+        assert findings == []
+
+    def test_experiment_cross_import_flagged(self):
+        findings = lint(
+            "from repro.experiments.e01_winning_distribution import run\n",
+            path="src/repro/experiments/e03_time_scaling.py",
+        )
+        assert rule_ids(findings) == ["LAY001"]
+
+    def test_experiment_importing_shared_layers_ok(self):
+        findings = lint(
+            """\
+            from repro.analysis.initializers import counts_for_average
+            from repro.experiments.tables import ExperimentReport
+            from repro.core.fast_complete import run_div_complete
+            """,
+            path="src/repro/experiments/e03_time_scaling.py",
+        )
+        assert findings == []
+
+    def test_analysis_importing_core_ok(self):
+        findings = lint("from repro.core.engine import run_dynamics\n")
+        assert findings == []
+
+
+class TestCOR001:
+    def test_list_default_flagged(self):
+        findings = lint(
+            """\
+            def collect(item, acc=[]):
+                acc.append(item)
+                return acc
+            """
+        )
+        assert rule_ids(findings) == ["COR001"]
+        assert findings[0].line == 1
+
+    def test_dict_and_set_call_defaults_flagged(self):
+        findings = lint(
+            """\
+            def merge(a, cache={}, seen=set()):
+                return a
+            """
+        )
+        assert rule_ids(findings) == ["COR001", "COR001"]
+
+    def test_kwonly_mutable_default_flagged(self):
+        findings = lint(
+            """\
+            def merge(a, *, cache={}):
+                return a
+            """
+        )
+        assert rule_ids(findings) == ["COR001"]
+
+    def test_none_and_tuple_defaults_ok(self):
+        findings = lint(
+            """\
+            def merge(a, cache=None, shape=(2, 3), name="x"):
+                return a
+            """
+        )
+        assert findings == []
+
+
+class TestTST001:
+    def test_bare_float_equality_flagged(self):
+        findings = lint(
+            """\
+            def test_mean():
+                assert compute_mean([1, 2]) == 1.5
+            """,
+            path=TEST_PATH,
+        )
+        assert rule_ids(findings) == ["TST001"]
+        assert findings[0].line == 2
+
+    def test_not_equal_float_flagged(self):
+        findings = lint(
+            """\
+            def test_drift():
+                assert drift() != 0.0
+            """,
+            path=TEST_PATH,
+        )
+        assert rule_ids(findings) == ["TST001"]
+
+    def test_approx_comparison_ok(self):
+        findings = lint(
+            """\
+            import pytest
+
+            def test_mean():
+                assert compute_mean([1, 2]) == pytest.approx(1.5)
+            """,
+            path=TEST_PATH,
+        )
+        assert findings == []
+
+    def test_int_equality_ok(self):
+        findings = lint(
+            """\
+            def test_count():
+                assert count() == 3
+            """,
+            path=TEST_PATH,
+        )
+        assert findings == []
+
+    def test_only_applies_to_tests(self):
+        findings = lint("GOLDEN = 1.0\nOK = GOLDEN == 1.0\n", path=SRC_PATH)
+        assert findings == []
+
+    def test_float_inequality_comparisons_ok(self):
+        findings = lint(
+            """\
+            def test_bound():
+                assert error() <= 0.5
+            """,
+            path=TEST_PATH,
+        )
+        assert findings == []
+
+
+class TestSuppressions:
+    BAD_LINE = "import numpy as np\nx = np.random.rand(3)"
+
+    def test_line_suppression(self):
+        src = "import numpy as np\nx = np.random.rand(3)  # lint: disable=RNG001\n"
+        assert lint_source(src, path=SRC_PATH) == []
+
+    def test_line_suppression_all_rules(self):
+        src = "import numpy as np\nx = np.random.rand(3)  # lint: disable\n"
+        assert lint_source(src, path=SRC_PATH) == []
+
+    def test_line_suppression_wrong_rule_keeps_finding(self):
+        src = "import numpy as np\nx = np.random.rand(3)  # lint: disable=TST001\n"
+        assert rule_ids(lint_source(src, path=SRC_PATH)) == ["RNG001"]
+
+    def test_file_suppression(self):
+        src = (
+            "# lint: disable-file=RNG001\n"
+            "import numpy as np\n"
+            "x = np.random.rand(3)\n"
+            "y = np.random.rand(3)\n"
+        )
+        assert lint_source(src, path=SRC_PATH) == []
+
+    def test_marker_inside_string_is_not_a_suppression(self):
+        src = (
+            "import numpy as np\n"
+            'MSG = "# lint: disable=RNG001"\n'
+            "x = np.random.rand(3)\n"
+        )
+        assert rule_ids(lint_source(src, path=SRC_PATH)) == ["RNG001"]
+
+    def test_parse_suppressions_index(self):
+        index = parse_suppressions(
+            "x = 1  # lint: disable=RNG001,TST001\n# lint: disable-file=COR001\n"
+        )
+        assert index.by_line[1] == {"RNG001", "TST001"}
+        assert index.file_level == {"COR001"}
+
+
+class TestReporters:
+    def _findings(self):
+        return lint(
+            """\
+            import numpy as np
+            x = np.random.rand(3)
+            """
+        )
+
+    def test_json_schema(self):
+        findings = self._findings()
+        payload = json.loads(render_json(findings, checked_files=1))
+        assert payload["version"] == devtools.JSON_SCHEMA_VERSION
+        assert payload["checked_files"] == 1
+        assert payload["summary"] == {
+            "total": 1,
+            "errors": 1,
+            "warnings": 0,
+            "files": 1,
+        }
+        (entry,) = payload["findings"]
+        assert set(entry) == {
+            "rule",
+            "severity",
+            "path",
+            "line",
+            "col",
+            "message",
+            "suggestion",
+        }
+        assert entry["rule"] == "RNG001"
+        assert entry["severity"] == "error"
+        assert entry["line"] == 2
+
+    def test_json_clean_run(self):
+        payload = json.loads(render_json([], checked_files=7))
+        assert payload["findings"] == []
+        assert payload["summary"]["total"] == 0
+
+    def test_text_report_mentions_location_and_rule(self):
+        text = render_text(self._findings())
+        assert f"{SRC_PATH}:2" in text
+        assert "RNG001" in text
+        assert "1 finding(s)" in text
+
+    def test_text_clean_report(self):
+        assert "clean" in render_text([], checked_files=3)
+
+
+class TestRunnerAndModel:
+    def test_syntax_error_becomes_parse_finding(self):
+        findings = lint_source("def broken(:\n", path=SRC_PATH)
+        assert rule_ids(findings) == [devtools.PARSE_ERROR_RULE]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(KeyError):
+            lint_source("x = 1\n", rule_ids=["NOPE"])
+
+    def test_rule_filter(self):
+        src = (
+            "import numpy as np\n"
+            "def f(a=[]):\n"
+            "    return np.random.rand(3)\n"
+        )
+        only_cor = lint_source(src, path=SRC_PATH, rule_ids=["COR001"])
+        assert rule_ids(only_cor) == ["COR001"]
+
+    def test_finding_sorting_and_location(self):
+        finding = Finding("RNG001", Severity.ERROR, "a.py", 3, 1, "m")
+        assert finding.location == "a.py:3:1"
+        assert finding.to_dict()["suggestion"] is None
+
+    def test_iter_python_files_skips_caches(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "ok.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "ok.cpython-39.py").write_text("")
+        (tmp_path / "pkg.egg-info").mkdir()
+        (tmp_path / "pkg.egg-info" / "bad.py").write_text("x = 1\n")
+        files = devtools.iter_python_files([tmp_path])
+        assert [f.name for f in files] == ["ok.py"]
+
+    def test_lint_paths_over_directory(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nx = np.random.rand(2)\n")
+        run = lint_paths([tmp_path])
+        assert run.checked_files == 1
+        assert run.has_errors
+        assert not run
+        assert rule_ids(run.findings) == ["RNG001"]
+
+
+class TestSelfCheck:
+    def test_repo_source_is_lint_clean(self):
+        import repro
+
+        src_root = Path(repro.__file__).parent
+        run = lint_paths([src_root])
+        assert run.checked_files > 50
+        assert run.findings == [], devtools.render_text(run.findings)
+
+
+class TestCli:
+    def test_cli_lint_reports_and_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nx = np.random.rand(2)\n")
+        assert cli_main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "RNG001" in out
+
+    def test_cli_lint_clean_exits_zero(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert cli_main(["lint", str(good)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_cli_lint_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(a=[]):\n    return a\n")
+        assert cli_main(["lint", "--format", "json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule"] == "COR001"
+
+    def test_cli_rule_selection(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\ndef f(a=[]):\n    return np.random.rand(2)\n")
+        assert cli_main(["lint", "--rules", "COR001", str(bad)]) == 1
+        payload_out = capsys.readouterr().out
+        assert "COR001" in payload_out
+        assert "RNG001" not in payload_out
+
+    def test_cli_unknown_rule_exits_2(self, tmp_path, capsys):
+        assert cli_main(["lint", "--rules", "NOPE", str(tmp_path)]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_cli_list_rules(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RNG001", "RNG002", "LAY001", "COR001", "TST001"):
+            assert rule_id in out

@@ -17,6 +17,7 @@ from repro.core.dynamics import LoadBalancing, MedianVoting, PullVoting
 from repro.core.theory import winning_probabilities
 from repro.graphs import Graph
 from repro.graphs.spectral import mixing_lemma_bound, second_eigenvalue, walk_spectrum
+from repro.rng import make_rng
 
 # ---------------------------------------------------------------------------
 # Strategies
@@ -132,7 +133,7 @@ class TestDynamicsProperties:
         graph, opinions = graph_opinions
         state = OpinionState(graph, opinions)
         lo0, hi0 = state.min_opinion, state.max_opinion
-        rng = np.random.default_rng(seed)
+        rng = make_rng(seed)
         scheduler = VertexScheduler(graph)
         previous_lo, previous_hi = lo0, hi0
         for _ in range(10):

@@ -10,6 +10,7 @@ import pytest
 from repro.core import EdgeScheduler, VertexScheduler, make_scheduler
 from repro.errors import ProcessError
 from repro.graphs import Graph, path_graph, star_graph
+from repro.rng import make_rng
 
 
 class TestVertexScheduler:
@@ -92,7 +93,7 @@ class TestFactory:
 
     def test_deterministic_given_seed(self, small_complete):
         scheduler = VertexScheduler(small_complete)
-        v1, w1 = scheduler.draw_block(np.random.default_rng(5), 100)
-        v2, w2 = scheduler.draw_block(np.random.default_rng(5), 100)
+        v1, w1 = scheduler.draw_block(make_rng(5), 100)
+        v2, w2 = scheduler.draw_block(make_rng(5), 100)
         assert np.array_equal(v1, v2)
         assert np.array_equal(w1, w2)

@@ -37,7 +37,7 @@ class TestTransitionMatrix:
     def test_entries(self, triangle):
         P = transition_matrix(triangle)
         assert P[0, 1] == pytest.approx(0.5)
-        assert P[0, 0] == 0.0
+        assert P[0, 0] == pytest.approx(0.0, abs=1e-15)
 
     def test_detailed_balance(self, any_graph):
         P = transition_matrix(any_graph)

@@ -54,7 +54,8 @@ from repro.graphs import (
     spectral_profile,
     star_graph,
 )
-from repro.rng import make_rng, spawn_rngs
+from repro.parallel import TrialTimings
+from repro.rng import make_rng, spawn_rngs, spawn_seed_sequences
 
 __version__ = "1.0.0"
 
@@ -63,6 +64,7 @@ __all__ = [
     "Graph",
     "OpinionState",
     "ReproError",
+    "TrialTimings",
     "complete_graph",
     "cycle_graph",
     "gnp_random_graph",
@@ -79,6 +81,7 @@ __all__ = [
     "run_trials",
     "second_eigenvalue",
     "spawn_rngs",
+    "spawn_seed_sequences",
     "spectral_profile",
     "star_graph",
     "theory",

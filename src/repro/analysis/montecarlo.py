@@ -4,17 +4,25 @@ Every experiment in this package repeats a stochastic run many times.
 :func:`run_trials` derives one independent generator per trial from a
 single master seed (see :mod:`repro.rng`), so results are exactly
 reproducible and trials remain statistically independent.
+
+Passing ``workers=N`` dispatches the trials across ``N`` worker
+processes (see :mod:`repro.parallel`). The per-trial seed sequences are
+spawned in the parent exactly as on the serial path and only the trial
+execution is farmed out, so for the same master seed the outcomes are
+bit-for-bit identical to ``workers=None`` — parallelism is purely a
+wall-clock optimization.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generic, List, Sequence, TypeVar
+from typing import Callable, Generic, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
 from repro.errors import AnalysisError
-from repro.rng import RngLike, spawn_rngs
+from repro.parallel import TrialTimings, execute_tasks
+from repro.rng import RngLike, make_rng, spawn_rngs, spawn_seed_sequences
 
 T = TypeVar("T")
 
@@ -24,9 +32,15 @@ Trial = Callable[[int, np.random.Generator], T]
 
 @dataclass
 class TrialSet(Generic[T]):
-    """Outcomes of a batch of independent trials."""
+    """Outcomes of a batch of independent trials.
+
+    ``timings`` carries per-trial wall-time and per-worker throughput
+    when the batch ran through the parallel layer (``workers`` set);
+    it is ``None`` on the plain serial path.
+    """
 
     outcomes: List[T]
+    timings: Optional[TrialTimings] = None
 
     @property
     def count(self) -> int:
@@ -47,16 +61,47 @@ class TrialSet(Generic[T]):
         return sum(1 for o in self.outcomes if predicate(o))
 
 
-def run_trials(trials: int, trial: Trial, seed: RngLike = None) -> TrialSet:
-    """Run ``trial(index, rng)`` for ``trials`` independent generators."""
+def run_trials(
+    trials: int,
+    trial: Trial,
+    seed: RngLike = None,
+    workers: Optional[int] = None,
+    *,
+    chunk_size: Optional[int] = None,
+    timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+) -> TrialSet:
+    """Run ``trial(index, rng)`` for ``trials`` independent generators.
+
+    ``workers=None`` runs serially in-process; ``workers=N`` dispatches
+    the same trials (same spawned seed sequences, hence identical
+    outcomes) across ``N`` worker processes. ``chunk_size``, ``timeout``
+    and ``max_retries`` tune the parallel layer (see
+    :func:`repro.parallel.execute_tasks`).
+    """
     if trials < 1:
         raise AnalysisError(f"trials must be >= 1, got {trials}")
-    rngs = spawn_rngs(seed, trials)
-    return TrialSet(outcomes=[trial(i, rngs[i]) for i in range(trials)])
+    if workers is None:
+        rngs = spawn_rngs(seed, trials)
+        return TrialSet(outcomes=[trial(i, rngs[i]) for i in range(trials)])
+    trial_seeds = spawn_seed_sequences(seed, trials)
+    tasks = [(i, (i,), trial_seeds[i]) for i in range(trials)]
+    records, timings = execute_tasks(
+        trial, tasks, workers, **_parallel_kwargs(chunk_size, timeout, max_retries)
+    )
+    return TrialSet(outcomes=[r.outcome for r in records], timings=timings)
 
 
 def run_trials_over(
-    parameters: Sequence, trials: int, trial: Callable, seed: RngLike = None
+    parameters: Sequence,
+    trials: int,
+    trial: Callable,
+    seed: RngLike = None,
+    workers: Optional[int] = None,
+    *,
+    chunk_size: Optional[int] = None,
+    timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
 ) -> List[tuple]:
     """Run a trial batch per parameter value.
 
@@ -64,13 +109,59 @@ def run_trials_over(
     parameter; returns ``[(parameter, TrialSet), ...]``. Each parameter
     gets its own spawned seed so adding parameters never perturbs the
     others' streams.
+
+    With ``workers=N`` the full ``parameters × trials`` grid is flattened
+    into one task list and dispatched across the pool (better load
+    balance than parallelizing per parameter); outcomes are reassembled
+    per parameter, bit-for-bit identical to the serial path.
     """
     if trials < 1:
         raise AnalysisError(f"trials must be >= 1, got {trials}")
-    batch_rngs = spawn_rngs(seed, len(parameters))
+    batch_seeds = spawn_seed_sequences(seed, len(parameters))
+    if workers is None:
+        results = []
+        for parameter, batch_seed in zip(parameters, batch_seeds):
+            rngs = spawn_rngs(make_rng(batch_seed), trials)
+            outcomes = [trial(parameter, i, rngs[i]) for i in range(trials)]
+            results.append((parameter, TrialSet(outcomes=outcomes)))
+        return results
+
+    tasks = []
+    for p_index, (parameter, batch_seed) in enumerate(zip(parameters, batch_seeds)):
+        # Spawning from the per-parameter generator (not the sequence
+        # directly) reproduces the serial path's derivation exactly.
+        trial_seeds = spawn_seed_sequences(make_rng(batch_seed), trials)
+        for i in range(trials):
+            tasks.append((p_index * trials + i, (parameter, i), trial_seeds[i]))
+    records, timings = execute_tasks(
+        trial, tasks, workers, **_parallel_kwargs(chunk_size, timeout, max_retries)
+    )
     results = []
-    for parameter, batch_rng in zip(parameters, batch_rngs):
-        rngs = spawn_rngs(batch_rng, trials)
-        outcomes = [trial(parameter, i, rngs[i]) for i in range(trials)]
-        results.append((parameter, TrialSet(outcomes=outcomes)))
+    for p_index, parameter in enumerate(parameters):
+        batch = records[p_index * trials : (p_index + 1) * trials]
+        batch_timings = TrialTimings.from_records(
+            batch,
+            mode=timings.mode,
+            requested_workers=timings.requested_workers,
+            total_seconds=timings.total_seconds,
+            retries=timings.retries,
+            fallback_trials=timings.fallback_trials,
+        )
+        results.append(
+            (
+                parameter,
+                TrialSet(outcomes=[r.outcome for r in batch], timings=batch_timings),
+            )
+        )
     return results
+
+
+def _parallel_kwargs(
+    chunk_size: Optional[int],
+    timeout: Optional[float],
+    max_retries: Optional[int],
+) -> dict:
+    kwargs = {"chunk_size": chunk_size, "timeout": timeout}
+    if max_retries is not None:
+        kwargs["max_retries"] = max_retries
+    return kwargs

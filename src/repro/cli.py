@@ -4,8 +4,10 @@ Commands
 --------
 ``list``
     Show all registered experiments.
-``run E1 [E5 ...] [--quick] [--seed N]``
+``run E1 [E5 ...] [--quick] [--seed N] [--workers N]``
     Run experiments and print their reports (``all`` runs everything).
+    ``--workers N`` parallelizes Monte-Carlo trials across N processes
+    with outcomes bit-for-bit identical to the serial run.
 ``demo``
     A 30-second tour: one DIV run with a stage trace on a small graph.
 ``lint [--format json] [--rules R1,R2] [paths]``
@@ -36,6 +38,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiments", nargs="+", help="experiment ids (E1..E15) or 'all'")
     run.add_argument("--quick", action="store_true", help="benchmark-scale configs")
     run.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel trial workers (outcomes identical to serial; "
+        "experiments without parallel support run serially)",
+    )
     run.add_argument(
         "--json",
         metavar="DIR",
@@ -76,6 +86,13 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("output", help="output markdown file")
     report.add_argument("--quick", action="store_true", help="benchmark-scale configs")
     report.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    report.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel trial workers (outcomes identical to serial)",
+    )
     return parser
 
 
@@ -85,14 +102,26 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(ids: List[str], quick: bool, seed: int, json_dir: Optional[str]) -> int:
+def _cmd_run(
+    ids: List[str],
+    quick: bool,
+    seed: int,
+    json_dir: Optional[str],
+    workers: Optional[int],
+) -> int:
     if any(e.lower() == "all" for e in ids):
         specs = all_experiments()
     else:
         specs = [get_experiment(e) for e in ids]
     for spec in specs:
+        if workers is not None and not spec.supports_workers:
+            print(
+                f"[{spec.experiment_id} has no parallel trial support; "
+                "running serially]"
+            )
         started = time.time()
-        report = spec.run_quick(seed=seed) if quick else spec.run_full(seed=seed)
+        runner = spec.run_quick if quick else spec.run_full
+        report = runner(seed=seed, workers=workers)
         print(report.render())
         print(f"\n[{spec.experiment_id} finished in {time.time() - started:.1f}s]\n")
         if json_dir is not None:
@@ -163,7 +192,7 @@ def _cmd_lint(
     return 1 if run.findings else 0
 
 
-def _cmd_report(output: str, quick: bool, seed: int) -> int:
+def _cmd_report(output: str, quick: bool, seed: int, workers: Optional[int]) -> int:
     from pathlib import Path
 
     sections = [
@@ -175,7 +204,8 @@ def _cmd_report(output: str, quick: bool, seed: int) -> int:
     ]
     for spec in all_experiments():
         started = time.time()
-        report = spec.run_quick(seed=seed) if quick else spec.run_full(seed=seed)
+        runner = spec.run_quick if quick else spec.run_full
+        report = runner(seed=seed, workers=workers)
         elapsed = time.time() - started
         print(f"[{spec.experiment_id} finished in {elapsed:.1f}s]")
         sections.append("")
@@ -193,13 +223,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiments, args.quick, args.seed, args.json)
+        return _cmd_run(args.experiments, args.quick, args.seed, args.json, args.workers)
     if args.command == "demo":
         return _cmd_demo()
     if args.command == "lint":
         return _cmd_lint(args.paths, args.format, args.rules, args.list_rules)
     if args.command == "report":
-        return _cmd_report(args.output, args.quick, args.seed)
+        return _cmd_report(args.output, args.quick, args.seed, args.workers)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

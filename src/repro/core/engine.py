@@ -96,7 +96,10 @@ def run_dynamics(
     for obs in sampled:
         obs.sample(0, state)
     last_sampled = {id(obs): 0 for obs in sampled}
-    next_due = [int(getattr(obs, "interval", 1)) for obs in sampled]
+    # Resolve each observer's interval once: observers without an
+    # ``interval`` attribute default to 1 here *and* at every re-arm.
+    intervals = [int(getattr(obs, "interval", 1)) for obs in sampled]
+    next_due = list(intervals)
 
     reason = stop_condition(state)
     step = 0
@@ -126,7 +129,7 @@ def run_dynamics(
                         if step >= next_due[i]:
                             obs.sample(step, state)
                             last_sampled[id(obs)] = step
-                            next_due[i] = step + int(obs.interval)
+                            next_due[i] = step + intervals[i]
             if reason is not None:
                 break
 

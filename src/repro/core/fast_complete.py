@@ -180,6 +180,13 @@ def run_div_complete(
             if reason is not None:
                 break
 
+    # Always close the S(t) trace at the stopping step, matching the
+    # generic engine's final-sample guarantee (the stop step is usually
+    # not divisible by weight_interval).
+    if weight_interval is not None and weight_steps[-1] != step:
+        weight_steps.append(step)
+        weights.append(total + offset * n)
+
     final_counts = {
         idx + offset: counts[idx] for idx in range(width) if counts[idx] > 0
     }

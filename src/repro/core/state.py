@@ -24,6 +24,15 @@ from repro.errors import InvalidOpinionsError
 from repro.graphs.graph import Graph
 
 
+def _exact_degree_counts(
+    shifted: np.ndarray, degrees: np.ndarray, width: int
+) -> np.ndarray:
+    """Per-opinion total degree ``d(A_i)`` in exact int64 arithmetic."""
+    degree_counts = np.zeros(width, dtype=np.int64)
+    np.add.at(degree_counts, shifted, degrees.astype(np.int64, copy=False))
+    return degree_counts
+
+
 class OpinionState:
     """Mutable opinion assignment on a graph with cached aggregates.
 
@@ -65,9 +74,10 @@ class OpinionState:
         shifted = values - self._offset
         self._counts = np.bincount(shifted, minlength=width).astype(np.int64)
         degrees = graph.degrees
-        self._degree_counts = np.bincount(
-            shifted, weights=degrees.astype(np.float64), minlength=width
-        ).astype(np.int64)
+        # Integer accumulation: a float64-weighted bincount loses exactness
+        # once a degree-weighted sum exceeds 2^53, breaking the O(1) exact
+        # aggregates the martingale checks rely on.
+        self._degree_counts = _exact_degree_counts(shifted, degrees, width)
         self._sum = int(values.sum())
         self._degree_sum = int((values * degrees).sum())
         self._support_size = int(np.count_nonzero(self._counts))
@@ -257,11 +267,9 @@ class OpinionState:
         shifted = values - self._offset
         counts = np.bincount(shifted, minlength=self._counts.size)
         assert np.array_equal(counts, self._counts), "counts drifted"
-        degree_counts = np.bincount(
-            shifted,
-            weights=self.graph.degrees.astype(np.float64),
-            minlength=self._degree_counts.size,
-        ).astype(np.int64)
+        degree_counts = _exact_degree_counts(
+            shifted, self.graph.degrees, self._degree_counts.size
+        )
         assert np.array_equal(degree_counts, self._degree_counts), "degree counts drifted"
         assert int(values.sum()) == self._sum, "sum drifted"
         assert int((values * self.graph.degrees).sum()) == self._degree_sum, (

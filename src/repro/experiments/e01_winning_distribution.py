@@ -9,8 +9,11 @@ frequencies against the prediction.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.analysis.gof import chi_square_gof
 from repro.analysis.initializers import counts_for_average
@@ -19,6 +22,7 @@ from repro.analysis.statistics import wilson_interval
 from repro.core.fast_complete import run_div_complete
 from repro.core.theory import winning_probabilities
 from repro.experiments.tables import ExperimentReport, Table
+from repro.parallel import summarize_timings
 from repro.rng import RngLike
 
 EXPERIMENT_ID = "E1"
@@ -41,8 +45,22 @@ class Config:
         return cls(n=150, k=5, fractions=(0.25, 0.5, 0.75), trials=120)
 
 
-def run(config: Config = None, seed: RngLike = 0) -> ExperimentReport:
-    """Run E1 and return the report."""
+def _trial(
+    config: Config, fraction: float, index: int, rng: np.random.Generator
+) -> Optional[int]:
+    """One K_n run; module-level so the parallel layer can pickle it."""
+    counts = counts_for_average(config.n, config.k, config.base + fraction)
+    return run_div_complete(config.n, counts, rng=rng).winner
+
+
+def run(
+    config: Config = None, seed: RngLike = 0, workers: Optional[int] = None
+) -> ExperimentReport:
+    """Run E1 and return the report.
+
+    ``workers=N`` dispatches the trial grid across ``N`` processes with
+    outcomes identical to the serial run (see :mod:`repro.parallel`).
+    """
     config = config or Config()
     report = ExperimentReport(EXPERIMENT_ID, TITLE)
     table = Table(
@@ -60,13 +78,14 @@ def run(config: Config = None, seed: RngLike = 0) -> ExperimentReport:
         ],
     )
 
-    def trial(fraction, index, rng):
-        counts = counts_for_average(config.n, config.k, config.base + fraction)
-        return run_div_complete(config.n, counts, rng=rng).winner
-
-    for fraction, outcomes in run_trials_over(
-        list(config.fractions), config.trials, trial, seed=seed
-    ):
+    batches = run_trials_over(
+        list(config.fractions),
+        config.trials,
+        functools.partial(_trial, config),
+        seed=seed,
+        workers=workers,
+    )
+    for fraction, outcomes in batches:
         counts = counts_for_average(config.n, config.k, config.base + fraction)
         c = sum(o * m for o, m in counts.items()) / config.n
         prediction = winning_probabilities(c)
@@ -98,6 +117,9 @@ def run(config: Config = None, seed: RngLike = 0) -> ExperimentReport:
         "weight diffuses by ~sqrt(T)/n before the final stage, biasing "
         "measured frequencies a few points toward 1/2."
     )
+    timing_note = summarize_timings([ts.timings for _, ts in batches])
+    if timing_note is not None:
+        table.add_note(f"trial execution: {timing_note}")
     report.add_table(table)
     return report
 

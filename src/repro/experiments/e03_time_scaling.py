@@ -10,8 +10,11 @@ compare against both the bound's shape and the trivial ``n²`` envelope.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.analysis.montecarlo import run_trials_over
 from repro.analysis.scaling import fit_power_law
@@ -20,6 +23,7 @@ from repro.core.fast_complete import run_div_complete
 from repro.core.theory import complete_graph_lambda, expected_reduction_time_bound
 from repro.analysis.initializers import counts_for_average
 from repro.experiments.tables import ExperimentReport, Table
+from repro.parallel import summarize_timings
 from repro.rng import RngLike
 
 EXPERIMENT_ID = "E3"
@@ -40,8 +44,23 @@ class Config:
         return cls(ns=(150, 300, 600), trials=8)
 
 
-def run(config: Config = None, seed: RngLike = 0) -> ExperimentReport:
-    """Run E3 and return the report."""
+def _trial(
+    config: Config, base: int, n: int, index: int, rng: np.random.Generator
+) -> Optional[int]:
+    """One reduction-time measurement; picklable for the parallel layer."""
+    counts = counts_for_average(n, config.k, base + config.target_fraction)
+    result = run_div_complete(n, counts, stop="two_adjacent", rng=rng)
+    return result.two_adjacent_step
+
+
+def run(
+    config: Config = None, seed: RngLike = 0, workers: Optional[int] = None
+) -> ExperimentReport:
+    """Run E3 and return the report.
+
+    ``workers=N`` dispatches the trial grid across ``N`` processes with
+    outcomes identical to the serial run (see :mod:`repro.parallel`).
+    """
     config = config or Config()
     report = ExperimentReport(EXPERIMENT_ID, TITLE)
     base = (config.k + 1) // 2
@@ -60,14 +79,16 @@ def run(config: Config = None, seed: RngLike = 0) -> ExperimentReport:
         ],
     )
 
-    def trial(n, index, rng):
-        counts = counts_for_average(n, config.k, base + config.target_fraction)
-        result = run_div_complete(n, counts, stop="two_adjacent", rng=rng)
-        return result.two_adjacent_step
-
     ns = list(config.ns)
     means = []
-    for n, outcomes in run_trials_over(ns, config.trials, trial, seed=seed):
+    batches = run_trials_over(
+        ns,
+        config.trials,
+        functools.partial(_trial, config, base),
+        seed=seed,
+        workers=workers,
+    )
+    for n, outcomes in batches:
         stats = summarize(outcomes.outcomes)
         bound = expected_reduction_time_bound(
             n, config.k, complete_graph_lambda(n)
@@ -90,6 +111,9 @@ def run(config: Config = None, seed: RngLike = 0) -> ExperimentReport:
         "the ratio T/n^2 must decrease along the sweep; T/bound must stay "
         "bounded (the paper's bound has an unspecified constant)."
     )
+    timing_note = summarize_timings([ts.timings for _, ts in batches])
+    if timing_note is not None:
+        table.add_note(f"trial execution: {timing_note}")
     report.add_table(table)
     return report
 

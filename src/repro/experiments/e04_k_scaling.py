@@ -9,14 +9,19 @@ power law of the measured mean reduction time in ``k``.
 
 from __future__ import annotations
 
+import functools
+import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.analysis.montecarlo import run_trials_over
 from repro.analysis.scaling import fit_power_law
 from repro.analysis.statistics import summarize
 from repro.core.fast_complete import run_div_complete
 from repro.experiments.tables import ExperimentReport, Table
+from repro.parallel import summarize_timings
 from repro.rng import RngLike
 
 EXPERIMENT_ID = "E4"
@@ -36,8 +41,28 @@ class Config:
         return cls(n=250, ks=(3, 6, 12, 24), trials=8)
 
 
-def run(config: Config = None, seed: RngLike = 0) -> ExperimentReport:
-    """Run E4 and return the report."""
+def _trial(
+    config: Config, k: int, index: int, rng: np.random.Generator
+) -> Optional[int]:
+    """One extremes-only reduction run; picklable for the parallel layer.
+
+    Worst-case-style input: only the extreme opinions are present, so all
+    k-2 intermediate classes must be created and destroyed.
+    """
+    half = config.n // 2
+    counts = {1: config.n - half, k: half}
+    result = run_div_complete(config.n, counts, stop="two_adjacent", rng=rng)
+    return result.two_adjacent_step
+
+
+def run(
+    config: Config = None, seed: RngLike = 0, workers: Optional[int] = None
+) -> ExperimentReport:
+    """Run E4 and return the report.
+
+    ``workers=N`` dispatches the trial grid across ``N`` processes with
+    outcomes identical to the serial run (see :mod:`repro.parallel`).
+    """
     config = config or Config()
     report = ExperimentReport(EXPERIMENT_ID, TITLE)
     table = Table(
@@ -48,19 +73,16 @@ def run(config: Config = None, seed: RngLike = 0) -> ExperimentReport:
         headers=["k", "mean T", "stderr", "T / (k n log n)"],
     )
 
-    def trial(k, index, rng):
-        # Worst-case-style input: only the extreme opinions are present,
-        # so all k-2 intermediate classes must be created and destroyed.
-        half = config.n // 2
-        counts = {1: config.n - half, k: half}
-        result = run_div_complete(config.n, counts, stop="two_adjacent", rng=rng)
-        return result.two_adjacent_step
-
-    import math
-
     ks = list(config.ks)
     means = []
-    for k, outcomes in run_trials_over(ks, config.trials, trial, seed=seed):
+    batches = run_trials_over(
+        ks,
+        config.trials,
+        functools.partial(_trial, config),
+        seed=seed,
+        workers=workers,
+    )
+    for k, outcomes in batches:
         stats = summarize(outcomes.outcomes)
         means.append(stats.mean)
         table.add_row(
@@ -78,6 +100,9 @@ def run(config: Config = None, seed: RngLike = 0) -> ExperimentReport:
         "concurrently — the sequential stage-by-stage accounting of the "
         "proof is pessimistic."
     )
+    timing_note = summarize_timings([ts.timings for _, ts in batches])
+    if timing_note is not None:
+        table.add_note(f"trial execution: {timing_note}")
     report.add_table(table)
     return report
 

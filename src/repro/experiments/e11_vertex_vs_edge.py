@@ -14,8 +14,9 @@ processes.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -25,6 +26,7 @@ from repro.core.div import run_div
 from repro.core.state import OpinionState
 from repro.experiments.tables import ExperimentReport, Table
 from repro.graphs import Graph, lollipop_graph, star_graph
+from repro.parallel import summarize_timings
 from repro.rng import RngLike
 
 EXPERIMENT_ID = "E11"
@@ -61,8 +63,24 @@ def _scenarios(config: Config) -> List[Tuple[str, Graph, np.ndarray]]:
     ]
 
 
-def run(config: Config = None, seed: RngLike = 0) -> ExperimentReport:
-    """Run E11 and return the report."""
+def _trial(
+    config: Config, case: Tuple, index: int, rng: np.random.Generator
+) -> Optional[int]:
+    """One run of either process; picklable for the parallel layer."""
+    name, graph, opinions, process = case
+    return run_div(
+        graph, opinions, process=process, rng=rng, max_steps=config.max_steps
+    ).winner
+
+
+def run(
+    config: Config = None, seed: RngLike = 0, workers: Optional[int] = None
+) -> ExperimentReport:
+    """Run E11 and return the report.
+
+    ``workers=N`` dispatches the trial grid across ``N`` processes with
+    outcomes identical to the serial run (see :mod:`repro.parallel`).
+    """
     config = config or Config()
     report = ExperimentReport(EXPERIMENT_ID, TITLE)
     table = Table(
@@ -83,13 +101,14 @@ def run(config: Config = None, seed: RngLike = 0) -> ExperimentReport:
         for process in ("edge", "vertex")
     ]
 
-    def trial(case, index, rng):
-        name, graph, opinions, process = case
-        return run_div(
-            graph, opinions, process=process, rng=rng, max_steps=config.max_steps
-        ).winner
-
-    for case, outcomes in run_trials_over(cases, config.trials, trial, seed=seed):
+    batches = run_trials_over(
+        cases,
+        config.trials,
+        functools.partial(_trial, config),
+        seed=seed,
+        workers=workers,
+    )
+    for case, outcomes in batches:
         name, graph, opinions, process = case
         state = OpinionState(graph, opinions)
         c = state.mean() if process == "edge" else state.weighted_mean()
@@ -107,6 +126,9 @@ def run(config: Config = None, seed: RngLike = 0) -> ExperimentReport:
         "these non-expanders (the star is bipartite, λ = 1). Theorem 2's "
         "extra content on expanders is *concentration* on floor/ceil of c."
     )
+    timing_note = summarize_timings([ts.timings for _, ts in batches])
+    if timing_note is not None:
+        table.add_note(f"trial execution: {timing_note}")
     report.add_table(table)
     return report
 

@@ -6,8 +6,9 @@ can enumerate and run them uniformly.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import ExperimentError
 from repro.experiments import (
@@ -40,13 +41,28 @@ class ExperimentSpec:
     config_cls: type
     run: Callable
 
-    def run_full(self, seed=0) -> ExperimentReport:
-        """Run with the paper-scale default configuration."""
-        return self.run(self.config_cls(), seed=seed)
+    @property
+    def supports_workers(self) -> bool:
+        """Whether this experiment's driver accepts a ``workers`` argument."""
+        return "workers" in inspect.signature(self.run).parameters
 
-    def run_quick(self, seed=0) -> ExperimentReport:
+    def _run_kwargs(self, workers: Optional[int]) -> dict:
+        if workers is None or not self.supports_workers:
+            return {}
+        return {"workers": workers}
+
+    def run_full(self, seed=0, workers: Optional[int] = None) -> ExperimentReport:
+        """Run with the paper-scale default configuration.
+
+        ``workers`` is forwarded to drivers that support parallel trial
+        execution and silently ignored by the rest (see
+        :attr:`supports_workers`).
+        """
+        return self.run(self.config_cls(), seed=seed, **self._run_kwargs(workers))
+
+    def run_quick(self, seed=0, workers: Optional[int] = None) -> ExperimentReport:
         """Run with the benchmark-scale configuration."""
-        return self.run(self.config_cls.quick(), seed=seed)
+        return self.run(self.config_cls.quick(), seed=seed, **self._run_kwargs(workers))
 
 
 _MODULES = (

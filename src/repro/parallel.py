@@ -1,0 +1,407 @@
+"""Parallel Monte-Carlo trial execution with deterministic seeding.
+
+The Monte-Carlo drivers in :mod:`repro.analysis.montecarlo` already pay
+for per-trial :class:`~numpy.random.SeedSequence` independence; this
+module turns that independence into wall-clock speedup by dispatching
+trials across a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Determinism contract
+--------------------
+The parent process spawns the per-trial seed sequences exactly as the
+serial path does (:func:`repro.rng.spawn_seed_sequences`) and ships
+``(index, args, SeedSequence)`` tasks to the workers; a worker only
+constructs ``make_rng(trial_seed)`` — the very generator the serial path
+would have built — and runs the trial. Outcomes are reassembled by task
+index, so for the same master seed a parallel run returns **bit-for-bit
+identical outcomes** to the serial run, for any worker count, chunking,
+or scheduling order.
+
+Robustness
+----------
+* A trial function (and its task arguments) must be picklable; an
+  unpicklable trial raises a clear :class:`~repro.errors.AnalysisError`
+  before any worker starts. Module-level functions with parameters bound
+  via :func:`functools.partial` are the supported idiom.
+* A worker crash (``BrokenProcessPool``) or a per-chunk timeout triggers
+  a bounded retry on a fresh pool; chunks that still fail after
+  ``max_retries`` rounds are executed transparently in-process, with a
+  :class:`RuntimeWarning`. Exceptions raised *by the trial itself*
+  propagate unchanged, exactly as on the serial path.
+
+Observability
+-------------
+Every trial's wall-time and executing worker are recorded; the
+aggregated :class:`TrialTimings` (per-trial seconds, per-worker
+throughput, execution mode, retry/fallback counters) is attached to the
+resulting ``TrialSet`` and surfaced by ``div-repro run --workers N``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.rng import make_rng
+
+#: Default number of retry rounds after a worker crash or chunk timeout.
+DEFAULT_MAX_RETRIES = 2
+
+#: Chunks dispatched per worker (smaller chunks balance load, larger ones
+#: amortize pickling); the default splits the task list into
+#: ``workers * DEFAULT_CHUNKS_PER_WORKER`` chunks.
+DEFAULT_CHUNKS_PER_WORKER = 4
+
+#: One unit of work: ``trial(*args, make_rng(trial_seed))``.
+TrialTask = Tuple[int, tuple, np.random.SeedSequence]
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One executed trial: its outcome plus execution metadata."""
+
+    index: int
+    outcome: object
+    seconds: float
+    worker: str
+
+
+@dataclass(frozen=True)
+class WorkerStats:
+    """Aggregate throughput of one worker process."""
+
+    worker: str
+    trials: int
+    busy_seconds: float
+
+    @property
+    def throughput(self) -> float:
+        """Trials per second of busy time (``inf`` for instant trials)."""
+        if self.busy_seconds <= 0.0:
+            return float("inf")
+        return self.trials / self.busy_seconds
+
+
+@dataclass
+class TrialTimings:
+    """Timing metadata of one trial batch.
+
+    Attributes
+    ----------
+    mode:
+        ``"serial"`` (no pool was used), ``"parallel"`` (all trials ran in
+        workers) or ``"fallback"`` (some trials fell back in-process).
+    requested_workers:
+        The ``workers`` argument the batch was run with.
+    total_seconds:
+        Wall-clock time of the whole batch (shared by every per-parameter
+        slice of a ``run_trials_over`` batch).
+    trial_seconds:
+        Per-trial wall-time, in trial order.
+    worker_stats:
+        Per-worker trial counts and busy time, sorted by worker label.
+    retries:
+        Number of retry rounds that were needed.
+    fallback_trials:
+        Number of trials that ran in-process after the retry budget.
+    """
+
+    mode: str
+    requested_workers: int
+    total_seconds: float
+    trial_seconds: List[float] = field(default_factory=list)
+    worker_stats: List[WorkerStats] = field(default_factory=list)
+    retries: int = 0
+    fallback_trials: int = 0
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[TrialRecord],
+        *,
+        mode: str,
+        requested_workers: int,
+        total_seconds: float,
+        retries: int = 0,
+        fallback_trials: int = 0,
+    ) -> "TrialTimings":
+        """Aggregate executed-trial records into a timings object."""
+        per_worker: Dict[str, List[float]] = {}
+        for record in records:
+            per_worker.setdefault(record.worker, []).append(record.seconds)
+        stats = [
+            WorkerStats(worker=label, trials=len(secs), busy_seconds=sum(secs))
+            for label, secs in sorted(per_worker.items())
+        ]
+        return cls(
+            mode=mode,
+            requested_workers=requested_workers,
+            total_seconds=total_seconds,
+            trial_seconds=[record.seconds for record in records],
+            worker_stats=stats,
+            retries=retries,
+            fallback_trials=fallback_trials,
+        )
+
+    @property
+    def trial_count(self) -> int:
+        return len(self.trial_seconds)
+
+    @property
+    def mean_trial_seconds(self) -> float:
+        if not self.trial_seconds:
+            return 0.0
+        return sum(self.trial_seconds) / len(self.trial_seconds)
+
+    def summary(self) -> str:
+        """One-line human-readable summary for reports and the CLI."""
+        parts = [
+            f"{self.trial_count} trials in {self.total_seconds:.2f}s",
+            f"mode={self.mode}",
+            f"workers={self.requested_workers}",
+            f"mean trial {1e3 * self.mean_trial_seconds:.2f}ms",
+        ]
+        if self.retries:
+            parts.append(f"retries={self.retries}")
+        if self.fallback_trials:
+            parts.append(f"fallback_trials={self.fallback_trials}")
+        if self.worker_stats:
+            per_worker = ", ".join(
+                f"{s.worker}: {s.trials} trials, {s.throughput:.1f}/s"
+                for s in self.worker_stats
+            )
+            parts.append(f"throughput [{per_worker}]")
+        return "; ".join(parts)
+
+
+def summarize_timings(
+    timings: Sequence[Optional[TrialTimings]],
+) -> Optional[str]:
+    """Merge the timings of several trial batches into one summary line.
+
+    ``None`` entries (serial batches without instrumentation) are
+    skipped; returns ``None`` when nothing was instrumented.
+    """
+    present = [t for t in timings if t is not None]
+    if not present:
+        return None
+    per_worker: Dict[str, Tuple[int, float]] = {}
+    for t in present:
+        for stat in t.worker_stats:
+            trials, busy = per_worker.get(stat.worker, (0, 0.0))
+            per_worker[stat.worker] = (stat.trials + trials, stat.busy_seconds + busy)
+    mode = "fallback" if any(t.mode == "fallback" for t in present) else present[0].mode
+    merged = TrialTimings(
+        mode=mode,
+        requested_workers=present[0].requested_workers,
+        total_seconds=max(t.total_seconds for t in present),
+        trial_seconds=[s for t in present for s in t.trial_seconds],
+        worker_stats=[
+            WorkerStats(worker=label, trials=trials, busy_seconds=busy)
+            for label, (trials, busy) in sorted(per_worker.items())
+        ],
+        # Slices of one batch all carry the batch-level counters; max
+        # avoids double-counting them without losing multi-batch signals.
+        retries=max(t.retries for t in present),
+        fallback_trials=max(t.fallback_trials for t in present),
+    )
+    return merged.summary()
+
+
+def _worker_label() -> str:
+    return f"pid-{os.getpid()}"
+
+
+def _run_task_chunk(trial: Callable, chunk: Sequence[TrialTask]) -> List[TrialRecord]:
+    """Execute a chunk of tasks; runs inside a worker (or in-process).
+
+    The generator construction here is the *only* RNG work a worker does:
+    ``make_rng(trial_seed)`` on the shipped child sequence reproduces the
+    serial path's generator exactly.
+    """
+    label = _worker_label()
+    records = []
+    for index, args, trial_seed in chunk:
+        started = time.perf_counter()
+        outcome = trial(*args, make_rng(trial_seed))
+        records.append(
+            TrialRecord(
+                index=index,
+                outcome=outcome,
+                seconds=time.perf_counter() - started,
+                worker=label,
+            )
+        )
+    return records
+
+
+def _validate_picklable(trial: Callable, tasks: Sequence[TrialTask]) -> None:
+    """Fail fast with a clear error when the trial cannot cross processes."""
+    try:
+        pickle.dumps(trial)
+    except Exception as exc:
+        raise AnalysisError(
+            f"trial function {trial!r} is not picklable, so it cannot be "
+            "dispatched to worker processes. Define the trial at module "
+            "level and bind parameters with functools.partial (closures and "
+            "lambdas cannot be pickled), or run with workers=None."
+        ) from exc
+    if tasks:
+        try:
+            pickle.dumps(tasks[0])
+        except Exception as exc:
+            raise AnalysisError(
+                "trial arguments are not picklable, so they cannot be "
+                "shipped to worker processes. Pass picklable parameters "
+                "(plain data, numpy arrays, repro graphs), or run with "
+                "workers=None."
+            ) from exc
+
+
+def _chunk_tasks(
+    tasks: Sequence[TrialTask], workers: int, chunk_size: Optional[int]
+) -> List[List[TrialTask]]:
+    if chunk_size is None:
+        chunk_size = max(1, len(tasks) // (workers * DEFAULT_CHUNKS_PER_WORKER))
+    elif chunk_size < 1:
+        raise AnalysisError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [
+        list(tasks[start : start + chunk_size])
+        for start in range(0, len(tasks), chunk_size)
+    ]
+
+
+def _run_round(
+    trial: Callable,
+    chunks: Sequence[Sequence[TrialTask]],
+    workers: int,
+    timeout: Optional[float],
+) -> Tuple[List[TrialRecord], List[Sequence[TrialTask]]]:
+    """Run one pool round; returns (records, chunks that must be retried).
+
+    Only infrastructure failures (worker crash, timeout, pool breakage)
+    are converted into retryable chunks — an exception raised by the
+    trial itself propagates to the caller, as on the serial path.
+    """
+    records: List[TrialRecord] = []
+    failed: List[Sequence[TrialTask]] = []
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        futures = [(pool.submit(_run_task_chunk, trial, chunk), chunk) for chunk in chunks]
+        broken = False
+        for future, chunk in futures:
+            if broken:
+                future.cancel()
+                failed.append(chunk)
+                continue
+            try:
+                records.extend(future.result(timeout=timeout))
+            except FutureTimeoutError:
+                future.cancel()
+                failed.append(chunk)
+            except (BrokenProcessPool, OSError):
+                failed.append(chunk)
+                broken = True
+    finally:
+        # Don't block on stragglers from a timed-out or broken round;
+        # leftover worker processes exit once their queue drains.
+        pool.shutdown(wait=not failed, cancel_futures=True)
+    return records, failed
+
+
+def execute_tasks(
+    trial: Callable,
+    tasks: Sequence[TrialTask],
+    workers: int,
+    *,
+    chunk_size: Optional[int] = None,
+    timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+) -> Tuple[List[TrialRecord], TrialTimings]:
+    """Execute ``tasks`` on ``workers`` processes; deterministic outcomes.
+
+    Returns the records sorted by task index together with the batch's
+    :class:`TrialTimings`. ``workers <= 1`` runs in-process (mode
+    ``"serial"``) but still collects timings.
+
+    Parameters
+    ----------
+    trial:
+        Picklable callable invoked as ``trial(*args, rng)`` per task.
+    tasks:
+        ``(index, args, SeedSequence)`` triples; indices must be unique.
+    workers:
+        Worker process count.
+    chunk_size:
+        Tasks per dispatched chunk (default: an even split into
+        ``workers * 4`` chunks).
+    timeout:
+        Optional per-chunk timeout in seconds; a timed-out chunk is
+        retried and eventually falls back in-process.
+    max_retries:
+        Pool rounds to attempt after the first before falling back.
+    """
+    if workers < 1:
+        raise AnalysisError(f"workers must be >= 1 (or None), got {workers}")
+    if max_retries < 0:
+        raise AnalysisError(f"max_retries must be >= 0, got {max_retries}")
+    started = time.perf_counter()
+    if workers == 1:
+        records = _run_task_chunk(trial, tasks)
+        return records, TrialTimings.from_records(
+            records,
+            mode="serial",
+            requested_workers=workers,
+            total_seconds=time.perf_counter() - started,
+        )
+
+    _validate_picklable(trial, tasks)
+    pending = _chunk_tasks(tasks, workers, chunk_size)
+    records: List[TrialRecord] = []
+    retries = 0
+    for round_index in range(1 + max_retries):
+        if not pending:
+            break
+        if round_index:
+            retries += 1
+        round_records, pending = _run_round(trial, pending, workers, timeout)
+        records.extend(round_records)
+
+    fallback_trials = 0
+    if pending:
+        fallback_trials = sum(len(chunk) for chunk in pending)
+        warnings.warn(
+            f"parallel trial execution failed for {fallback_trials} trial(s) "
+            f"after {max_retries} retr{'y' if max_retries == 1 else 'ies'} "
+            "(worker crash or timeout); falling back to in-process "
+            "execution. Outcomes are unaffected — the same per-trial seed "
+            "sequences are used.",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        for chunk in pending:
+            records.extend(_run_task_chunk(trial, chunk))
+
+    records.sort(key=lambda record: record.index)
+    if len(records) != len(tasks):  # pragma: no cover - defensive
+        raise AnalysisError(
+            f"parallel execution returned {len(records)} records for "
+            f"{len(tasks)} tasks"
+        )
+    return records, TrialTimings.from_records(
+        records,
+        mode="fallback" if fallback_trials else "parallel",
+        requested_workers=workers,
+        total_seconds=time.perf_counter() - started,
+        retries=retries,
+        fallback_trials=fallback_trials,
+    )

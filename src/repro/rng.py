@@ -30,11 +30,14 @@ def make_rng(seed: RngLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_rngs(seed: RngLike, count: int) -> list:
-    """Return ``count`` independent generators derived from ``seed``.
+def spawn_seed_sequences(seed: RngLike, count: int) -> list:
+    """Return ``count`` independent child :class:`~numpy.random.SeedSequence`.
 
-    Uses ``SeedSequence.spawn`` so the streams are independent even when
-    ``seed`` collides with another experiment's seed plus an offset.
+    This is the spawning step of :func:`spawn_rngs` without generator
+    construction. The parallel trial runner (:mod:`repro.parallel`) ships
+    these children to worker processes, where ``make_rng(child)`` builds
+    exactly the generator :func:`spawn_rngs` would have built in-process —
+    which is what makes parallel runs bit-for-bit identical to serial ones.
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
@@ -43,7 +46,19 @@ def spawn_rngs(seed: RngLike, count: int) -> list:
         seed = np.random.SeedSequence(int(seed.integers(0, 2**63)))
     if not isinstance(seed, np.random.SeedSequence):
         seed = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in seed.spawn(count)]
+    return list(seed.spawn(count))
+
+
+def spawn_rngs(seed: RngLike, count: int) -> list:
+    """Return ``count`` independent generators derived from ``seed``.
+
+    Uses ``SeedSequence.spawn`` so the streams are independent even when
+    ``seed`` collides with another experiment's seed plus an offset.
+    """
+    return [
+        np.random.default_rng(child_seed)
+        for child_seed in spawn_seed_sequences(seed, count)
+    ]
 
 
 def iter_rngs(seed: RngLike) -> Iterator[np.random.Generator]:

@@ -54,5 +54,9 @@ def test_experiment_modules_follow_contract():
         assert module.EXPERIMENT_ID == spec.experiment_id
         assert module.TITLE
         signature = inspect.signature(module.run)
-        assert list(signature.parameters) == ["config", "seed"]
+        parameters = list(signature.parameters)
+        assert parameters in (["config", "seed"], ["config", "seed", "workers"])
+        if "workers" in signature.parameters:
+            # Parallelism is opt-in: the serial default must stay intact.
+            assert signature.parameters["workers"].default is None
         assert inspect.getdoc(module.run)

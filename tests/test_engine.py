@@ -201,3 +201,33 @@ class TestObservers:
             )
             drifts.append(state.total_sum - s0)
         assert abs(np.mean(drifts)) < 3.0
+
+
+class NoIntervalRecorder:
+    """A sampled observer that never declares an ``interval`` attribute."""
+
+    def __init__(self):
+        self.steps = []
+
+    def sample(self, step, state):
+        self.steps.append(step)
+
+
+class TestSampledObserverWithoutInterval:
+    def test_interval_less_observer_defaults_to_one(self, graph):
+        # Regression: the engine resolved a missing interval to 1 when
+        # arming but read ``obs.interval`` directly at every re-arm, so
+        # an interval-less observer crashed on its first in-loop sample.
+        state = fresh_state(graph)
+        observer = NoIntervalRecorder()
+        result = run_dynamics(
+            state,
+            VertexScheduler(graph),
+            IncrementalVoting(),
+            stop=never,
+            rng=2,
+            max_steps=50,
+            observers=[observer],
+        )
+        assert result.steps == 50
+        assert observer.steps == list(range(51))

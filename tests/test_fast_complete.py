@@ -139,3 +139,28 @@ class TestAgainstTheory:
         p_fast = fast.frequency(lambda w: w == 2)
         p_generic = generic.frequency(lambda w: w == 2)
         assert p_fast == pytest.approx(p_generic, abs=0.12)
+
+
+class TestWeightTraceClosesAtStop:
+    def test_final_weight_recorded_at_stopping_step(self):
+        # Regression: the S(t) trace only sampled steps divisible by
+        # weight_interval, silently dropping the stopping step (the
+        # generic engine always samples the final step).
+        for seed in range(6):
+            result = run_div_complete(
+                30, {1: 15, 4: 15}, rng=seed, weight_interval=7
+            )
+            assert result.weight_steps[0] == 0
+            assert result.weight_steps[-1] == result.steps
+            final_weight = sum(o * c for o, c in result.counts.items())
+            assert result.weights[-1] == final_weight
+
+    def test_trace_steps_strictly_increasing(self):
+        # No duplicate sample when the stopping step is itself divisible.
+        for seed in range(5):
+            result = run_div_complete(
+                20, {2: 10, 3: 10}, rng=seed, weight_interval=1
+            )
+            steps = result.weight_steps
+            assert steps == sorted(set(steps))
+            assert steps[-1] == result.steps

@@ -1,0 +1,189 @@
+"""Tests for repro.parallel and the ``workers=`` Monte-Carlo path.
+
+The trial functions live at module level so the worker processes can
+unpickle them — the same requirement production callers have.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+import warnings
+
+import pytest
+
+from repro.analysis.montecarlo import run_trials, run_trials_over
+from repro.core.fast_complete import run_div_complete
+from repro.errors import AnalysisError
+from repro.parallel import (
+    TrialTimings,
+    WorkerStats,
+    execute_tasks,
+    summarize_timings,
+)
+from repro.rng import spawn_seed_sequences
+
+
+def draw_trial(index, rng):
+    return int(rng.integers(0, 1 << 30))
+
+
+def engine_trial(index, rng):
+    """A trial dominated by engine time, as in the experiment drivers."""
+    result = run_div_complete(60, {1: 30, 3: 30}, rng=rng)
+    return (result.winner, result.steps)
+
+
+def parameter_trial(parameter, index, rng):
+    return (parameter, index, int(rng.integers(0, 1 << 30)))
+
+
+def failing_trial(index, rng):
+    raise ValueError("trial bug")
+
+
+def crashing_trial(main_pid, index, rng):
+    # Kills the worker process outright; harmless in-process because the
+    # fallback path runs in the parent, whose pid equals ``main_pid``.
+    if os.getpid() != main_pid:
+        os._exit(13)
+    return index
+
+
+def sleepy_trial(main_pid, index, rng):
+    if os.getpid() != main_pid:
+        time.sleep(5.0)
+    return index
+
+
+class TestSerialParallelEquivalence:
+    def test_run_trials_equivalence_engine_trial(self):
+        serial = run_trials(8, engine_trial, seed=123)
+        for workers in (2, 4):
+            parallel = run_trials(8, engine_trial, seed=123, workers=workers)
+            assert parallel.outcomes == serial.outcomes
+
+    def test_run_trials_equivalence_raw_draws(self):
+        serial = run_trials(16, draw_trial, seed=7)
+        parallel = run_trials(16, draw_trial, seed=7, workers=2)
+        assert parallel.outcomes == serial.outcomes
+
+    def test_run_trials_over_equivalence(self):
+        serial = run_trials_over(["a", "b", "c"], 5, parameter_trial, seed=3)
+        parallel = run_trials_over(
+            ["a", "b", "c"], 5, parameter_trial, seed=3, workers=2
+        )
+        assert [(p, ts.outcomes) for p, ts in serial] == [
+            (p, ts.outcomes) for p, ts in parallel
+        ]
+
+    def test_chunk_size_equivalence(self):
+        serial = run_trials(10, draw_trial, seed=11)
+        for chunk_size in (1, 3, 10):
+            parallel = run_trials(
+                10, draw_trial, seed=11, workers=2, chunk_size=chunk_size
+            )
+            assert parallel.outcomes == serial.outcomes
+
+    def test_workers_one_equivalence_in_process(self):
+        serial = run_trials(6, draw_trial, seed=2)
+        instrumented = run_trials(6, draw_trial, seed=2, workers=1)
+        assert instrumented.outcomes == serial.outcomes
+        assert instrumented.timings is not None
+        assert instrumented.timings.mode == "serial"
+
+
+class TestObservability:
+    def test_timings_attached_and_complete(self):
+        batch = run_trials(8, draw_trial, seed=1, workers=2)
+        timings = batch.timings
+        assert timings.mode == "parallel"
+        assert timings.requested_workers == 2
+        assert len(timings.trial_seconds) == 8
+        assert all(seconds >= 0.0 for seconds in timings.trial_seconds)
+        assert sum(stat.trials for stat in timings.worker_stats) == 8
+        assert "workers=2" in timings.summary()
+
+    def test_serial_path_has_no_timings(self):
+        assert run_trials(3, draw_trial, seed=1).timings is None
+
+    def test_run_trials_over_slices_timings(self):
+        batches = run_trials_over([1, 2], 4, parameter_trial, seed=0, workers=2)
+        for _, trial_set in batches:
+            assert trial_set.timings is not None
+            assert len(trial_set.timings.trial_seconds) == 4
+
+    def test_worker_stats_throughput(self):
+        stats = WorkerStats(worker="pid-1", trials=4, busy_seconds=2.0)
+        assert stats.throughput == pytest.approx(2.0)
+        assert WorkerStats(worker="pid-1", trials=1, busy_seconds=0.0).throughput == float(
+            "inf"
+        )
+
+    def test_summarize_timings(self):
+        assert summarize_timings([None, None]) is None
+        batches = run_trials_over([1, 2], 3, parameter_trial, seed=0, workers=2)
+        line = summarize_timings([ts.timings for _, ts in batches])
+        assert "6 trials" in line
+        assert "workers=2" in line
+
+
+class TestRobustness:
+    def test_unpicklable_trial_raises_analysis_error(self):
+        with pytest.raises(AnalysisError, match="not picklable"):
+            run_trials(4, lambda i, rng: i, seed=0, workers=2)
+
+    def test_unpicklable_task_args_raise_analysis_error(self):
+        tasks = [(0, (lambda: None,), spawn_seed_sequences(0, 1)[0])]
+        with pytest.raises(AnalysisError, match="arguments are not picklable"):
+            execute_tasks(draw_trial, tasks, 2)
+
+    def test_trial_exceptions_propagate(self):
+        with pytest.raises(ValueError, match="trial bug"):
+            run_trials(4, failing_trial, seed=0, workers=2)
+
+    def test_worker_crash_falls_back_in_process(self):
+        trial = functools.partial(crashing_trial, os.getpid())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            batch = run_trials(6, trial, seed=0, workers=2, max_retries=1)
+        assert batch.outcomes == list(range(6))
+        assert batch.timings.mode == "fallback"
+        assert batch.timings.retries == 1
+        assert batch.timings.fallback_trials == 6
+        assert any(
+            issubclass(w.category, RuntimeWarning)
+            and "falling back to in-process" in str(w.message)
+            for w in caught
+        )
+
+    def test_chunk_timeout_falls_back_in_process(self):
+        trial = functools.partial(sleepy_trial, os.getpid())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            batch = run_trials(
+                2, trial, seed=0, workers=2, timeout=0.2, max_retries=0
+            )
+        assert batch.outcomes == [0, 1]
+        assert batch.timings.mode == "fallback"
+        assert caught
+
+
+class TestValidation:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(AnalysisError):
+            run_trials(4, draw_trial, seed=0, workers=0)
+
+    def test_chunk_size_must_be_positive(self):
+        with pytest.raises(AnalysisError):
+            run_trials(4, draw_trial, seed=0, workers=2, chunk_size=0)
+
+    def test_max_retries_must_be_non_negative(self):
+        with pytest.raises(AnalysisError):
+            run_trials(4, draw_trial, seed=0, workers=2, max_retries=-1)
+
+    def test_timings_defaults(self):
+        timings = TrialTimings(mode="serial", requested_workers=1, total_seconds=0.0)
+        assert timings.trial_count == 0
+        assert timings.mean_trial_seconds == pytest.approx(0.0)

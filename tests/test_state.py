@@ -154,3 +154,38 @@ class TestConsistencyUnderRandomUpdates:
             new = int(rng.integers(lo, hi + 1))
             state.apply(v, new)
         state.check_consistency()
+
+
+class _HugeDegreeGraph:
+    """Graph stub whose per-class degree sums exceed float64 exactness (2^53)."""
+
+    def __init__(self, degrees):
+        self._degrees = np.asarray(degrees, dtype=np.int64)
+        self.n = len(degrees)
+        self.m = max(1, int(self._degrees.sum()) // 2)
+
+    @property
+    def degrees(self):
+        return self._degrees
+
+
+class TestExactDegreeAggregates:
+    def test_high_degree_sums_stay_exact(self):
+        # Regression: _degree_counts was built via a float64-weighted
+        # bincount cast back to int64, which loses exactness once a
+        # degree-weighted sum exceeds 2^53 — 2^61 + 1 rounds to 2^61.
+        big = 2**60
+        graph = _HugeDegreeGraph([big, 1, big, 3, 5])
+        state = OpinionState(graph, [2, 2, 2, 7, 7])
+        assert state.degree_count(2) == 2 * big + 1
+        assert state.degree_count(7) == 8
+        state.check_consistency()
+
+    def test_high_degree_state_consistent_after_apply(self):
+        big = 2**60
+        graph = _HugeDegreeGraph([big, 1, big, 3, 5])
+        state = OpinionState(graph, [2, 2, 2, 7, 7])
+        state.apply(1, 7)
+        assert state.degree_count(2) == 2 * big
+        assert state.degree_count(7) == 9
+        state.check_consistency()

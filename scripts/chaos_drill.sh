@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Chaos drill for the checkpoint/resume layer (run by CI, runnable locally).
+#
+# Proves the robustness acceptance criteria end to end:
+#   1. kill-and-resume — a campaign SIGKILLed mid-run and resumed from its
+#      checkpoint directory produces a report byte-identical to an
+#      uninterrupted serial run, and a journal bit-identical to the
+#      uninterrupted run's journal;
+#   2. fault drill — the same equality holds for a parallel campaign with
+#      injected worker crashes and chunk timeouts (crash@I:1 / hang@I:1);
+#   3. corruption drill — a corrupted checkpoint record aborts the resume
+#      with a one-line error (exit 2), and --discard-corrupt recovers to
+#      the identical report.
+#
+# Usage: scripts/chaos_drill.sh   (override the CLI with DIV_REPRO=...)
+set -euo pipefail
+
+RUN=${DIV_REPRO:-div-repro}
+EXPERIMENT=E1
+EXPERIMENT_LOWER=$(echo "$EXPERIMENT" | tr '[:upper:]' '[:lower:]')
+SEED=7
+TOTAL_TRIALS=360   # E1 --quick: 3 fractions x 120 trials
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+say() { echo "[chaos-drill] $*"; }
+
+# ---------------------------------------------------------------- reference
+say "reference: uninterrupted serial run"
+$RUN run "$EXPERIMENT" --quick --seed "$SEED" \
+    --checkpoint-dir "$WORK/ckpt-ref" --json "$WORK/ref" > /dev/null
+
+# ---------------------------------------------------------- kill-and-resume
+say "kill-and-resume: starting campaign, will SIGKILL mid-run"
+$RUN run "$EXPERIMENT" --quick --seed "$SEED" \
+    --checkpoint-dir "$WORK/ckpt-kill" --json "$WORK/out-kill" \
+    > /dev/null 2>&1 &
+VICTIM=$!
+# Wait until some trials are journaled, then kill before the campaign ends.
+for _ in $(seq 1 2000); do
+    COUNT=$( (find "$WORK/ckpt-kill" -name 't*.rec' 2>/dev/null || true) | wc -l)
+    if [ "$COUNT" -ge 10 ]; then break; fi
+    sleep 0.01
+done
+kill -9 "$VICTIM" 2>/dev/null || true
+wait "$VICTIM" 2>/dev/null || true
+COUNT=$(find "$WORK/ckpt-kill" -name 't*.rec' | wc -l)
+say "SIGKILL delivered with $COUNT/$TOTAL_TRIALS trials journaled"
+if [ "$COUNT" -ge "$TOTAL_TRIALS" ] || [ -f "$WORK/out-kill/$EXPERIMENT_LOWER.json" ]; then
+    say "FAIL: campaign finished before the kill landed; drill proved nothing"
+    exit 1
+fi
+
+say "resuming the killed campaign"
+$RUN run "$EXPERIMENT" --quick --seed "$SEED" \
+    --checkpoint-dir "$WORK/ckpt-kill" --resume --json "$WORK/out-kill" > /dev/null
+cmp "$WORK/ref/$EXPERIMENT_LOWER.json" "$WORK/out-kill/$EXPERIMENT_LOWER.json"
+say "OK: resumed report is byte-identical to the uninterrupted run"
+$RUN checkpoint diff "$WORK/ckpt-ref/$EXPERIMENT_LOWER" "$WORK/ckpt-kill/$EXPERIMENT_LOWER" > /dev/null
+say "OK: resumed journal is bit-identical to the uninterrupted journal"
+
+# ------------------------------------------------- crash + timeout faults
+say "fault drill: workers=2 with injected crash + hang faults"
+$RUN run "$EXPERIMENT" --quick --seed "$SEED" --workers 2 \
+    --checkpoint-dir "$WORK/ckpt-faults" --json "$WORK/out-faults" \
+    --inject-faults 'crash@3:1;hang@17:1' --trial-timeout 2 --max-retries 2 \
+    > /dev/null 2>&1
+$RUN checkpoint diff "$WORK/ckpt-ref/$EXPERIMENT_LOWER" "$WORK/ckpt-faults/$EXPERIMENT_LOWER" > /dev/null
+say "OK: faulted parallel journal is bit-identical to the serial journal"
+# Reports agree modulo the parallel run's timing note.
+python - "$WORK/ref/$EXPERIMENT_LOWER.json" "$WORK/out-faults/$EXPERIMENT_LOWER.json" <<'EOF'
+import json, sys
+
+def load(path):
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    for table in report["tables"]:
+        table["notes"] = [
+            n for n in table["notes"] if not n.startswith("trial execution:")
+        ]
+    return report
+
+left, right = load(sys.argv[1]), load(sys.argv[2])
+assert left == right, "faulted parallel report diverged from serial report"
+EOF
+say "OK: faulted parallel report matches the serial report"
+
+# ------------------------------------------------------- corruption drill
+say "corruption drill: damaging one checkpoint record"
+cp -r "$WORK/ckpt-kill" "$WORK/ckpt-corrupt"
+VICTIM_RECORD=$(find "$WORK/ckpt-corrupt" -name 't5.rec' | head -n 1)
+printf 'garbage' > "$VICTIM_RECORD"
+if $RUN run "$EXPERIMENT" --quick --seed "$SEED" \
+    --checkpoint-dir "$WORK/ckpt-corrupt" --resume > /dev/null 2> "$WORK/corrupt-err"; then
+    say "FAIL: resume accepted a corrupt record"
+    exit 1
+fi
+grep -q "div-repro: error:" "$WORK/corrupt-err"
+say "OK: corrupt record aborted the resume with a one-line error"
+$RUN run "$EXPERIMENT" --quick --seed "$SEED" \
+    --checkpoint-dir "$WORK/ckpt-corrupt" --resume --discard-corrupt \
+    --json "$WORK/out-corrupt" > /dev/null
+cmp "$WORK/ref/$EXPERIMENT_LOWER.json" "$WORK/out-corrupt/$EXPERIMENT_LOWER.json"
+say "OK: --discard-corrupt re-ran the damaged trial to an identical report"
+
+say "all drills passed"

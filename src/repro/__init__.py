@@ -41,7 +41,9 @@ from repro.core import (
     run_dynamics,
     theory,
 )
+from repro.checkpoint import CheckpointJournal, campaign
 from repro.errors import ReproError
+from repro.faults import FaultPlan
 from repro.graphs import (
     Graph,
     complete_graph,
@@ -60,11 +62,14 @@ from repro.rng import make_rng, spawn_rngs, spawn_seed_sequences
 __version__ = "1.0.0"
 
 __all__ = [
+    "CheckpointJournal",
     "DIVResult",
+    "FaultPlan",
     "Graph",
     "OpinionState",
     "ReproError",
     "TrialTimings",
+    "campaign",
     "complete_graph",
     "cycle_graph",
     "gnp_random_graph",

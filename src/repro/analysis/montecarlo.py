@@ -11,16 +11,25 @@ spawned in the parent exactly as on the serial path and only the trial
 execution is farmed out, so for the same master seed the outcomes are
 bit-for-bit identical to ``workers=None`` — parallelism is purely a
 wall-clock optimization.
+
+Inside an active checkpoint campaign (:func:`repro.checkpoint.campaign`)
+both drivers journal every completed trial and skip trials already
+journaled by an interrupted run. The full per-trial seed tree is always
+spawned — resume changes which trials *execute*, never how they are
+*seeded* — so resumed outcomes stay bit-for-bit identical to an
+uninterrupted run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generic, List, Optional, Sequence, TypeVar
+from typing import Callable, Dict, Generic, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
+from repro.checkpoint import CampaignSession, current_session
 from repro.errors import AnalysisError
+from repro.faults import FaultPlan
 from repro.parallel import TrialTimings, execute_tasks
 from repro.rng import RngLike, make_rng, spawn_rngs, spawn_seed_sequences
 
@@ -70,6 +79,7 @@ def run_trials(
     chunk_size: Optional[int] = None,
     timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> TrialSet:
     """Run ``trial(index, rng)`` for ``trials`` independent generators.
 
@@ -77,19 +87,46 @@ def run_trials(
     the same trials (same spawned seed sequences, hence identical
     outcomes) across ``N`` worker processes. ``chunk_size``, ``timeout``
     and ``max_retries`` tune the parallel layer (see
-    :func:`repro.parallel.execute_tasks`).
+    :func:`repro.parallel.execute_tasks`); ``fault_plan`` injects
+    scripted failures (see :mod:`repro.faults`). Inside a checkpoint
+    campaign, completed trials are journaled and skipped on resume.
     """
     if trials < 1:
         raise AnalysisError(f"trials must be >= 1, got {trials}")
+    session = current_session()
+    batch, cached = _open_batch(session, "trials", trials)
+    fault_plan, timeout, max_retries = _session_overrides(
+        session, fault_plan, timeout, max_retries
+    )
     if workers is None:
         rngs = spawn_rngs(seed, trials)
-        return TrialSet(outcomes=[trial(i, rngs[i]) for i in range(trials)])
+        outcomes: List[T] = []
+        for i in range(trials):
+            if i in cached:
+                outcomes.append(cached[i])
+                continue
+            outcome = trial(i, rngs[i])
+            if session is not None:
+                session.record(batch, i, outcome)
+            outcomes.append(outcome)
+        return TrialSet(outcomes=outcomes)
     trial_seeds = spawn_seed_sequences(seed, trials)
-    tasks = [(i, (i,), trial_seeds[i]) for i in range(trials)]
+    tasks = [
+        (i, (i,), trial_seeds[i]) for i in range(trials) if i not in cached
+    ]
     records, timings = execute_tasks(
-        trial, tasks, workers, **_parallel_kwargs(chunk_size, timeout, max_retries)
+        trial,
+        tasks,
+        workers,
+        fault_plan=fault_plan,
+        on_record=_recorder(session, batch),
+        **_parallel_kwargs(chunk_size, timeout, max_retries),
     )
-    return TrialSet(outcomes=[r.outcome for r in records], timings=timings)
+    merged: Dict[int, object] = dict(cached)
+    merged.update((r.index, r.outcome) for r in records)
+    return TrialSet(
+        outcomes=[merged[i] for i in range(trials)], timings=timings
+    )
 
 
 def run_trials_over(
@@ -102,6 +139,7 @@ def run_trials_over(
     chunk_size: Optional[int] = None,
     timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> List[tuple]:
     """Run a trial batch per parameter value.
 
@@ -113,16 +151,36 @@ def run_trials_over(
     With ``workers=N`` the full ``parameters × trials`` grid is flattened
     into one task list and dispatched across the pool (better load
     balance than parallelizing per parameter); outcomes are reassembled
-    per parameter, bit-for-bit identical to the serial path.
+    per parameter, bit-for-bit identical to the serial path. Checkpoint
+    journaling keys trials by their flat grid index
+    (``parameter_index * trials + trial_index``) on both paths, so a
+    campaign interrupted under one worker count resumes correctly under
+    any other.
     """
     if trials < 1:
         raise AnalysisError(f"trials must be >= 1, got {trials}")
+    session = current_session()
+    grid_key, cached = _open_batch(session, "grid", len(parameters) * trials)
+    fault_plan, timeout, max_retries = _session_overrides(
+        session, fault_plan, timeout, max_retries
+    )
     batch_seeds = spawn_seed_sequences(seed, len(parameters))
     if workers is None:
         results = []
-        for parameter, batch_seed in zip(parameters, batch_seeds):
+        for p_index, (parameter, batch_seed) in enumerate(
+            zip(parameters, batch_seeds)
+        ):
             rngs = spawn_rngs(make_rng(batch_seed), trials)
-            outcomes = [trial(parameter, i, rngs[i]) for i in range(trials)]
+            outcomes = []
+            for i in range(trials):
+                flat = p_index * trials + i
+                if flat in cached:
+                    outcomes.append(cached[flat])
+                    continue
+                outcome = trial(parameter, i, rngs[i])
+                if session is not None:
+                    session.record(grid_key, flat, outcome)
+                outcomes.append(outcome)
             results.append((parameter, TrialSet(outcomes=outcomes)))
         return results
 
@@ -132,15 +190,25 @@ def run_trials_over(
         # directly) reproduces the serial path's derivation exactly.
         trial_seeds = spawn_seed_sequences(make_rng(batch_seed), trials)
         for i in range(trials):
-            tasks.append((p_index * trials + i, (parameter, i), trial_seeds[i]))
+            flat = p_index * trials + i
+            if flat not in cached:
+                tasks.append((flat, (parameter, i), trial_seeds[i]))
     records, timings = execute_tasks(
-        trial, tasks, workers, **_parallel_kwargs(chunk_size, timeout, max_retries)
+        trial,
+        tasks,
+        workers,
+        fault_plan=fault_plan,
+        on_record=_recorder(session, grid_key),
+        **_parallel_kwargs(chunk_size, timeout, max_retries),
     )
+    merged: Dict[int, object] = dict(cached)
+    merged.update((r.index, r.outcome) for r in records)
+    executed = {r.index: r for r in records}
     results = []
     for p_index, parameter in enumerate(parameters):
-        batch = records[p_index * trials : (p_index + 1) * trials]
+        indices = range(p_index * trials, (p_index + 1) * trials)
         batch_timings = TrialTimings.from_records(
-            batch,
+            [executed[i] for i in indices if i in executed],
             mode=timings.mode,
             requested_workers=timings.requested_workers,
             total_seconds=timings.total_seconds,
@@ -150,10 +218,46 @@ def run_trials_over(
         results.append(
             (
                 parameter,
-                TrialSet(outcomes=[r.outcome for r in batch], timings=batch_timings),
+                TrialSet(
+                    outcomes=[merged[i] for i in indices],
+                    timings=batch_timings,
+                ),
             )
         )
     return results
+
+
+def _open_batch(
+    session: Optional[CampaignSession], kind: str, size: int
+) -> tuple:
+    """Reserve the next batch key and load its journaled outcomes."""
+    if session is None:
+        return None, {}
+    batch = session.begin_batch(kind, size)
+    return batch, session.completed(batch)
+
+
+def _session_overrides(
+    session: Optional[CampaignSession],
+    fault_plan: Optional[FaultPlan],
+    timeout: Optional[float],
+    max_retries: Optional[int],
+) -> tuple:
+    """Fill unset per-call knobs from the ambient campaign session."""
+    if session is not None:
+        fault_plan = fault_plan if fault_plan is not None else session.fault_plan
+        timeout = timeout if timeout is not None else session.timeout
+        max_retries = (
+            max_retries if max_retries is not None else session.max_retries
+        )
+    return fault_plan, timeout, max_retries
+
+
+def _recorder(session: Optional[CampaignSession], batch: Optional[str]):
+    """Parent-side journaling callback for the parallel layer."""
+    if session is None:
+        return None
+    return lambda record: session.record(batch, record.index, record.outcome)
 
 
 def _parallel_kwargs(

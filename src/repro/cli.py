@@ -8,11 +8,22 @@ Commands
     Run experiments and print their reports (``all`` runs everything).
     ``--workers N`` parallelizes Monte-Carlo trials across N processes
     with outcomes bit-for-bit identical to the serial run.
+    ``--checkpoint-dir DIR`` journals every completed trial so a killed
+    campaign can continue with ``--resume``; ``--inject-faults SPEC``
+    runs a deterministic chaos drill (see ``docs/robustness.md``).
 ``demo``
     A 30-second tour: one DIV run with a stage trace on a small graph.
 ``lint [--format json] [--rules R1,R2] [paths]``
     Run the determinism & layering linter (see ``repro.devtools``) over
     the given files/directories (default: ``src`` and ``tests``).
+``checkpoint show DIR`` / ``checkpoint diff A B``
+    Inspect a campaign directory, or compare two campaigns' journaled
+    trial records bit-for-bit.
+
+Expected failures (unknown experiment, bad graph file, corrupt or
+mismatched checkpoint — anything raising ``ReproError``) print a
+one-line message to stderr and exit 2; tracebacks are reserved for
+genuine bugs.
 """
 
 from __future__ import annotations
@@ -22,6 +33,7 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.errors import ReproError
 from repro.experiments.registry import all_experiments, get_experiment
 
 
@@ -51,6 +63,48 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="also write each report as DIR/<id>.json",
+    )
+    run.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="journal completed trials under DIR/<experiment id> so an "
+        "interrupted campaign can be resumed",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip trials already journaled in --checkpoint-dir "
+        "(outcomes stay bit-for-bit identical to an uninterrupted run)",
+    )
+    run.add_argument(
+        "--discard-corrupt",
+        action="store_true",
+        help="re-run trials whose checkpoint records fail their "
+        "integrity check instead of aborting the resume",
+    )
+    run.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        default=None,
+        help="deterministic chaos drill: scripted worker crashes/hangs "
+        "and checkpoint damage by trial index, e.g. "
+        "'crash@3:1;hang@5:1;corrupt@7' (see docs/robustness.md)",
+    )
+    run.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-chunk timeout for parallel trial dispatch",
+    )
+    run.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pool retry rounds after a worker crash or chunk timeout "
+        "before falling back in-process",
     )
 
     sub.add_parser("demo", help="run a small annotated DIV demo")
@@ -93,6 +147,22 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="parallel trial workers (outcomes identical to serial)",
     )
+
+    checkpoint = sub.add_parser(
+        "checkpoint", help="inspect or compare campaign checkpoint directories"
+    )
+    checkpoint_sub = checkpoint.add_subparsers(dest="checkpoint_command", required=True)
+    show = checkpoint_sub.add_parser(
+        "show", help="summarize a campaign directory's manifest and records"
+    )
+    show.add_argument("directory", help="campaign dir (or a parent of several)")
+    diff = checkpoint_sub.add_parser(
+        "diff",
+        help="compare two campaigns' trial records bit-for-bit "
+        "(exit 1 on any difference)",
+    )
+    diff.add_argument("left", help="first campaign directory")
+    diff.add_argument("right", help="second campaign directory")
     return parser
 
 
@@ -102,13 +172,30 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(
-    ids: List[str],
-    quick: bool,
-    seed: int,
-    json_dir: Optional[str],
-    workers: Optional[int],
-) -> int:
+def _cmd_run(args) -> int:
+    ids: List[str] = args.experiments
+    quick: bool = args.quick
+    seed: int = args.seed
+    json_dir: Optional[str] = args.json
+    workers: Optional[int] = args.workers
+    fault_plan = None
+    if args.inject_faults is not None:
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.parse(args.inject_faults)
+        print(f"[chaos drill: injecting faults {fault_plan.render()}]")
+    if args.resume and args.checkpoint_dir is None:
+        from repro.errors import CheckpointError
+
+        raise CheckpointError("--resume requires --checkpoint-dir")
+    campaign_options = dict(
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        discard_corrupt=args.discard_corrupt,
+        fault_plan=fault_plan,
+        trial_timeout=args.trial_timeout,
+        max_retries=args.max_retries,
+    )
     if any(e.lower() == "all" for e in ids):
         specs = all_experiments()
     else:
@@ -120,8 +207,12 @@ def _cmd_run(
                 "running serially]"
             )
         started = time.time()
-        runner = spec.run_quick if quick else spec.run_full
-        report = runner(seed=seed, workers=workers)
+        report = spec.run_campaign(
+            "quick" if quick else "full",
+            seed=seed,
+            workers=workers,
+            **campaign_options,
+        )
         print(report.render())
         print(f"\n[{spec.experiment_id} finished in {time.time() - started:.1f}s]\n")
         if json_dir is not None:
@@ -192,6 +283,61 @@ def _cmd_lint(
     return 1 if run.findings else 0
 
 
+def _campaign_dirs(directory) -> list:
+    """The campaign dirs under ``directory`` (itself, or its children)."""
+    from pathlib import Path
+
+    from repro.checkpoint import MANIFEST_NAME
+    from repro.errors import CheckpointError
+
+    root = Path(directory)
+    if (root / MANIFEST_NAME).is_file():
+        return [root]
+    if root.is_dir():
+        found = sorted(
+            child for child in root.iterdir() if (child / MANIFEST_NAME).is_file()
+        )
+        if found:
+            return found
+    raise CheckpointError(
+        f"{root}: no campaign found (expected {MANIFEST_NAME} in it or in "
+        "a direct subdirectory)"
+    )
+
+
+def _cmd_checkpoint_show(directory: str) -> int:
+    from repro.checkpoint import CheckpointJournal
+
+    for campaign_dir in _campaign_dirs(directory):
+        journal = CheckpointJournal(campaign_dir)
+        manifest = journal.read_manifest()
+        records = list(journal.iter_records())
+        per_batch = {}
+        for batch, _, _ in records:
+            per_batch[batch] = per_batch.get(batch, 0) + 1
+        print(
+            f"{campaign_dir}: {manifest.get('experiment_id', '?')} "
+            f"[{manifest.get('scale', '?')}] seed={manifest.get('seed', '?')} "
+            f"— {len(records)} journaled trial(s) in {len(per_batch)} batch(es)"
+        )
+        for batch in sorted(per_batch):
+            print(f"  {batch}: {per_batch[batch]} trial(s)")
+    return 0
+
+
+def _cmd_checkpoint_diff(left: str, right: str) -> int:
+    from repro.checkpoint import CheckpointJournal, diff_journals
+
+    differences = diff_journals(CheckpointJournal(left), CheckpointJournal(right))
+    if not differences:
+        print(f"identical: {left} == {right} (bit-for-bit)")
+        return 0
+    for line in differences:
+        print(line)
+    print(f"{len(differences)} difference(s)")
+    return 1
+
+
 def _cmd_report(output: str, quick: bool, seed: int, workers: Optional[int]) -> int:
     from pathlib import Path
 
@@ -217,20 +363,39 @@ def _cmd_report(output: str, quick: bool, seed: int, workers: Optional[int]) -> 
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
-    args = _build_parser().parse_args(argv)
+def _dispatch(args) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiments, args.quick, args.seed, args.json, args.workers)
+        return _cmd_run(args)
     if args.command == "demo":
         return _cmd_demo()
     if args.command == "lint":
         return _cmd_lint(args.paths, args.format, args.rules, args.list_rules)
     if args.command == "report":
         return _cmd_report(args.output, args.quick, args.seed, args.workers)
+    if args.command == "checkpoint":
+        if args.checkpoint_command == "show":
+            return _cmd_checkpoint_show(args.directory)
+        return _cmd_checkpoint_diff(args.left, args.right)
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point.
+
+    Expected failures — anything raising :class:`~repro.errors.ReproError`
+    (unknown experiment id, malformed graph file, corrupt or mismatched
+    checkpoint, bad fault spec) — print one line to stderr and exit 2.
+    Unexpected exceptions keep their traceback: those are bugs, not
+    usage errors.
+    """
+    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"div-repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -41,3 +41,28 @@ class ExperimentError(ReproError):
 
 class AnalysisError(ReproError):
     """Invalid statistical analysis request (e.g. empty sample)."""
+
+
+class ParallelExecutionError(AnalysisError):
+    """The parallel trial layer lost trials it cannot recover.
+
+    Raised only for infrastructure-level inconsistencies (e.g. a record
+    count mismatch after retries and fallback); exceptions raised by a
+    trial function itself always propagate unchanged.
+    """
+
+
+class FaultSpecError(ReproError):
+    """A fault-injection SPEC string could not be parsed."""
+
+
+class CheckpointError(ReproError):
+    """Invalid checkpoint/journal state or request."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint record failed its integrity check (corrupt/truncated)."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """A resume targeted a campaign recorded with different parameters."""

@@ -8,9 +8,12 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
 
+from repro.checkpoint import CheckpointJournal, campaign, config_fingerprint
 from repro.errors import ExperimentError
+from repro.faults import FaultPlan
 from repro.experiments import (
     e01_winning_distribution,
     e02_graph_classes,
@@ -51,18 +54,91 @@ class ExperimentSpec:
             return {}
         return {"workers": workers}
 
-    def run_full(self, seed=0, workers: Optional[int] = None) -> ExperimentReport:
+    def run_full(
+        self,
+        seed=0,
+        workers: Optional[int] = None,
+        **campaign_options,
+    ) -> ExperimentReport:
         """Run with the paper-scale default configuration.
 
         ``workers`` is forwarded to drivers that support parallel trial
         execution and silently ignored by the rest (see
-        :attr:`supports_workers`).
+        :attr:`supports_workers`). Keyword-only campaign options
+        (``checkpoint_dir``, ``resume``, ``fault_plan`` …) are described
+        on :meth:`run_campaign`.
         """
-        return self.run(self.config_cls(), seed=seed, **self._run_kwargs(workers))
+        return self.run_campaign("full", seed=seed, workers=workers, **campaign_options)
 
-    def run_quick(self, seed=0, workers: Optional[int] = None) -> ExperimentReport:
+    def run_quick(
+        self,
+        seed=0,
+        workers: Optional[int] = None,
+        **campaign_options,
+    ) -> ExperimentReport:
         """Run with the benchmark-scale configuration."""
-        return self.run(self.config_cls.quick(), seed=seed, **self._run_kwargs(workers))
+        return self.run_campaign("quick", seed=seed, workers=workers, **campaign_options)
+
+    def run_campaign(
+        self,
+        scale: str,
+        *,
+        seed=0,
+        workers: Optional[int] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        resume: bool = False,
+        discard_corrupt: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        trial_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+    ) -> ExperimentReport:
+        """Run one scale ("full"/"quick") as a crash-safe campaign.
+
+        With ``checkpoint_dir`` set, every completed Monte-Carlo trial
+        is journaled under ``<checkpoint_dir>/<experiment id>`` (see
+        :mod:`repro.checkpoint`) and ``resume=True`` skips trials an
+        interrupted run already finished — the resumed report is
+        bit-for-bit identical to an uninterrupted one because per-trial
+        seeds derive from the manifest parameters, never from progress.
+        A campaign directory recorded with a different config, seed or
+        scale is refused (``CheckpointMismatchError``). The remaining
+        options inject deterministic faults and tune the parallel layer
+        for chaos drills (``div-repro run --inject-faults``).
+        """
+        if scale not in ("full", "quick"):
+            raise ExperimentError(f"unknown campaign scale {scale!r}")
+        config = self.config_cls() if scale == "full" else self.config_cls.quick()
+        journal = None
+        if checkpoint_dir is not None:
+            journal = CheckpointJournal(
+                Path(checkpoint_dir) / self.experiment_id.lower(),
+                on_corrupt="discard" if discard_corrupt else "raise",
+            )
+            journal.open(
+                fingerprint=config_fingerprint(
+                    self.experiment_id, scale, seed, config
+                ),
+                resume=resume,
+                experiment_id=self.experiment_id,
+                scale=scale,
+                seed=seed,
+                config=repr(config),
+            )
+        if (
+            journal is None
+            and fault_plan is None
+            and trial_timeout is None
+            and max_retries is None
+        ):
+            # No campaign machinery requested: plain direct run.
+            return self.run(config, seed=seed, **self._run_kwargs(workers))
+        with campaign(
+            journal,
+            fault_plan,
+            timeout=trial_timeout,
+            max_retries=max_retries,
+        ):
+            return self.run(config, seed=seed, **self._run_kwargs(workers))
 
 
 _MODULES = (

@@ -8,6 +8,8 @@ both in plain, diff-able text formats.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Union
 
@@ -19,17 +21,61 @@ PathLike = Union[str, Path]
 
 
 # ---------------------------------------------------------------------------
+# Atomic writes
+# ---------------------------------------------------------------------------
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (all-or-nothing).
+
+    The payload lands in a temporary file in the *same directory* and is
+    moved into place with :func:`os.replace` after an ``fsync``, so a
+    crash (or SIGKILL) mid-write can never leave a truncated artifact at
+    ``path`` — readers see either the old content or the new one. The
+    checkpoint layer (:mod:`repro.checkpoint`) builds its crash-safety
+    guarantee on this helper.
+    """
+    target = Path(path)
+    handle = tempfile.NamedTemporaryFile(
+        mode="wb",
+        dir=str(target.parent),
+        prefix=f".{target.name}.",
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, target)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: PathLike, text: str, encoding: str = "utf-8") -> None:
+    """Atomic counterpart of ``Path.write_text`` (see :func:`atomic_write_bytes`)."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+# ---------------------------------------------------------------------------
 # Graphs
 # ---------------------------------------------------------------------------
 
 
 def write_edge_list(graph: Graph, path: PathLike) -> None:
-    """Write a graph as ``n m`` header plus one ``u v`` line per edge."""
-    target = Path(path)
-    with target.open("w", encoding="utf-8") as handle:
-        handle.write(f"{graph.n} {graph.m}\n")
-        for u, v in graph.edges():
-            handle.write(f"{u} {v}\n")
+    """Write a graph as ``n m`` header plus one ``u v`` line per edge.
+
+    The write is atomic: a crash mid-write leaves the previous file (or
+    nothing), never a truncated edge list.
+    """
+    lines = [f"{graph.n} {graph.m}"]
+    lines.extend(f"{u} {v}" for u, v in graph.edges())
+    atomic_write_text(path, "\n".join(lines) + "\n")
 
 
 def read_edge_list(path: PathLike, name: str = "") -> Graph:
@@ -89,8 +135,8 @@ def report_to_json(report: ExperimentReport, indent: int = 2) -> str:
 
 
 def write_report_json(report: ExperimentReport, path: PathLike) -> None:
-    """Write a report as JSON."""
-    Path(path).write_text(report_to_json(report), encoding="utf-8")
+    """Write a report as JSON (atomically; see :func:`atomic_write_text`)."""
+    atomic_write_text(path, report_to_json(report))
 
 
 def table_to_csv(table: Table) -> str:

@@ -50,7 +50,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, ParallelExecutionError
+from repro.faults import FaultPlan
 from repro.rng import make_rng
 
 #: Default number of retry rounds after a worker crash or chunk timeout.
@@ -221,16 +222,24 @@ def _worker_label() -> str:
     return f"pid-{os.getpid()}"
 
 
-def _run_task_chunk(trial: Callable, chunk: Sequence[TrialTask]) -> List[TrialRecord]:
+def _run_task_chunk(
+    trial: Callable,
+    chunk: Sequence[TrialTask],
+    fault_plan: Optional[FaultPlan] = None,
+) -> List[TrialRecord]:
     """Execute a chunk of tasks; runs inside a worker (or in-process).
 
     The generator construction here is the *only* RNG work a worker does:
     ``make_rng(trial_seed)`` on the shipped child sequence reproduces the
-    serial path's generator exactly.
+    serial path's generator exactly. A fault plan may kill or stall the
+    worker before a scripted trial index (never in the parent process),
+    which is how the chaos drills exercise the retry/fallback paths.
     """
     label = _worker_label()
     records = []
     for index, args, trial_seed in chunk:
+        if fault_plan is not None:
+            fault_plan.worker_fault(index)
         started = time.perf_counter()
         outcome = trial(*args, make_rng(trial_seed))
         records.append(
@@ -285,6 +294,7 @@ def _run_round(
     chunks: Sequence[Sequence[TrialTask]],
     workers: int,
     timeout: Optional[float],
+    fault_plan: Optional[FaultPlan],
 ) -> Tuple[List[TrialRecord], List[Sequence[TrialTask]]]:
     """Run one pool round; returns (records, chunks that must be retried).
 
@@ -296,7 +306,10 @@ def _run_round(
     failed: List[Sequence[TrialTask]] = []
     pool = ProcessPoolExecutor(max_workers=workers)
     try:
-        futures = [(pool.submit(_run_task_chunk, trial, chunk), chunk) for chunk in chunks]
+        futures = [
+            (pool.submit(_run_task_chunk, trial, chunk, fault_plan), chunk)
+            for chunk in chunks
+        ]
         broken = False
         for future, chunk in futures:
             if broken:
@@ -326,6 +339,8 @@ def execute_tasks(
     chunk_size: Optional[int] = None,
     timeout: Optional[float] = None,
     max_retries: int = DEFAULT_MAX_RETRIES,
+    fault_plan: Optional[FaultPlan] = None,
+    on_record: Optional[Callable[[TrialRecord], None]] = None,
 ) -> Tuple[List[TrialRecord], TrialTimings]:
     """Execute ``tasks`` on ``workers`` processes; deterministic outcomes.
 
@@ -349,6 +364,13 @@ def execute_tasks(
         retried and eventually falls back in-process.
     max_retries:
         Pool rounds to attempt after the first before falling back.
+    fault_plan:
+        Optional scripted faults (see :mod:`repro.faults`), applied by
+        trial index inside the workers.
+    on_record:
+        Optional parent-side callback invoked for each record as soon as
+        its chunk completes (the checkpoint layer journals trials here,
+        so a killed campaign keeps everything that finished).
     """
     if workers < 1:
         raise AnalysisError(f"workers must be >= 1 (or None), got {workers}")
@@ -356,7 +378,12 @@ def execute_tasks(
         raise AnalysisError(f"max_retries must be >= 0, got {max_retries}")
     started = time.perf_counter()
     if workers == 1:
-        records = _run_task_chunk(trial, tasks)
+        # Task-at-a-time so on_record checkpoints progress incrementally.
+        records = []
+        for task in tasks:
+            records.extend(_run_task_chunk(trial, [task], fault_plan))
+            if on_record is not None:
+                on_record(records[-1])
         return records, TrialTimings.from_records(
             records,
             mode="serial",
@@ -373,8 +400,13 @@ def execute_tasks(
             break
         if round_index:
             retries += 1
-        round_records, pending = _run_round(trial, pending, workers, timeout)
+        round_records, pending = _run_round(
+            trial, pending, workers, timeout, fault_plan
+        )
         records.extend(round_records)
+        if on_record is not None:
+            for record in round_records:
+                on_record(record)
 
     fallback_trials = 0
     if pending:
@@ -389,11 +421,15 @@ def execute_tasks(
             stacklevel=2,
         )
         for chunk in pending:
-            records.extend(_run_task_chunk(trial, chunk))
+            chunk_records = _run_task_chunk(trial, chunk, fault_plan)
+            records.extend(chunk_records)
+            if on_record is not None:
+                for record in chunk_records:
+                    on_record(record)
 
     records.sort(key=lambda record: record.index)
     if len(records) != len(tasks):  # pragma: no cover - defensive
-        raise AnalysisError(
+        raise ParallelExecutionError(
             f"parallel execution returned {len(records)} records for "
             f"{len(tasks)} tasks"
         )

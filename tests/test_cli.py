@@ -38,15 +38,135 @@ class TestRun:
         assert "E10" in out
         assert "finished in" in out
 
-    def test_run_unknown_experiment(self):
-        from repro.errors import ExperimentError
+    def test_run_unknown_experiment_exits_2(self, capsys):
+        # Expected failures print one line to stderr instead of a
+        # traceback (see the main() error wrapper).
+        assert main(["run", "E77"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("div-repro: error:")
+        assert "E77" in err
+        assert "Traceback" not in err
 
-        with pytest.raises(ExperimentError):
-            main(["run", "E77"])
+    def test_unexpected_exceptions_keep_their_traceback(self, monkeypatch):
+        import repro.cli as cli
+
+        def boom(args):
+            raise ValueError("a genuine bug")
+
+        monkeypatch.setattr(cli, "_cmd_run", boom)
+        with pytest.raises(ValueError, match="genuine bug"):
+            main(["run", "E1"])
+
+    def test_resume_without_checkpoint_dir_exits_2(self, capsys):
+        assert main(["run", "E1", "--resume"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_bad_fault_spec_exits_2(self, capsys):
+        assert main(["run", "E1", "--inject-faults", "explode@1"]) == 2
+        assert "explode" in capsys.readouterr().err
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+def _shrink_e10(monkeypatch):
+    from repro.experiments import e10_stage_evolution
+
+    monkeypatch.setattr(
+        e10_stage_evolution.Config,
+        "quick",
+        classmethod(lambda cls: cls(n=12, trials=6, sample_trajectories=1)),
+    )
+
+
+class TestCheckpointCommands:
+    def test_run_checkpoint_resume_round_trip(self, tmp_path, capsys, monkeypatch):
+        _shrink_e10(monkeypatch)
+        ckpt = str(tmp_path / "ckpt")
+        base = ["run", "E10", "--quick", "--seed", "5", "--checkpoint-dir", ckpt]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        # A second run without --resume must refuse...
+        assert main(base) == 2
+        capsys.readouterr()
+        # ...and with --resume reproduce the report exactly.
+        assert main(base + ["--resume"]) == 0
+        resumed = capsys.readouterr().out
+        strip = lambda text: [
+            line for line in text.splitlines() if "finished in" not in line
+        ]
+        assert strip(resumed) == strip(first)
+
+    def test_checkpoint_show_and_diff(self, tmp_path, capsys, monkeypatch):
+        _shrink_e10(monkeypatch)
+        for name in ("a", "b"):
+            assert (
+                main(
+                    [
+                        "run",
+                        "E10",
+                        "--quick",
+                        "--seed",
+                        "5",
+                        "--checkpoint-dir",
+                        str(tmp_path / name),
+                    ]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        assert main(["checkpoint", "show", str(tmp_path / "a")]) == 0
+        out = capsys.readouterr().out
+        assert "E10" in out
+        assert "journaled trial(s)" in out
+        assert (
+            main(
+                [
+                    "checkpoint",
+                    "diff",
+                    str(tmp_path / "a" / "e10"),
+                    str(tmp_path / "b" / "e10"),
+                ]
+            )
+            == 0
+        )
+        assert "identical" in capsys.readouterr().out
+
+    def test_checkpoint_diff_detects_divergence(self, tmp_path, capsys, monkeypatch):
+        _shrink_e10(monkeypatch)
+        for seed in ("5", "6"):
+            assert (
+                main(
+                    [
+                        "run",
+                        "E10",
+                        "--quick",
+                        "--seed",
+                        seed,
+                        "--checkpoint-dir",
+                        str(tmp_path / seed),
+                    ]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "checkpoint",
+                    "diff",
+                    str(tmp_path / "5" / "e10"),
+                    str(tmp_path / "6" / "e10"),
+                ]
+            )
+            == 1
+        )
+        assert "difference" in capsys.readouterr().out
+
+    def test_checkpoint_show_not_a_campaign(self, tmp_path, capsys):
+        assert main(["checkpoint", "show", str(tmp_path)]) == 2
+        assert "no campaign" in capsys.readouterr().err
 
 
 class TestReport:

@@ -18,6 +18,11 @@ from repro import errors
         errors.StoppingConditionError,
         errors.ExperimentError,
         errors.AnalysisError,
+        errors.ParallelExecutionError,
+        errors.FaultSpecError,
+        errors.CheckpointError,
+        errors.CheckpointCorruptError,
+        errors.CheckpointMismatchError,
     ],
 )
 def test_derives_from_repro_error(exc):
@@ -30,3 +35,7 @@ def test_specific_parents():
     assert issubclass(errors.GraphConstructionError, errors.GraphError)
     assert issubclass(errors.InvalidOpinionsError, errors.ProcessError)
     assert issubclass(errors.StoppingConditionError, errors.ProcessError)
+    # Parallel infrastructure failures stay catchable as AnalysisError.
+    assert issubclass(errors.ParallelExecutionError, errors.AnalysisError)
+    assert issubclass(errors.CheckpointCorruptError, errors.CheckpointError)
+    assert issubclass(errors.CheckpointMismatchError, errors.CheckpointError)

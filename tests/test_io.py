@@ -10,6 +10,8 @@ from repro.errors import GraphConstructionError
 from repro.experiments.tables import ExperimentReport, Table
 from repro.graphs import complete_graph, random_regular_graph
 from repro.io import (
+    atomic_write_bytes,
+    atomic_write_text,
     read_edge_list,
     report_to_dict,
     report_to_json,
@@ -18,6 +20,38 @@ from repro.io import (
     write_edge_list,
     write_report_json,
 )
+
+
+class TestAtomicWrites:
+    def test_text_round_trip(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "hello\n")
+        assert target.read_text() == "hello\n"
+
+    def test_bytes_round_trip(self, tmp_path):
+        target = tmp_path / "out.bin"
+        atomic_write_bytes(target, b"\x00\x01")
+        assert target.read_bytes() == b"\x00\x01"
+
+    def test_overwrite_replaces_whole_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "long original content")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_temp_files_after_write(self, tmp_path):
+        atomic_write_text(tmp_path / "out.txt", "x")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_failed_write_leaves_old_content_and_no_temp(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "original")
+        # A payload the binary handle cannot write triggers the cleanup
+        # path: the old content survives, no temp file is left behind.
+        with pytest.raises(TypeError):
+            atomic_write_bytes(target, "not bytes")  # type: ignore[arg-type]
+        assert target.read_text() == "original"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
 
 
 class TestEdgeLists:

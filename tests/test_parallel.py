@@ -170,6 +170,31 @@ class TestRobustness:
         assert caught
 
 
+class TestRecordStreaming:
+    def test_on_record_sees_every_trial_in_process(self):
+        tasks = [
+            (i, (i,), seed)
+            for i, seed in enumerate(spawn_seed_sequences(0, 5))
+        ]
+        seen = []
+        records, _ = execute_tasks(
+            draw_trial, tasks, 1, on_record=lambda r: seen.append(r.index)
+        )
+        assert seen == [r.index for r in records] == list(range(5))
+
+    def test_on_record_sees_every_trial_parallel(self):
+        tasks = [
+            (i, (i,), seed)
+            for i, seed in enumerate(spawn_seed_sequences(0, 8))
+        ]
+        seen = []
+        records, _ = execute_tasks(
+            draw_trial, tasks, 2, on_record=lambda r: seen.append(r.index)
+        )
+        assert sorted(seen) == list(range(8))
+        assert [r.index for r in records] == list(range(8))
+
+
 class TestValidation:
     def test_workers_must_be_positive(self):
         with pytest.raises(AnalysisError):

@@ -69,10 +69,12 @@ def _run_journaled(trial, expected=None):
 
 
 def test_trials_no_checkpoint(benchmark):
+    benchmark.extra_info.update(trials=_TRIALS, n=_N, journal="off")
     benchmark.pedantic(_run_plain, rounds=3, iterations=1)
 
 
 def test_trials_journaled(benchmark):
+    benchmark.extra_info.update(trials=_TRIALS, n=_N, journal="scratch")
     benchmark.pedantic(
         lambda: _run_journaled(engine_trial, _serial_baseline()),
         rounds=3,
@@ -81,6 +83,7 @@ def test_trials_journaled(benchmark):
 
 
 def test_trials_journaled_instant_trials(benchmark):
+    benchmark.extra_info.update(trials=_TRIALS, n=_N, journal="instant-trials")
     benchmark.pedantic(lambda: _run_journaled(draw_trial), rounds=3, iterations=1)
 
 
@@ -95,6 +98,7 @@ def test_trials_resume_fully_journaled(benchmark):
                 batch = run_trials(_TRIALS, engine_trial, seed=_SEED)
             assert batch.outcomes == _serial_baseline()
 
+        benchmark.extra_info.update(trials=_TRIALS, n=_N, journal="resume")
         benchmark.pedantic(resume_once, rounds=3, iterations=1)
     finally:
         shutil.rmtree(workdir)

@@ -10,6 +10,7 @@ from repro.experiments import e01_winning_distribution as exp
 
 
 def test_e01_winning_distribution(benchmark):
+    benchmark.extra_info.update(experiment="E1", scale="quick", seed=0)
     report = benchmark.pedantic(
         lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
     )

@@ -9,6 +9,7 @@ from repro.experiments import e02_graph_classes as exp
 
 
 def test_e02_graph_classes(benchmark):
+    benchmark.extra_info.update(experiment="E2", scale="quick", seed=0)
     report = benchmark.pedantic(
         lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
     )

@@ -9,6 +9,7 @@ from repro.experiments import e04_k_scaling as exp
 
 
 def test_e04_k_scaling(benchmark):
+    benchmark.extra_info.update(experiment="E4", scale="quick", seed=0)
     report = benchmark.pedantic(
         lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
     )

@@ -11,6 +11,7 @@ _CONFIG = exp.Config.quick()
 
 
 def test_e05_martingale(benchmark):
+    benchmark.extra_info.update(experiment="E5", scale="quick", seed=0)
     report = benchmark.pedantic(
         lambda: exp.run(_CONFIG, seed=0), rounds=1, iterations=1
     )

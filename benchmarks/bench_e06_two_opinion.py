@@ -9,6 +9,7 @@ from repro.experiments import e06_two_opinion as exp
 
 
 def test_e06_two_opinion(benchmark):
+    benchmark.extra_info.update(experiment="E6", scale="quick", seed=0)
     report = benchmark.pedantic(
         lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
     )

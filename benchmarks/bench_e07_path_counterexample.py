@@ -10,6 +10,7 @@ from repro.experiments import e07_path_counterexample as exp
 
 
 def test_e07_path_counterexample(benchmark):
+    benchmark.extra_info.update(experiment="E7", scale="quick", seed=0)
     report = benchmark.pedantic(
         lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
     )

@@ -10,6 +10,7 @@ from repro.experiments import e08_mode_median_mean as exp
 
 
 def test_e08_mode_median_mean(benchmark):
+    benchmark.extra_info.update(experiment="E8", scale="quick", seed=0)
     report = benchmark.pedantic(
         lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
     )

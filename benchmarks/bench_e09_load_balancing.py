@@ -9,6 +9,7 @@ from repro.experiments import e09_load_balancing as exp
 
 
 def test_e09_load_balancing(benchmark):
+    benchmark.extra_info.update(experiment="E9", scale="quick", seed=0)
     report = benchmark.pedantic(
         lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
     )

@@ -10,6 +10,7 @@ from repro.experiments import e10_stage_evolution as exp
 
 
 def test_e10_stage_evolution(benchmark):
+    benchmark.extra_info.update(experiment="E10", scale="quick", seed=0)
     report = benchmark.pedantic(
         lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
     )

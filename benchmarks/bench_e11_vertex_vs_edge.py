@@ -10,6 +10,7 @@ from repro.experiments import e11_vertex_vs_edge as exp
 
 
 def test_e11_vertex_vs_edge(benchmark):
+    benchmark.extra_info.update(experiment="E11", scale="quick", seed=0)
     report = benchmark.pedantic(
         lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
     )

@@ -9,6 +9,7 @@ from repro.experiments import e12_lambda_k_ablation as exp
 
 
 def test_e12_lambda_k_ablation(benchmark):
+    benchmark.extra_info.update(experiment="E12", scale="quick", seed=0)
     report = benchmark.pedantic(
         lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
     )

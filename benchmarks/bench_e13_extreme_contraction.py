@@ -9,6 +9,7 @@ from repro.experiments import e13_extreme_contraction as exp
 
 
 def test_e13_extreme_contraction(benchmark):
+    benchmark.extra_info.update(experiment="E13", scale="quick", seed=0)
     report = benchmark.pedantic(
         lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
     )

@@ -8,6 +8,7 @@ from repro.experiments import e14_corollary7 as exp
 
 
 def test_e14_corollary7(benchmark):
+    benchmark.extra_info.update(experiment="E14", scale="quick", seed=0)
     report = benchmark.pedantic(
         lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
     )

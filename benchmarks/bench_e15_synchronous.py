@@ -9,6 +9,7 @@ from repro.experiments import e15_synchronous as exp
 
 
 def test_e15_synchronous(benchmark):
+    benchmark.extra_info.update(experiment="E15", scale="quick", seed=0)
     report = benchmark.pedantic(
         lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
     )

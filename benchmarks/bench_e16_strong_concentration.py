@@ -9,6 +9,7 @@ from repro.experiments import e16_strong_concentration as exp
 
 
 def test_e16_strong_concentration(benchmark):
+    benchmark.extra_info.update(experiment="E16", scale="quick", seed=0)
     report = benchmark.pedantic(
         lambda: exp.run(exp.Config.quick(), seed=0), rounds=1, iterations=1
     )

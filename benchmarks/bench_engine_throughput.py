@@ -31,16 +31,19 @@ def _run_generic(graph, scheduler_cls):
 
 def test_vertex_process_throughput(benchmark):
     graph = random_regular_graph(1000, 10, rng=0)
+    benchmark.extra_info.update(engine="generic", process="vertex", n=1000, d=10, steps=_STEPS)
     benchmark.pedantic(lambda: _run_generic(graph, VertexScheduler), rounds=3, iterations=1)
 
 
 def test_edge_process_throughput(benchmark):
     graph = random_regular_graph(1000, 10, rng=0)
+    benchmark.extra_info.update(engine="generic", process="edge", n=1000, d=10, steps=_STEPS)
     benchmark.pedantic(lambda: _run_generic(graph, EdgeScheduler), rounds=3, iterations=1)
 
 
 def test_complete_graph_generic_engine(benchmark):
     graph = complete_graph(500)
+    benchmark.extra_info.update(engine="generic", process="vertex", n=500, steps=_STEPS)
     benchmark.pedantic(lambda: _run_generic(graph, VertexScheduler), rounds=3, iterations=1)
 
 
@@ -52,4 +55,5 @@ def test_count_engine_throughput(benchmark):
         assert result.steps <= _STEPS
         return result
 
+    benchmark.extra_info.update(engine="complete", n=2000, steps=_STEPS)
     benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,88 @@
+"""Observability overhead on the hot engine loops (repro.obs).
+
+Runs the same fixed-step engine workload bare, under an active metrics
+registry, and under an active tracer, for both the generic scheduler
+engine and the complete-graph count engine. The bare rounds are the
+acceptance baseline: with no registry/tracer active the instrumentation
+must stay within noise (budget: <= 2% — see docs/observability.md for
+recorded numbers). The instrumented rounds price what `--metrics-out`
+and `--trace-dir` actually cost.
+
+Compare rounds with ``pytest benchmarks/bench_obs_overhead.py``.
+"""
+
+from repro.analysis import uniform_random_opinions
+from repro.core import IncrementalVoting, OpinionState, run_div_complete, run_dynamics
+from repro.core.schedulers import VertexScheduler
+from repro.graphs import random_regular_graph
+from repro.obs import Tracer, activate, collecting
+
+_STEPS = 100_000
+_N = 1000
+_D = 10
+
+
+def _run_generic(graph):
+    opinions = uniform_random_opinions(graph.n, 5, rng=0)
+    state = OpinionState(graph, opinions)
+    result = run_dynamics(
+        state,
+        VertexScheduler(graph),
+        IncrementalVoting(),
+        stop="never",
+        rng=1,
+        max_steps=_STEPS,
+    )
+    assert result.steps == _STEPS
+    return result
+
+
+def _run_complete():
+    result = run_div_complete(
+        2000, {1: 1000, 5: 1000}, max_steps=_STEPS, stop="two_adjacent", rng=1
+    )
+    assert result.steps <= _STEPS
+    return result
+
+
+def test_generic_engine_bare(benchmark):
+    graph = random_regular_graph(_N, _D, rng=0)
+    benchmark.extra_info.update(engine="generic", obs="off", n=_N, d=_D, steps=_STEPS)
+    benchmark.pedantic(lambda: _run_generic(graph), rounds=3, iterations=1)
+
+
+def test_generic_engine_with_metrics(benchmark):
+    graph = random_regular_graph(_N, _D, rng=0)
+    benchmark.extra_info.update(engine="generic", obs="metrics", n=_N, d=_D, steps=_STEPS)
+
+    def run():
+        with collecting():
+            return _run_generic(graph)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_generic_engine_with_tracing(benchmark):
+    graph = random_regular_graph(_N, _D, rng=0)
+    benchmark.extra_info.update(engine="generic", obs="tracing", n=_N, d=_D, steps=_STEPS)
+
+    def run():
+        with activate(Tracer()):
+            return _run_generic(graph)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_complete_engine_bare(benchmark):
+    benchmark.extra_info.update(engine="complete", obs="off", n=2000, steps=_STEPS)
+    benchmark.pedantic(_run_complete, rounds=3, iterations=1)
+
+
+def test_complete_engine_with_tracing(benchmark):
+    benchmark.extra_info.update(engine="complete", obs="tracing", n=2000, steps=_STEPS)
+
+    def run():
+        with activate(Tracer()):
+            return _run_complete()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

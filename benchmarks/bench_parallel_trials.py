@@ -43,12 +43,15 @@ def _run_batch(workers):
 
 
 def test_trials_serial(benchmark):
+    benchmark.extra_info.update(trials=_TRIALS, n=_N, workers=0)
     benchmark.pedantic(lambda: _run_batch(None), rounds=3, iterations=1)
 
 
 def test_trials_parallel_2_workers(benchmark):
+    benchmark.extra_info.update(trials=_TRIALS, n=_N, workers=2)
     benchmark.pedantic(lambda: _run_batch(2), rounds=3, iterations=1)
 
 
 def test_trials_parallel_4_workers(benchmark):
+    benchmark.extra_info.update(trials=_TRIALS, n=_N, workers=4)
     benchmark.pedantic(lambda: _run_batch(4), rounds=3, iterations=1)

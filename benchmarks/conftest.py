@@ -1,0 +1,21 @@
+"""Benchmark-tree fixtures: machine-readable emission for every bench.
+
+Any test that used the ``benchmark`` fixture gets its timing emitted as
+one JSON record through :mod:`_emit` (see ``DIV_REPRO_BENCH_JSONL``),
+so ``scripts/bench_snapshot.sh`` can consolidate a full run into a
+``BENCH_<date>.json`` trajectory point without per-file boilerplate.
+"""
+
+import pytest
+
+import _emit
+
+
+@pytest.fixture(autouse=True)
+def _emit_benchmark_record(request):
+    yield
+    # funcargs rather than getfixturevalue: by teardown time the benchmark
+    # fixture is already finalized and cannot be re-requested.
+    benchmark = request.node.funcargs.get("benchmark")
+    if benchmark is not None and getattr(benchmark, "stats", None) is not None:
+        _emit.emit_fixture(benchmark)

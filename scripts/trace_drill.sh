@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Observability drill for the repro.obs layer (run by CI, runnable locally).
+#
+# Proves the tracing acceptance criteria end to end:
+#   1. a traced quick campaign writes a JSONL trace that `div-repro trace
+#      summarize` renders (the summarizer itself validates that every
+#      engine span's per-phase steps sum to the span's total steps);
+#   2. the metrics snapshot and the trace agree on the work done
+#      (engine.runs == engine spans, engine.steps == total steps);
+#   3. the trace's phase-transition counts are consistent with the final
+#      E10 report: support-*size* transitions are a subset of the
+#      support-*set* changes the report counts as stages, so
+#      mean(transitions) + 1 <= mean(#stages).
+#
+# Usage: scripts/trace_drill.sh [OUT_DIR]   (override the CLI with DIV_REPRO=...)
+set -euo pipefail
+
+RUN=${DIV_REPRO:-div-repro}
+WORK=$(mktemp -d)
+OUT=${1:-$WORK/obs}
+trap 'rm -rf "$WORK"' EXIT
+
+say() { echo "[trace-drill] $*"; }
+
+say "traced quick campaign: E10 --quick --seed 0"
+mkdir -p "$OUT"
+$RUN run E10 --quick --seed 0 \
+    --trace-dir "$OUT/trace" --metrics-out "$OUT/metrics.json" \
+    --json "$OUT/json" > /dev/null
+
+say "rendering the trace summary (validates the per-phase step invariant)"
+$RUN trace summarize "$OUT/trace"
+
+say "cross-checking trace vs metrics vs final report"
+python - "$OUT" <<'EOF'
+import json
+import sys
+from pathlib import Path
+
+from repro.obs import load_trace_dir, summarize_records
+
+out = Path(sys.argv[1])
+summary = summarize_records(load_trace_dir(out / "trace"))
+metrics = json.loads((out / "metrics.json").read_text(encoding="utf-8"))
+report = json.loads((out / "json" / "e10.json").read_text(encoding="utf-8"))
+
+counters = metrics["counters"]
+assert counters["engine.runs"] == summary.engine_spans, (
+    counters["engine.runs"], summary.engine_spans)
+assert counters["engine.steps"] == summary.total_steps, (
+    counters["engine.steps"], summary.total_steps)
+assert summary.engine_spans == 80, summary.engine_spans  # E10 --quick trials
+
+# Every support-size transition in the trace is also a support-set
+# change in the report's stage count, plus the initial stage.
+mean_transitions = summary.phase_transitions / summary.engine_spans
+mean_stages = float(report["tables"][0]["rows"][0][0])
+assert mean_transitions + 1 <= mean_stages + 1e-9, (mean_transitions, mean_stages)
+assert summary.phase_transitions > 0
+
+print(f"[trace-drill] OK: {summary.engine_spans} engine spans, "
+      f"{summary.total_steps} steps, mean transitions {mean_transitions:.2f} "
+      f"<= mean stages {mean_stages:.2f}")
+EOF
+
+say "all checks passed (trace kept in $OUT)"

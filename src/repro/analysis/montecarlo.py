@@ -22,6 +22,7 @@ uninterrupted run.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import Callable, Dict, Generic, List, Optional, Sequence, TypeVar
 
@@ -30,7 +31,15 @@ import numpy as np
 from repro.checkpoint import CampaignSession, current_session
 from repro.errors import AnalysisError
 from repro.faults import FaultPlan
-from repro.parallel import TrialTimings, execute_tasks
+from repro.obs.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    active_metrics,
+    collecting,
+    merge_snapshots,
+)
+from repro.obs.tracing import Tracer, current_tracer
+from repro.parallel import TrialRecord, TrialTimings, execute_tasks
 from repro.rng import RngLike, make_rng, spawn_rngs, spawn_seed_sequences
 
 T = TypeVar("T")
@@ -45,11 +54,16 @@ class TrialSet(Generic[T]):
 
     ``timings`` carries per-trial wall-time and per-worker throughput
     when the batch ran through the parallel layer (``workers`` set);
-    it is ``None`` on the plain serial path.
+    it is ``None`` on the plain serial path. ``metrics`` is the merged
+    :class:`~repro.obs.metrics.MetricsSnapshot` of every trial executed
+    in this batch when an ambient metrics registry was active (see
+    :func:`repro.obs.metrics.collecting`); its counters are identical
+    across worker counts, like the outcomes themselves.
     """
 
     outcomes: List[T]
     timings: Optional[TrialTimings] = None
+    metrics: Optional[MetricsSnapshot] = None
 
     @property
     def count(self) -> int:
@@ -98,35 +112,60 @@ def run_trials(
     fault_plan, timeout, max_retries = _session_overrides(
         session, fault_plan, timeout, max_retries
     )
-    if workers is None:
-        rngs = spawn_rngs(seed, trials)
-        outcomes: List[T] = []
-        for i in range(trials):
-            if i in cached:
-                outcomes.append(cached[i])
-                continue
-            outcome = trial(i, rngs[i])
-            if session is not None:
-                session.record(batch, i, outcome)
-            outcomes.append(outcome)
-        return TrialSet(outcomes=outcomes)
-    trial_seeds = spawn_seed_sequences(seed, trials)
-    tasks = [
-        (i, (i,), trial_seeds[i]) for i in range(trials) if i not in cached
-    ]
-    records, timings = execute_tasks(
-        trial,
-        tasks,
-        workers,
-        fault_plan=fault_plan,
-        on_record=_recorder(session, batch),
-        **_parallel_kwargs(chunk_size, timeout, max_retries),
-    )
-    merged: Dict[int, object] = dict(cached)
-    merged.update((r.index, r.outcome) for r in records)
-    return TrialSet(
-        outcomes=[merged[i] for i in range(trials)], timings=timings
-    )
+    tracer = current_tracer()
+    parent_metrics = active_metrics()
+    with ExitStack() as stack:
+        if tracer is not None:
+            span = stack.enter_context(tracer.span("trials.batch"))
+            span.set(
+                kind="trials",
+                trials=trials,
+                workers=0 if workers is None else workers,
+                cached=len(cached),
+            )
+        if workers is None:
+            rngs = spawn_rngs(seed, trials)
+            outcomes: List[T] = []
+            snapshots: List[MetricsSnapshot] = []
+            for i in range(trials):
+                if i in cached:
+                    outcomes.append(cached[i])
+                    continue
+                outcome, snapshot = _run_local_trial(
+                    trial, (i,), rngs[i], i, tracer, parent_metrics
+                )
+                if snapshot is not None:
+                    snapshots.append(snapshot)
+                if session is not None:
+                    session.record(batch, i, outcome)
+                outcomes.append(outcome)
+            return TrialSet(
+                outcomes=outcomes,
+                metrics=_merged_metrics(snapshots, parent_metrics),
+            )
+        trial_seeds = spawn_seed_sequences(seed, trials)
+        tasks = [
+            (i, (i,), trial_seeds[i]) for i in range(trials) if i not in cached
+        ]
+        records, timings = execute_tasks(
+            trial,
+            tasks,
+            workers,
+            fault_plan=fault_plan,
+            on_record=_recorder(session, batch),
+            collect_metrics=parent_metrics is not None,
+            **_parallel_kwargs(chunk_size, timeout, max_retries),
+        )
+        _trace_records(tracer, records)
+        merged: Dict[int, object] = dict(cached)
+        merged.update((r.index, r.outcome) for r in records)
+        return TrialSet(
+            outcomes=[merged[i] for i in range(trials)],
+            timings=timings,
+            metrics=_merged_metrics(
+                [r.metrics for r in records], parent_metrics
+            ),
+        )
 
 
 def run_trials_over(
@@ -164,67 +203,167 @@ def run_trials_over(
     fault_plan, timeout, max_retries = _session_overrides(
         session, fault_plan, timeout, max_retries
     )
+    tracer = current_tracer()
+    parent_metrics = active_metrics()
     batch_seeds = spawn_seed_sequences(seed, len(parameters))
-    if workers is None:
-        results = []
+    with ExitStack() as stack:
+        if tracer is not None:
+            span = stack.enter_context(tracer.span("trials.batch"))
+            span.set(
+                kind="grid",
+                parameters=len(parameters),
+                trials=trials,
+                workers=0 if workers is None else workers,
+                cached=len(cached),
+            )
+        if workers is None:
+            results = []
+            for p_index, (parameter, batch_seed) in enumerate(
+                zip(parameters, batch_seeds)
+            ):
+                rngs = spawn_rngs(make_rng(batch_seed), trials)
+                outcomes = []
+                snapshots: List[MetricsSnapshot] = []
+                for i in range(trials):
+                    flat = p_index * trials + i
+                    if flat in cached:
+                        outcomes.append(cached[flat])
+                        continue
+                    outcome, snapshot = _run_local_trial(
+                        trial, (parameter, i), rngs[i], flat, tracer, parent_metrics
+                    )
+                    if snapshot is not None:
+                        snapshots.append(snapshot)
+                    if session is not None:
+                        session.record(grid_key, flat, outcome)
+                    outcomes.append(outcome)
+                results.append(
+                    (
+                        parameter,
+                        TrialSet(
+                            outcomes=outcomes,
+                            metrics=_merged_metrics(snapshots, parent_metrics),
+                        ),
+                    )
+                )
+            return results
+
+        tasks = []
         for p_index, (parameter, batch_seed) in enumerate(
             zip(parameters, batch_seeds)
         ):
-            rngs = spawn_rngs(make_rng(batch_seed), trials)
-            outcomes = []
+            # Spawning from the per-parameter generator (not the sequence
+            # directly) reproduces the serial path's derivation exactly.
+            trial_seeds = spawn_seed_sequences(make_rng(batch_seed), trials)
             for i in range(trials):
                 flat = p_index * trials + i
-                if flat in cached:
-                    outcomes.append(cached[flat])
-                    continue
-                outcome = trial(parameter, i, rngs[i])
-                if session is not None:
-                    session.record(grid_key, flat, outcome)
-                outcomes.append(outcome)
-            results.append((parameter, TrialSet(outcomes=outcomes)))
+                if flat not in cached:
+                    tasks.append((flat, (parameter, i), trial_seeds[i]))
+        records, timings = execute_tasks(
+            trial,
+            tasks,
+            workers,
+            fault_plan=fault_plan,
+            on_record=_recorder(session, grid_key),
+            collect_metrics=parent_metrics is not None,
+            **_parallel_kwargs(chunk_size, timeout, max_retries),
+        )
+        _trace_records(tracer, records)
+        merged: Dict[int, object] = dict(cached)
+        merged.update((r.index, r.outcome) for r in records)
+        executed = {r.index: r for r in records}
+        results = []
+        for p_index, parameter in enumerate(parameters):
+            indices = range(p_index * trials, (p_index + 1) * trials)
+            slice_records = [executed[i] for i in indices if i in executed]
+            batch_timings = TrialTimings.from_records(
+                slice_records,
+                mode=timings.mode,
+                requested_workers=timings.requested_workers,
+                total_seconds=timings.total_seconds,
+                retries=timings.retries,
+                fallback_trials=timings.fallback_trials,
+            )
+            results.append(
+                (
+                    parameter,
+                    TrialSet(
+                        outcomes=[merged[i] for i in indices],
+                        timings=batch_timings,
+                        metrics=_merged_metrics(
+                            [r.metrics for r in slice_records], parent_metrics
+                        ),
+                    ),
+                )
+            )
         return results
 
-    tasks = []
-    for p_index, (parameter, batch_seed) in enumerate(zip(parameters, batch_seeds)):
-        # Spawning from the per-parameter generator (not the sequence
-        # directly) reproduces the serial path's derivation exactly.
-        trial_seeds = spawn_seed_sequences(make_rng(batch_seed), trials)
-        for i in range(trials):
-            flat = p_index * trials + i
-            if flat not in cached:
-                tasks.append((flat, (parameter, i), trial_seeds[i]))
-    records, timings = execute_tasks(
-        trial,
-        tasks,
-        workers,
-        fault_plan=fault_plan,
-        on_record=_recorder(session, grid_key),
-        **_parallel_kwargs(chunk_size, timeout, max_retries),
-    )
-    merged: Dict[int, object] = dict(cached)
-    merged.update((r.index, r.outcome) for r in records)
-    executed = {r.index: r for r in records}
-    results = []
-    for p_index, parameter in enumerate(parameters):
-        indices = range(p_index * trials, (p_index + 1) * trials)
-        batch_timings = TrialTimings.from_records(
-            [executed[i] for i in indices if i in executed],
-            mode=timings.mode,
-            requested_workers=timings.requested_workers,
-            total_seconds=timings.total_seconds,
-            retries=timings.retries,
-            fallback_trials=timings.fallback_trials,
+
+def _run_local_trial(
+    trial: Callable,
+    args: tuple,
+    rng: np.random.Generator,
+    index: int,
+    tracer: Optional[Tracer],
+    parent_metrics: Optional[MetricsRegistry],
+) -> tuple:
+    """Run one serial trial under the ambient tracer/metrics, if any.
+
+    Returns ``(outcome, snapshot)``; the snapshot is ``None`` unless a
+    parent registry is collecting. The trial runs under a fresh child
+    registry so its snapshot matches what a worker process would ship
+    back, keeping serial and parallel aggregation identical.
+    """
+    with ExitStack() as stack:
+        if tracer is not None:
+            span = stack.enter_context(tracer.span("trial"))
+            span.set(index=index, worker="local")
+        registry = (
+            stack.enter_context(collecting())
+            if parent_metrics is not None
+            else None
         )
-        results.append(
-            (
-                parameter,
-                TrialSet(
-                    outcomes=[merged[i] for i in indices],
-                    timings=batch_timings,
-                ),
-            )
+        outcome = trial(*args, rng)
+    if registry is None:
+        return outcome, None
+    return outcome, registry.snapshot()
+
+
+def _merged_metrics(
+    snapshots: Sequence[Optional[MetricsSnapshot]],
+    parent_metrics: Optional[MetricsRegistry],
+) -> Optional[MetricsSnapshot]:
+    """Merge per-trial snapshots into a batch snapshot (``None`` if idle).
+
+    The merged snapshot is absorbed into the parent registry here —
+    exactly once per trial, on both the serial and the parallel path —
+    so ambient totals and per-batch ``TrialSet.metrics`` stay in sync.
+    """
+    if parent_metrics is None:
+        return None
+    batch = merge_snapshots(snapshots)
+    parent_metrics.absorb(batch)
+    return batch
+
+
+def _trace_records(
+    tracer: Optional[Tracer], records: Sequence[TrialRecord]
+) -> None:
+    """Emit one trace event per parallel trial record.
+
+    Workers cannot append to the parent's trace file, so parallel trials
+    surface as events on the open batch span instead of spans of their
+    own; the summarizer folds both shapes into the same per-worker table.
+    """
+    if tracer is None:
+        return
+    for record in records:
+        tracer.event(
+            "trial",
+            index=record.index,
+            seconds=record.seconds,
+            worker=record.worker,
         )
-    return results
 
 
 def _open_batch(

@@ -42,6 +42,7 @@ import hashlib
 import json
 import pickle
 import re
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -54,6 +55,8 @@ from repro.errors import (
 )
 from repro.faults import FaultPlan
 from repro.io import atomic_write_bytes, atomic_write_text
+from repro.obs.metrics import active_metrics
+from repro.obs.tracing import current_tracer
 
 PathLike = Union[str, Path]
 
@@ -355,13 +358,28 @@ class CampaignSession:
     def completed(self, batch: str) -> Dict[int, object]:
         if self.journal is None:
             return {}
-        return self.journal.completed(batch)
+        outcomes = self.journal.completed(batch)
+        if outcomes:
+            metrics = active_metrics()
+            if metrics is not None:
+                metrics.inc("checkpoint.cache_hits", len(outcomes))
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.event("checkpoint.resume", batch=batch, cached=len(outcomes))
+        return outcomes
 
     def record(self, batch: str, index: int, outcome: object) -> None:
         if self.journal is not None:
+            started = time.perf_counter()
             self.journal.record(
                 batch, index, outcome, fault_plan=self.fault_plan
             )
+            metrics = active_metrics()
+            if metrics is not None:
+                metrics.inc("checkpoint.records")
+                metrics.observe(
+                    "checkpoint.record_seconds", time.perf_counter() - started
+                )
         if self.fault_plan is not None:
             self.fault_plan.maybe_abort(index)
 

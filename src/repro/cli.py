@@ -19,6 +19,12 @@ Commands
 ``checkpoint show DIR`` / ``checkpoint diff A B``
     Inspect a campaign directory, or compare two campaigns' journaled
     trial records bit-for-bit.
+``trace summarize PATH``
+    Per-phase step/wall-time breakdown and per-worker throughput of the
+    JSONL traces written by ``run --trace-dir`` (see
+    ``docs/observability.md``). ``run`` also takes ``--metrics-out``
+    (aggregated counters/histograms as JSON) and ``--profile-out``
+    (cProfile hot paths per span).
 
 Expected failures (unknown experiment, bad graph file, corrupt or
 mismatched checkpoint — anything raising ``ReproError``) print a
@@ -106,6 +112,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="pool retry rounds after a worker crash or chunk timeout "
         "before falling back in-process",
     )
+    run.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default=None,
+        help="write one JSONL span/event trace per experiment under DIR "
+        "(inspect with 'div-repro trace summarize DIR'; see "
+        "docs/observability.md)",
+    )
+    run.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write aggregated counters/gauges/histograms of the whole "
+        "invocation as JSON to FILE",
+    )
+    run.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        default=None,
+        help="profile the run with cProfile (slow!) and write per-span "
+        "hot-path stats to FILE",
+    )
 
     sub.add_parser("demo", help="run a small annotated DIV demo")
 
@@ -147,6 +175,17 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="parallel trial workers (outcomes identical to serial)",
     )
+
+    trace = sub.add_parser(
+        "trace", help="inspect JSONL run traces written by 'run --trace-dir'"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="per-phase step/wall-time breakdown and per-worker throughput "
+        "of a trace file or directory",
+    )
+    summarize.add_argument("path", help="trace .jsonl file or a directory of them")
 
     checkpoint = sub.add_parser(
         "checkpoint", help="inspect or compare campaign checkpoint directories"
@@ -200,31 +239,71 @@ def _cmd_run(args) -> int:
         specs = all_experiments()
     else:
         specs = [get_experiment(e) for e in ids]
-    for spec in specs:
-        if workers is not None and not spec.supports_workers:
+    from contextlib import ExitStack
+
+    with ExitStack() as stack:
+        registry = None
+        if args.metrics_out is not None:
+            from repro.obs.metrics import collecting
+
+            registry = stack.enter_context(collecting())
+        profiler = None
+        if args.profile_out is not None:
+            from repro.obs.profile import profiling
+
+            profiler = stack.enter_context(profiling())
+        for spec in specs:
+            if workers is not None and not spec.supports_workers:
+                print(
+                    f"[{spec.experiment_id} has no parallel trial support; "
+                    "running serially]"
+                )
+            started = time.time()
+            tracer = None
+            with ExitStack() as spec_stack:
+                if args.trace_dir is not None:
+                    from pathlib import Path
+
+                    from repro.obs.tracing import Tracer, activate
+
+                    tracer = Tracer(
+                        Path(args.trace_dir)
+                        / f"{spec.experiment_id.lower()}.jsonl"
+                    )
+                    spec_stack.enter_context(activate(tracer))
+                report = spec.run_campaign(
+                    "quick" if quick else "full",
+                    seed=seed,
+                    workers=workers,
+                    **campaign_options,
+                )
+            print(report.render())
             print(
-                f"[{spec.experiment_id} has no parallel trial support; "
-                "running serially]"
+                f"\n[{spec.experiment_id} finished in "
+                f"{time.time() - started:.1f}s]\n"
             )
-        started = time.time()
-        report = spec.run_campaign(
-            "quick" if quick else "full",
-            seed=seed,
-            workers=workers,
-            **campaign_options,
-        )
-        print(report.render())
-        print(f"\n[{spec.experiment_id} finished in {time.time() - started:.1f}s]\n")
-        if json_dir is not None:
-            from pathlib import Path
+            if tracer is not None:
+                print(f"[wrote trace {tracer.close()}]\n")
+            if json_dir is not None:
+                from pathlib import Path
 
-            from repro.io import write_report_json
+                from repro.io import write_report_json
 
-            directory = Path(json_dir)
-            directory.mkdir(parents=True, exist_ok=True)
-            target = directory / f"{spec.experiment_id.lower()}.json"
-            write_report_json(report, target)
-            print(f"[wrote {target}]\n")
+                directory = Path(json_dir)
+                directory.mkdir(parents=True, exist_ok=True)
+                target = directory / f"{spec.experiment_id.lower()}.json"
+                write_report_json(report, target)
+                print(f"[wrote {target}]\n")
+        if registry is not None:
+            from repro.io import write_json
+
+            write_json(registry.snapshot().to_dict(), args.metrics_out)
+            print(f"[wrote metrics {args.metrics_out}]")
+        if profiler is not None:
+            from repro.io import atomic_write_text
+
+            atomic_write_text(args.profile_out, profiler.render())
+            print(f"[wrote profile {args.profile_out}]")
     return 0
 
 
@@ -305,6 +384,62 @@ def _campaign_dirs(directory) -> list:
     )
 
 
+def _cmd_trace_summarize(path: str) -> int:
+    from repro.experiments.tables import Table
+    from repro.obs.tracing import load_trace_dir, summarize_records
+
+    summary = summarize_records(load_trace_dir(path))
+    for record in summary.campaigns:
+        workers = record.get("workers", 0)
+        print(
+            f"campaign {record.get('experiment', '?')} "
+            f"[{record.get('scale', '?')}] seed={record.get('seed', '?')} "
+            f"workers={workers if workers else 'serial'} "
+            f"— {record.get('seconds', 0.0):.2f}s"
+        )
+    print(
+        f"{summary.engine_spans} engine run(s), {summary.total_steps} steps, "
+        f"{summary.total_engine_seconds:.3f}s engine wall time, "
+        f"{summary.phase_transitions} phase transition(s)"
+    )
+    if summary.phase_steps:
+        table = Table(
+            title="Per-phase breakdown (phase = number of distinct opinions)",
+            headers=["|support|", "runs", "steps", "steps %", "wall s", "wall %"],
+        )
+        total_steps = max(summary.total_steps, 1)
+        total_seconds = max(summary.total_engine_seconds, 1e-12)
+        for support in sorted(summary.phase_steps, reverse=True):
+            steps = summary.phase_steps[support]
+            seconds = summary.phase_seconds.get(support, 0.0)
+            table.add_row(
+                support,
+                summary.phase_spans.get(support, 0),
+                steps,
+                f"{100.0 * steps / total_steps:.1f}",
+                f"{seconds:.3f}",
+                f"{100.0 * seconds / total_seconds:.1f}",
+            )
+        table.add_note(
+            "per-span phase steps always sum to the span's total steps "
+            "(validated while loading)"
+        )
+        print()
+        print(table.render())
+    if summary.workers:
+        table = Table(
+            title="Per-worker throughput",
+            headers=["worker", "trials", "busy s", "trials/s"],
+        )
+        for worker in sorted(summary.workers):
+            trials, busy = summary.workers[worker]
+            rate = trials / busy if busy > 0 else float("inf")
+            table.add_row(worker, trials, f"{busy:.3f}", f"{rate:.1f}")
+        print()
+        print(table.render())
+    return 0
+
+
 def _cmd_checkpoint_show(directory: str) -> int:
     from repro.checkpoint import CheckpointJournal
 
@@ -374,6 +509,8 @@ def _dispatch(args) -> int:
         return _cmd_lint(args.paths, args.format, args.rules, args.list_rules)
     if args.command == "report":
         return _cmd_report(args.output, args.quick, args.seed, args.workers)
+    if args.command == "trace":
+        return _cmd_trace_summarize(args.path)
     if args.command == "checkpoint":
         if args.checkpoint_command == "show":
             return _cmd_checkpoint_show(args.directory)

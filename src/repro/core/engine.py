@@ -9,14 +9,20 @@ in without slowing down un-instrumented runs.
 
 from __future__ import annotations
 
+import time
+from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.dynamics import Dynamics, make_dynamics
+from repro.core.observers import resolve_interval
 from repro.core.schedulers import Scheduler
 from repro.core.state import OpinionState
 from repro.core.stopping import MAX_STEPS_REASON, StopCondition, make_stop_condition
 from repro.errors import ProcessError
+from repro.obs.metrics import active_metrics
+from repro.obs.profile import active_profiler
+from repro.obs.tracing import PhaseTraceObserver, current_tracer
 from repro.rng import RngLike, make_rng
 
 #: Default number of interaction pairs drawn per RNG block.
@@ -93,47 +99,90 @@ def run_dynamics(
     if max_steps is None and getattr(stop_condition, "__name__", "") == "never":
         raise ProcessError("stop='never' requires max_steps")
 
-    for obs in sampled:
-        obs.sample(0, state)
-    last_sampled = {id(obs): 0 for obs in sampled}
+    tracer = current_tracer()
+    metrics = active_metrics()
+    profiler = active_profiler()
+    phase_obs: Optional[PhaseTraceObserver] = None
+    if tracer is not None:
+        # Every traced run records the paper's phase structure without
+        # the caller wiring an observer explicitly.
+        phase_obs = PhaseTraceObserver()
+        sampled.append(phase_obs)
+        change_observers.append(phase_obs)
+
     # Resolve each observer's interval once: observers without an
     # ``interval`` attribute default to 1 here *and* at every re-arm.
-    intervals = [int(getattr(obs, "interval", 1)) for obs in sampled]
-    next_due = list(intervals)
+    intervals = [resolve_interval(obs) for obs in sampled]
 
-    reason = stop_condition(state)
-    step = 0
-    if reason is None:
-        step_fn = dynamics.step
-        while True:
-            remaining = block_size
-            if max_steps is not None:
-                remaining = min(remaining, max_steps - step)
-                if remaining <= 0:
-                    reason = MAX_STEPS_REASON
-                    break
-            v_block, w_block = scheduler.draw_block(generator, remaining)
-            v_list = v_block.tolist()
-            w_list = w_block.tolist()
-            for v, w in zip(v_list, w_list):
-                step += 1
-                changed = step_fn(state, v, w, generator)
-                if changed:
-                    for obs in change_observers:
-                        obs.on_change(step, v, w, state)
-                    reason = stop_condition(state)
-                    if reason is not None:
+    with ExitStack() as stack:
+        span = (
+            stack.enter_context(tracer.span("engine.run"))
+            if tracer is not None
+            else None
+        )
+        if profiler is not None:
+            stack.enter_context(profiler.section("engine.run"))
+        started = time.perf_counter()
+
+        for obs in sampled:
+            obs.sample(0, state)
+        last_sampled = {id(obs): 0 for obs in sampled}
+        next_due = list(intervals)
+
+        reason = stop_condition(state)
+        step = 0
+        blocks = 0
+        changes = 0
+        if reason is None:
+            step_fn = dynamics.step
+            while True:
+                remaining = block_size
+                if max_steps is not None:
+                    remaining = min(remaining, max_steps - step)
+                    if remaining <= 0:
+                        reason = MAX_STEPS_REASON
                         break
-                if sampled:
-                    for i, obs in enumerate(sampled):
-                        if step >= next_due[i]:
-                            obs.sample(step, state)
-                            last_sampled[id(obs)] = step
-                            next_due[i] = step + intervals[i]
-            if reason is not None:
-                break
+                v_block, w_block = scheduler.draw_block(generator, remaining)
+                blocks += 1
+                v_list = v_block.tolist()
+                w_list = w_block.tolist()
+                for v, w in zip(v_list, w_list):
+                    step += 1
+                    changed = step_fn(state, v, w, generator)
+                    if changed:
+                        changes += 1
+                        for obs in change_observers:
+                            obs.on_change(step, v, w, state)
+                        reason = stop_condition(state)
+                        if reason is not None:
+                            break
+                    if sampled:
+                        for i, obs in enumerate(sampled):
+                            if step >= next_due[i]:
+                                obs.sample(step, state)
+                                last_sampled[id(obs)] = step
+                                next_due[i] = step + intervals[i]
+                if reason is not None:
+                    break
 
-    for obs in sampled:
-        if last_sampled[id(obs)] != step:
-            obs.sample(step, state)
+        for obs in sampled:
+            if last_sampled[id(obs)] != step:
+                obs.sample(step, state)
+
+        if span is not None:
+            span.set(
+                engine="generic",
+                steps=step,
+                stop_reason=reason,
+                opinion_changes=changes,
+                rng_blocks=blocks,
+                n=state.n,
+            )
+            phase_obs.emit(span)
+        if metrics is not None:
+            metrics.inc("engine.runs")
+            metrics.inc("engine.steps", step)
+            metrics.inc("engine.opinion_changes", changes)
+            metrics.inc("engine.rng_blocks", blocks)
+            metrics.observe("engine.run_seconds", time.perf_counter() - started)
     return RunResult(steps=step, stop_reason=reason, state=state)

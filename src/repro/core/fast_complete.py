@@ -15,10 +15,15 @@ of ``i`` one unit toward ``j``.
 
 from __future__ import annotations
 
+import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import ProcessError
+from repro.obs.metrics import active_metrics
+from repro.obs.profile import active_profiler
+from repro.obs.tracing import current_tracer
 from repro.rng import RngLike, make_rng
 
 #: Uniform draws pre-generated per RNG block.
@@ -119,73 +124,155 @@ def run_div_complete(
             return "two_adjacent"
         return None
 
-    reason = stopped()
-    nm1 = n - 1
-    while reason is None:
-        block = _BLOCK
-        if max_steps is not None:
-            block = min(block, max_steps - step)
-            if block <= 0:
-                reason = "max_steps"
-                break
-        u1 = generator.random(block).tolist()
-        u2 = generator.random(block).tolist()
-        for b in range(block):
-            step += 1
-            # Opinion of the updating vertex: P(i) = N_i / n.
-            target = u1[b] * n
-            acc = 0.0
-            i = lo
-            for idx in range(lo, hi + 1):
-                acc += counts[idx]
-                if target < acc:
-                    i = idx
+    tracer = current_tracer()
+    metrics = active_metrics()
+    profiler = active_profiler()
+    # Phase tracking (the paper's |support| decomposition) is maintained
+    # incrementally from the count updates; the generic engine gets the
+    # same accounting from PhaseTraceObserver.
+    track = tracer is not None
+    support = len(present)
+    initial_support = support
+    transitions: List[tuple] = []
+    phase_steps: Dict[int, int] = {}
+    phase_seconds: Dict[int, float] = {}
+    phase_last = [0, time.perf_counter()]  # [step, perf_counter]
+
+    def accrue(at_step: int) -> None:
+        """Charge the open segment to the current support size."""
+        now = time.perf_counter()
+        if at_step > phase_last[0] or support not in phase_steps:
+            phase_steps[support] = (
+                phase_steps.get(support, 0) + at_step - phase_last[0]
+            )
+            phase_seconds[support] = (
+                phase_seconds.get(support, 0.0) + now - phase_last[1]
+            )
+        phase_last[0] = at_step
+        phase_last[1] = now
+
+    with ExitStack() as stack:
+        span = (
+            stack.enter_context(tracer.span("engine.run_complete"))
+            if tracer is not None
+            else None
+        )
+        if profiler is not None:
+            stack.enter_context(profiler.section("engine.run_complete"))
+        started = time.perf_counter()
+
+        reason = stopped()
+        nm1 = n - 1
+        blocks = 0
+        changes = 0
+        while reason is None:
+            block = _BLOCK
+            if max_steps is not None:
+                block = min(block, max_steps - step)
+                if block <= 0:
+                    reason = "max_steps"
                     break
-            else:  # pragma: no cover - floating-point guard
-                i = hi
-            # Opinion of the observed vertex among the other n-1 vertices.
-            target = u2[b] * nm1
-            acc = 0.0
-            j = lo
-            for idx in range(lo, hi + 1):
-                acc += counts[idx] - (1 if idx == i else 0)
-                if target < acc:
-                    j = idx
-                    break
-            else:  # pragma: no cover - floating-point guard
-                j = hi
-            if j > i:
-                counts[i] -= 1
-                counts[i + 1] += 1
-                total += 1
-            elif j < i:
-                counts[i] -= 1
-                counts[i - 1] += 1
-                total -= 1
-            else:
+            u1 = generator.random(block).tolist()
+            u2 = generator.random(block).tolist()
+            blocks += 1
+            for b in range(block):
+                step += 1
+                # Opinion of the updating vertex: P(i) = N_i / n.
+                target = u1[b] * n
+                acc = 0.0
+                i = lo
+                for idx in range(lo, hi + 1):
+                    acc += counts[idx]
+                    if target < acc:
+                        i = idx
+                        break
+                else:  # pragma: no cover - floating-point guard
+                    i = hi
+                # Opinion of the observed vertex among the other n-1 vertices.
+                target = u2[b] * nm1
+                acc = 0.0
+                j = lo
+                for idx in range(lo, hi + 1):
+                    acc += counts[idx] - (1 if idx == i else 0)
+                    if target < acc:
+                        j = idx
+                        break
+                else:  # pragma: no cover - floating-point guard
+                    j = hi
+                if j > i:
+                    dest = i + 1
+                    counts[i] -= 1
+                    counts[dest] += 1
+                    total += 1
+                elif j < i:
+                    dest = i - 1
+                    counts[i] -= 1
+                    counts[dest] += 1
+                    total -= 1
+                else:
+                    if weight_interval is not None and step % weight_interval == 0:
+                        weight_steps.append(step)
+                        weights.append(total + offset * n)
+                    continue
+                changes += 1
+                if track:
+                    new_support = (
+                        support
+                        + (1 if counts[dest] == 1 else 0)
+                        - (1 if counts[i] == 0 else 0)
+                    )
+                    if new_support != support:
+                        accrue(step)
+                        transitions.append((step, new_support))
+                        support = new_support
+                while counts[lo] == 0 and lo < hi:
+                    lo += 1
+                while counts[hi] == 0 and hi > lo:
+                    hi -= 1
+                if two_adjacent_step is None and hi - lo <= 1:
+                    two_adjacent_step = step
                 if weight_interval is not None and step % weight_interval == 0:
                     weight_steps.append(step)
                     weights.append(total + offset * n)
-                continue
-            while counts[lo] == 0 and lo < hi:
-                lo += 1
-            while counts[hi] == 0 and hi > lo:
-                hi -= 1
-            if two_adjacent_step is None and hi - lo <= 1:
-                two_adjacent_step = step
-            if weight_interval is not None and step % weight_interval == 0:
-                weight_steps.append(step)
-                weights.append(total + offset * n)
-            reason = stopped()
-            if reason is not None:
-                break
+                reason = stopped()
+                if reason is not None:
+                    break
 
-    # Always close the S(t) trace at the stopping step, matching the
-    # generic engine's final-sample guarantee (the stop step is usually
-    # not divisible by weight_interval).
-    if weight_interval is not None and weight_steps[-1] != step:
-        weight_steps.append(step)
-        weights.append(total + offset * n)
+        # Always close the S(t) trace at the stopping step, matching the
+        # generic engine's final-sample guarantee (the stop step is usually
+        # not divisible by weight_interval).
+        if weight_interval is not None and weight_steps[-1] != step:
+            weight_steps.append(step)
+            weights.append(total + offset * n)
+
+        if span is not None:
+            accrue(step)
+            span.set(
+                engine="complete",
+                steps=step,
+                stop_reason=reason,
+                opinion_changes=changes,
+                rng_blocks=blocks,
+                n=n,
+                initial_support=initial_support,
+                phase_transitions=len(transitions),
+                phases=[
+                    {
+                        "support": s,
+                        "steps": phase_steps[s],
+                        "seconds": phase_seconds[s],
+                    }
+                    for s in sorted(phase_steps, reverse=True)
+                ],
+            )
+            for at_step, new_support in transitions:
+                span.event("phase.transition", step=at_step, support=new_support)
+        if metrics is not None:
+            metrics.inc("engine.runs")
+            metrics.inc("engine.steps", step)
+            metrics.inc("engine.opinion_changes", changes)
+            metrics.inc("engine.rng_blocks", blocks)
+            metrics.observe("engine.run_seconds", time.perf_counter() - started)
 
     final_counts = {
         idx + offset: counts[idx] for idx in range(width) if counts[idx] > 0

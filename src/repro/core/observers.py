@@ -18,9 +18,27 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Protocol, Tuple, runtime_checkable
 
 from repro.core.state import OpinionState
+from repro.errors import ProcessError
 
 #: Interval so large that sampled hooks fire only at step 0 and the end.
 ENDPOINTS_ONLY = 1 << 62
+
+
+def resolve_interval(observer: object) -> int:
+    """The validated sample interval of ``observer`` (default 1).
+
+    A non-positive interval would silently re-arm a sampled observer to
+    a step in the past, making it fire on *every* step (or never
+    terminate in round-based engines), so both engines reject it loudly
+    here instead.
+    """
+    interval = int(getattr(observer, "interval", 1))
+    if interval <= 0:
+        raise ProcessError(
+            f"observer {type(observer).__name__} has non-positive sample "
+            f"interval {interval}; intervals must be >= 1"
+        )
+    return interval
 
 
 @runtime_checkable

@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.observers import resolve_interval
 from repro.core.state import OpinionState
 from repro.core.stopping import MAX_STEPS_REASON, make_stop_condition
 from repro.errors import ProcessError
@@ -90,6 +91,7 @@ def run_synchronous_div(
     state = OpinionState(graph, opinions)
     initial_mean = state.mean()
     sampled = [obs for obs in observers if hasattr(obs, "sample")]
+    intervals = [resolve_interval(obs) for obs in sampled]
     for obs in sampled:
         obs.sample(0, state)
 
@@ -113,8 +115,8 @@ def run_synchronous_div(
         new_values = state.values[changed] + moves[changed]
         for v, value in zip(changed.tolist(), new_values.tolist()):
             state.apply(v, value)
-        for obs in sampled:
-            if rounds % int(getattr(obs, "interval", 1)) == 0:
+        for obs, interval in zip(sampled, intervals):
+            if rounds % interval == 0:
                 obs.sample(rounds, state)
         if changed.size:
             reason = stop_condition(state)

@@ -1,5 +1,5 @@
 """Built-in lint rules: determinism (RNG001/RNG002), layering (LAY001),
-correctness (COR001) and test hygiene (TST001).
+correctness (COR001), test hygiene (TST001) and observability (OBS001).
 
 Every headline number this repo reproduces — the Lemma 3 martingale, the
 Lemma 5 / Theorem 2 winning probabilities — is a statistical claim whose
@@ -477,12 +477,52 @@ class FloatEqualityRule(Rule):
                     break
 
 
+#: Modules whose *job* is terminal output; bare print is their API.
+_PRINT_ALLOWED: Tuple[str, ...] = ("repro.cli", "repro.devtools.reporters")
+
+
+@register
+class BarePrintRule(Rule):
+    """OBS001 — no bare ``print`` outside the CLI and the lint reporters."""
+
+    rule_id = "OBS001"
+    title = "no bare print outside CLI/reporters"
+    rationale = (
+        "Library code that prints bypasses the observability layer: the "
+        "output cannot be silenced by callers, captured in traces, or "
+        "asserted on, and it corrupts machine-readable modes (--json, "
+        "lint --format json).  Return the data, record it through "
+        "repro.obs, or raise/warn; only repro.cli and the lint reporters "
+        "own the terminal."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        module = ctx.module
+        if not module or ctx.is_test or module in _PRINT_ALLOWED:
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"bare print() in library module `{module}`",
+                    "return the data, record it via repro.obs "
+                    "metrics/trace events, or raise/warn; terminal output "
+                    "belongs to repro.cli",
+                )
+
+
 BUILTIN_RULES: Sequence[type] = (
     GlobalRandomnessRule,
     RngThreadingRule,
     LayeringRule,
     MutableDefaultRule,
     FloatEqualityRule,
+    BarePrintRule,
 )
 
 RULE_DOCS: Dict[str, str] = {

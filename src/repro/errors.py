@@ -56,6 +56,14 @@ class FaultSpecError(ReproError):
     """A fault-injection SPEC string could not be parsed."""
 
 
+class ObservabilityError(ReproError):
+    """Invalid metrics/tracing/profiling request or artifact."""
+
+
+class TraceError(ObservabilityError):
+    """A trace file is missing, malformed, or internally inconsistent."""
+
+
 class CheckpointError(ReproError):
     """Invalid checkpoint/journal state or request."""
 

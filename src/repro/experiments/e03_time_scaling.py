@@ -116,11 +116,3 @@ def run(
         table.add_note(f"trial execution: {timing_note}")
     report.add_table(table)
     return report
-
-
-def main() -> None:  # pragma: no cover - CLI convenience
-    print(run().render())
-
-
-if __name__ == "__main__":  # pragma: no cover
-    main()

@@ -107,11 +107,3 @@ def run(config: Config = None, seed: RngLike = 0) -> ExperimentReport:
     )
     report.add_table(table)
     return report
-
-
-def main() -> None:  # pragma: no cover - CLI convenience
-    print(run().render())
-
-
-if __name__ == "__main__":  # pragma: no cover
-    main()

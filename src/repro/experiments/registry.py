@@ -7,6 +7,7 @@ can enumerate and run them uniformly.
 from __future__ import annotations
 
 import inspect
+from contextlib import ExitStack
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
@@ -14,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Union
 from repro.checkpoint import CheckpointJournal, campaign, config_fingerprint
 from repro.errors import ExperimentError
 from repro.faults import FaultPlan
+from repro.obs.tracing import current_tracer
 from repro.experiments import (
     e01_winning_distribution,
     e02_graph_classes,
@@ -124,21 +126,32 @@ class ExperimentSpec:
                 seed=seed,
                 config=repr(config),
             )
-        if (
-            journal is None
-            and fault_plan is None
-            and trial_timeout is None
-            and max_retries is None
-        ):
-            # No campaign machinery requested: plain direct run.
-            return self.run(config, seed=seed, **self._run_kwargs(workers))
-        with campaign(
-            journal,
-            fault_plan,
-            timeout=trial_timeout,
-            max_retries=max_retries,
-        ):
-            return self.run(config, seed=seed, **self._run_kwargs(workers))
+        tracer = current_tracer()
+        with ExitStack() as stack:
+            if tracer is not None:
+                span = stack.enter_context(tracer.span("campaign"))
+                span.set(
+                    experiment=self.experiment_id,
+                    scale=scale,
+                    seed=repr(seed),
+                    workers=0 if workers is None else workers,
+                    checkpointed=journal is not None,
+                )
+            if (
+                journal is None
+                and fault_plan is None
+                and trial_timeout is None
+                and max_retries is None
+            ):
+                # No campaign machinery requested: plain direct run.
+                return self.run(config, seed=seed, **self._run_kwargs(workers))
+            with campaign(
+                journal,
+                fault_plan,
+                timeout=trial_timeout,
+                max_retries=max_retries,
+            ):
+                return self.run(config, seed=seed, **self._run_kwargs(workers))
 
 
 _MODULES = (

@@ -1,0 +1,63 @@
+"""Observability: structured metrics, run tracing and profiling.
+
+The third cross-cutting layer (after parallelism and checkpointing):
+
+* :mod:`repro.obs.metrics` — process-local counters/gauges/histograms
+  with snapshot/merge semantics, aggregated across worker processes;
+* :mod:`repro.obs.tracing` — JSONL span/event traces, including the
+  paper's phase structure via :class:`~repro.obs.tracing.PhaseTraceObserver`;
+* :mod:`repro.obs.profile` — opt-in cProfile sections keyed by span.
+
+Everything is ambient and opt-in: with nothing installed, the engines
+and drivers skip all recording (same zero-overhead contract as
+:mod:`repro.core.observers`). This package sits *below* ``repro.core``
+in the layering — it must never import core, analysis or experiments.
+
+See ``docs/observability.md`` for the span/metric schema and CLI usage
+(``div-repro run --trace-dir/--metrics-out/--profile-out`` and
+``div-repro trace summarize``).
+"""
+
+from repro.obs.metrics import (
+    EMPTY_SNAPSHOT,
+    HistogramSummary,
+    MetricsRegistry,
+    MetricsSnapshot,
+    active_metrics,
+    collecting,
+    merge_snapshots,
+)
+from repro.obs.profile import SpanProfiler, active_profiler, profiling
+from repro.obs.tracing import (
+    PhaseTraceObserver,
+    Span,
+    Tracer,
+    TraceSummary,
+    activate,
+    current_tracer,
+    iter_trace_records,
+    load_trace_dir,
+    summarize_records,
+)
+
+__all__ = [
+    "EMPTY_SNAPSHOT",
+    "HistogramSummary",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "PhaseTraceObserver",
+    "Span",
+    "SpanProfiler",
+    "TraceSummary",
+    "Tracer",
+    "activate",
+    "active_metrics",
+    "active_profiler",
+    "collecting",
+    "current_tracer",
+    "iter_trace_records",
+    "load_trace_dir",
+    "merge_snapshots",
+    "profiling",
+    "summarize_records",
+]

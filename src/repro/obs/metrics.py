@@ -1,0 +1,225 @@
+"""Process-local metrics: counters, gauges and histogram timers.
+
+The observability contract mirrors :mod:`repro.core.observers`:
+**un-instrumented runs pay nothing**. Instrumented code asks for the
+ambient registry once (:func:`active_metrics`) and skips all recording
+when it is ``None``::
+
+    metrics = active_metrics()
+    ...
+    if metrics is not None:
+        metrics.inc("engine.steps", steps)
+
+A registry is installed with the :func:`collecting` context manager.
+Installations nest: the innermost registry receives the recordings, and
+callers (the Monte-Carlo drivers) fold child snapshots back into their
+parent, so totals are preserved across nesting levels and across the
+worker processes of :mod:`repro.parallel` — each worker runs its trials
+under a fresh registry, ships the :class:`MetricsSnapshot` home with the
+trial record, and the parent merges them into ``TrialSet.metrics``.
+
+Snapshots form a commutative monoid under :func:`merge_snapshots`:
+merging is associative, the empty snapshot is the identity, counters and
+histograms add, and gauges keep the last written value. That is what
+makes per-worker aggregation order-independent.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional
+
+__all__ = [
+    "HistogramSummary",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "active_metrics",
+    "collecting",
+    "merge_snapshots",
+]
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """Streaming summary of one histogram/timer series.
+
+    Full sample lists would make worker snapshots unboundedly large, so
+    only the additively-mergeable moments are kept.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 for an empty series)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def observe(self, value: float) -> "HistogramSummary":
+        return HistogramSummary(
+            count=self.count + 1,
+            total=self.total + value,
+            minimum=min(self.minimum, value),
+            maximum=max(self.maximum, value),
+        )
+
+    def merged(self, other: "HistogramSummary") -> "HistogramSummary":
+        return HistogramSummary(
+            count=self.count + other.count,
+            total=self.total + other.total,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+        }
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """An immutable, picklable point-in-time copy of a registry.
+
+    This is the unit shipped from worker processes to the parent (one
+    per :class:`~repro.parallel.TrialRecord`) and stored on
+    ``TrialSet.metrics`` after merging.
+    """
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, HistogramSummary] = field(default_factory=dict)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.counters or self.gauges or self.histograms)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (``--metrics-out`` file schema)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: summary.to_dict()
+                for name, summary in sorted(self.histograms.items())
+            },
+        }
+
+
+#: The monoid identity: merging with it changes nothing.
+EMPTY_SNAPSHOT = MetricsSnapshot()
+
+
+def merge_snapshots(snapshots: Iterable[Optional[MetricsSnapshot]]) -> MetricsSnapshot:
+    """Fold snapshots into one (associative; ``None`` entries are skipped).
+
+    Counters and histogram moments add; gauges are last-write-wins in
+    iteration order (workers report point-in-time values, so any single
+    representative is equally valid).
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, HistogramSummary] = {}
+    for snapshot in snapshots:
+        if snapshot is None:
+            continue
+        for name, value in snapshot.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        gauges.update(snapshot.gauges)
+        for name, summary in snapshot.histograms.items():
+            existing = histograms.get(name)
+            histograms[name] = (
+                summary if existing is None else existing.merged(summary)
+            )
+    return MetricsSnapshot(counters=counters, gauges=gauges, histograms=histograms)
+
+
+class MetricsRegistry:
+    """A mutable in-process registry of counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, HistogramSummary] = {}
+
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the counter ``name``."""
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to its latest ``value``."""
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation in the histogram ``name``."""
+        existing = self._histograms.get(name, HistogramSummary())
+        self._histograms[name] = existing.observe(value)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time the enclosed block into the histogram ``name`` (seconds)."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - started)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """An immutable copy of the current contents."""
+        return MetricsSnapshot(
+            counters=dict(self._counters),
+            gauges=dict(self._gauges),
+            histograms=dict(self._histograms),
+        )
+
+    def absorb(self, snapshot: Optional[MetricsSnapshot]) -> None:
+        """Merge a (child or worker) snapshot into this registry."""
+        if snapshot is None:
+            return
+        for name, value in snapshot.counters.items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        self._gauges.update(snapshot.gauges)
+        for name, summary in snapshot.histograms.items():
+            existing = self._histograms.get(name)
+            self._histograms[name] = (
+                summary if existing is None else existing.merged(summary)
+            )
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+# Stack of installed registries; the *top* receives recordings. A stack
+# (rather than a single slot) lets the Monte-Carlo drivers give each
+# trial a private child registry and fold it into the parent afterwards.
+_ACTIVE: list = []
+
+
+def active_metrics() -> Optional[MetricsRegistry]:
+    """The innermost installed registry, or ``None`` (the no-op default)."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def collecting(
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` (or a fresh one) as the ambient metrics sink."""
+    registry = registry if registry is not None else MetricsRegistry()
+    _ACTIVE.append(registry)
+    try:
+        yield registry
+    finally:
+        _ACTIVE.pop()

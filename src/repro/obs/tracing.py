@@ -1,0 +1,387 @@
+"""Structured run tracing: spans and events emitted as JSONL.
+
+A :class:`Tracer` buffers a tree of *spans* (named, timed regions with
+attributes — campaign > trial batch > trial > engine run) and point
+*events* (phase transitions, resume cache hits), then writes them as
+one JSON object per line via the same atomic write-then-rename the
+checkpoint layer uses, so a killed run never leaves a truncated trace.
+
+Like :mod:`repro.obs.metrics`, tracing is ambient and opt-in:
+instrumented code asks :func:`current_tracer` once and does nothing
+when no tracer is installed, so un-instrumented runs pay nothing.
+
+The paper's phase structure
+---------------------------
+Theorem 1 decomposes a DIV run by the number of distinct opinions still
+present: the opinion range first contracts to two consecutive values
+(the ``τ`` stage), then a two-opinion martingale endgame runs to
+consensus. :class:`PhaseTraceObserver` records exactly that
+decomposition — every transition of ``|support|`` — and attributes step
+and wall-time totals to each support size, so per-phase costs can be
+compared against the per-phase bounds of Theorem 2 and the companion
+analyses. The engines attach one automatically whenever a tracer is
+installed.
+
+Record schema (one JSON object per line)::
+
+    {"type": "span", "id": 3, "parent": 2, "name": "engine.run",
+     "start": <epoch seconds>, "seconds": <duration>, ...attributes}
+    {"type": "event", "span": 3, "name": "phase.transition",
+     "step": 412, "support": 2}
+
+Engine spans carry ``steps``, ``stop_reason``, ``rng_blocks``,
+``opinion_changes`` and a ``phases`` list whose per-phase ``steps``
+always sum to the span's ``steps`` (validated by
+:func:`summarize_records` and ``div-repro trace summarize``).
+
+This module deliberately imports nothing from ``repro.core`` (the
+engines import *it*); the I/O helper is imported lazily to keep the
+layering acyclic.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import TraceError
+
+__all__ = [
+    "PhaseTraceObserver",
+    "Span",
+    "TraceSummary",
+    "Tracer",
+    "activate",
+    "current_tracer",
+    "load_trace_dir",
+    "summarize_records",
+]
+
+#: Mirrors ``repro.core.observers.ENDPOINTS_ONLY`` (obs sits *below*
+#: core in the layering, so the constant is duplicated, not imported):
+#: sampled hooks fire only at step 0 and at the final step.
+_ENDPOINTS_ONLY = 1 << 62
+
+#: Span-name prefix shared by all engine-level spans.
+ENGINE_SPAN_PREFIX = "engine."
+
+
+class Span:
+    """One open (or finished) traced region."""
+
+    __slots__ = ("span_id", "parent_id", "name", "attrs", "start", "_t0", "_tracer")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        attrs: dict,
+    ) -> None:
+        self._tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+        self.start = time.time()
+        self._t0 = time.perf_counter()
+
+    def set(self, **attrs: object) -> None:
+        """Attach (or overwrite) attributes on this span."""
+        self.attrs.update(attrs)
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Emit a point event parented to this span."""
+        self._tracer._record_event(self.span_id, name, attrs)
+
+
+class Tracer:
+    """Buffers span/event records and writes them as one JSONL file.
+
+    ``path=None`` keeps the trace in memory (tests, programmatic use);
+    with a path, :meth:`close` writes the whole file atomically.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._records: List[dict] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        """Open a span; it is recorded (with its duration) on exit."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(self, self._next_id, parent, name, dict(attrs))
+        self._next_id += 1
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            record = {
+                "type": "span",
+                "id": span.span_id,
+                "parent": span.parent_id,
+                "name": span.name,
+                "start": span.start,
+                "seconds": time.perf_counter() - span._t0,
+            }
+            record.update(span.attrs)
+            self._records.append(record)
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Emit a point event parented to the innermost open span."""
+        parent = self._stack[-1].span_id if self._stack else None
+        self._record_event(parent, name, attrs)
+
+    def _record_event(self, span_id: Optional[int], name: str, attrs: dict) -> None:
+        record = {"type": "event", "span": span_id, "name": name}
+        record.update(attrs)
+        self._records.append(record)
+
+    def records(self) -> List[dict]:
+        """The buffered records (spans appear after the spans they contain)."""
+        return list(self._records)
+
+    def render_jsonl(self) -> str:
+        return "".join(
+            json.dumps(record, default=str) + "\n" for record in self._records
+        )
+
+    def close(self) -> Optional[Path]:
+        """Write the buffered trace to ``path`` (atomic); returns the path."""
+        if self.path is None:
+            return None
+        from repro.io import atomic_write_text  # deferred: io sits above obs
+
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(self.path, self.render_jsonl())
+        return self.path
+
+
+_ACTIVE: List[Tracer] = []
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The innermost installed tracer, or ``None`` (tracing off)."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def activate(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the ambient tracer for the enclosed block."""
+    _ACTIVE.append(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.pop()
+
+
+# ---------------------------------------------------------------------------
+# Phase tracing
+# ---------------------------------------------------------------------------
+
+
+class PhaseTraceObserver:
+    """Records every transition in the number of distinct opinions.
+
+    A *phase* is a maximal step interval during which ``|support|`` (the
+    number of distinct opinions present) is constant — the quantity
+    Theorem 1's proof tracks: contraction to two consecutive opinions,
+    then the two-opinion endgame. The observer implements both engine
+    hooks (sampled at the endpoints, ``on_change`` for transitions) and
+    attributes every step and every wall-clock second of the run to
+    exactly one support size, so ``sum(steps per phase) == total steps``.
+
+    The engines attach one automatically when a tracer is installed; it
+    can equally be passed explicitly as a normal observer.
+    """
+
+    interval = _ENDPOINTS_ONLY
+
+    def __init__(self) -> None:
+        self.initial_support: Optional[int] = None
+        #: ``(step, new support size)`` per transition, in step order.
+        self.transitions: List[Tuple[int, int]] = []
+        self._phase_steps: Dict[int, int] = {}
+        self._phase_seconds: Dict[int, float] = {}
+        self._last_support: Optional[int] = None
+        self._last_step = 0
+        self._last_time = 0.0
+
+    def sample(self, step: int, state) -> None:
+        if self._last_support is None:
+            self.initial_support = state.support_size
+            self._last_support = state.support_size
+            self._last_step = step
+            self._last_time = time.perf_counter()
+            return
+        # Final sample: close the segment left open by the last change.
+        self._advance(step, state.support_size)
+        self._accrue(step)
+
+    def on_change(self, step: int, v: int, w: int, state) -> None:
+        self._advance(step, state.support_size)
+
+    def _advance(self, step: int, support: int) -> None:
+        if support != self._last_support:
+            self._accrue(step)
+            self.transitions.append((step, support))
+            self._last_support = support
+
+    def _accrue(self, step: int) -> None:
+        """Charge the segment since the last boundary to the open phase."""
+        now = time.perf_counter()
+        prev = self._last_support
+        if step > self._last_step or prev not in self._phase_steps:
+            self._phase_steps[prev] = (
+                self._phase_steps.get(prev, 0) + step - self._last_step
+            )
+            self._phase_seconds[prev] = (
+                self._phase_seconds.get(prev, 0.0) + now - self._last_time
+            )
+        self._last_step = step
+        self._last_time = now
+
+    def phases(self) -> List[dict]:
+        """Per-phase totals, largest support (earliest phase) first."""
+        return [
+            {
+                "support": support,
+                "steps": self._phase_steps[support],
+                "seconds": self._phase_seconds[support],
+            }
+            for support in sorted(self._phase_steps, reverse=True)
+        ]
+
+    def emit(self, span: Span) -> None:
+        """Attach phase totals to an engine span and emit transition events."""
+        span.set(
+            initial_support=self.initial_support,
+            phase_transitions=len(self.transitions),
+            phases=self.phases(),
+        )
+        for step, support in self.transitions:
+            span.event("phase.transition", step=step, support=support)
+
+
+# ---------------------------------------------------------------------------
+# Loading and summarizing trace files
+# ---------------------------------------------------------------------------
+
+
+def iter_trace_records(path: Union[str, Path]) -> List[dict]:
+    """Parse one JSONL trace file, failing loudly on malformed lines."""
+    source = Path(path)
+    records = []
+    try:
+        text = source.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise TraceError(f"{source}: cannot read trace file: {exc}") from exc
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(
+                f"{source}:{line_number}: malformed trace record: {exc.msg}"
+            ) from None
+        if not isinstance(record, dict) or "type" not in record:
+            raise TraceError(
+                f"{source}:{line_number}: not a trace record (missing 'type')"
+            )
+        records.append(record)
+    return records
+
+
+def load_trace_dir(directory: Union[str, Path]) -> List[dict]:
+    """Load every ``*.jsonl`` trace under ``directory`` (sorted by name)."""
+    root = Path(directory)
+    if root.is_file():
+        return iter_trace_records(root)
+    if not root.is_dir():
+        raise TraceError(f"{root}: no such trace file or directory")
+    files = sorted(root.glob("*.jsonl"))
+    if not files:
+        raise TraceError(f"{root}: no *.jsonl trace files found")
+    records: List[dict] = []
+    for path in files:
+        records.extend(iter_trace_records(path))
+    return records
+
+
+@dataclass
+class TraceSummary:
+    """Aggregates of one or more trace files (see ``trace summarize``)."""
+
+    campaigns: List[dict] = field(default_factory=list)
+    engine_spans: int = 0
+    total_steps: int = 0
+    total_engine_seconds: float = 0.0
+    phase_transitions: int = 0
+    #: support size -> (steps, seconds, number of spans that visited it)
+    phase_steps: Dict[int, int] = field(default_factory=dict)
+    phase_seconds: Dict[int, float] = field(default_factory=dict)
+    phase_spans: Dict[int, int] = field(default_factory=dict)
+    #: worker label -> (trials, busy seconds)
+    workers: Dict[str, Tuple[int, float]] = field(default_factory=dict)
+
+
+def summarize_records(records: List[dict]) -> TraceSummary:
+    """Aggregate trace records, validating the per-span phase invariant.
+
+    Raises :class:`~repro.errors.TraceError` when any engine span's
+    per-phase step counts do not sum to the span's reported ``steps`` —
+    the core consistency guarantee of the phase instrumentation.
+    """
+    summary = TraceSummary()
+    for record in records:
+        if record.get("type") == "span":
+            name = str(record.get("name", ""))
+            if name == "campaign":
+                summary.campaigns.append(record)
+            elif name.startswith(ENGINE_SPAN_PREFIX):
+                _fold_engine_span(summary, record)
+            elif name == "trial":
+                _fold_trial(summary, record)
+        elif record.get("type") == "event" and record.get("name") == "trial":
+            _fold_trial(summary, record)
+    return summary
+
+
+def _fold_engine_span(summary: TraceSummary, record: dict) -> None:
+    steps = int(record.get("steps", 0))
+    phases = record.get("phases", [])
+    phase_sum = sum(int(phase.get("steps", 0)) for phase in phases)
+    if phase_sum != steps:
+        raise TraceError(
+            f"inconsistent engine span (id {record.get('id')}): per-phase "
+            f"steps sum to {phase_sum} but the span reports {steps} steps"
+        )
+    summary.engine_spans += 1
+    summary.total_steps += steps
+    summary.total_engine_seconds += float(record.get("seconds", 0.0))
+    summary.phase_transitions += int(record.get("phase_transitions", 0))
+    for phase in phases:
+        support = int(phase["support"])
+        summary.phase_steps[support] = (
+            summary.phase_steps.get(support, 0) + int(phase["steps"])
+        )
+        summary.phase_seconds[support] = (
+            summary.phase_seconds.get(support, 0.0) + float(phase.get("seconds", 0.0))
+        )
+        summary.phase_spans[support] = summary.phase_spans.get(support, 0) + 1
+
+
+def _fold_trial(summary: TraceSummary, record: dict) -> None:
+    worker = str(record.get("worker", "local"))
+    seconds = float(record.get("seconds", 0.0))
+    trials, busy = summary.workers.get(worker, (0, 0.0))
+    summary.workers[worker] = (trials + 1, busy + seconds)

@@ -52,6 +52,7 @@ import numpy as np
 
 from repro.errors import AnalysisError, ParallelExecutionError
 from repro.faults import FaultPlan
+from repro.obs.metrics import MetricsSnapshot, collecting
 from repro.rng import make_rng
 
 #: Default number of retry rounds after a worker crash or chunk timeout.
@@ -68,12 +69,19 @@ TrialTask = Tuple[int, tuple, np.random.SeedSequence]
 
 @dataclass(frozen=True)
 class TrialRecord:
-    """One executed trial: its outcome plus execution metadata."""
+    """One executed trial: its outcome plus execution metadata.
+
+    ``metrics`` carries the trial's :class:`~repro.obs.metrics`
+    snapshot when the batch was dispatched with ``collect_metrics=True``
+    (the snapshot is picklable, so worker-side metrics survive the trip
+    back to the parent); ``None`` otherwise.
+    """
 
     index: int
     outcome: object
     seconds: float
     worker: str
+    metrics: Optional[MetricsSnapshot] = None
 
 
 @dataclass(frozen=True)
@@ -226,6 +234,7 @@ def _run_task_chunk(
     trial: Callable,
     chunk: Sequence[TrialTask],
     fault_plan: Optional[FaultPlan] = None,
+    collect_metrics: bool = False,
 ) -> List[TrialRecord]:
     """Execute a chunk of tasks; runs inside a worker (or in-process).
 
@@ -234,6 +243,10 @@ def _run_task_chunk(
     serial path's generator exactly. A fault plan may kill or stall the
     worker before a scripted trial index (never in the parent process),
     which is how the chaos drills exercise the retry/fallback paths.
+
+    With ``collect_metrics=True`` each trial runs under a fresh metrics
+    registry (shadowing anything inherited through ``fork``) and its
+    snapshot is attached to the record for parent-side aggregation.
     """
     label = _worker_label()
     records = []
@@ -241,13 +254,20 @@ def _run_task_chunk(
         if fault_plan is not None:
             fault_plan.worker_fault(index)
         started = time.perf_counter()
-        outcome = trial(*args, make_rng(trial_seed))
+        snapshot = None
+        if collect_metrics:
+            with collecting() as registry:
+                outcome = trial(*args, make_rng(trial_seed))
+            snapshot = registry.snapshot()
+        else:
+            outcome = trial(*args, make_rng(trial_seed))
         records.append(
             TrialRecord(
                 index=index,
                 outcome=outcome,
                 seconds=time.perf_counter() - started,
                 worker=label,
+                metrics=snapshot,
             )
         )
     return records
@@ -295,6 +315,7 @@ def _run_round(
     workers: int,
     timeout: Optional[float],
     fault_plan: Optional[FaultPlan],
+    collect_metrics: bool,
 ) -> Tuple[List[TrialRecord], List[Sequence[TrialTask]]]:
     """Run one pool round; returns (records, chunks that must be retried).
 
@@ -307,7 +328,12 @@ def _run_round(
     pool = ProcessPoolExecutor(max_workers=workers)
     try:
         futures = [
-            (pool.submit(_run_task_chunk, trial, chunk, fault_plan), chunk)
+            (
+                pool.submit(
+                    _run_task_chunk, trial, chunk, fault_plan, collect_metrics
+                ),
+                chunk,
+            )
             for chunk in chunks
         ]
         broken = False
@@ -341,6 +367,7 @@ def execute_tasks(
     max_retries: int = DEFAULT_MAX_RETRIES,
     fault_plan: Optional[FaultPlan] = None,
     on_record: Optional[Callable[[TrialRecord], None]] = None,
+    collect_metrics: bool = False,
 ) -> Tuple[List[TrialRecord], TrialTimings]:
     """Execute ``tasks`` on ``workers`` processes; deterministic outcomes.
 
@@ -371,6 +398,10 @@ def execute_tasks(
         Optional parent-side callback invoked for each record as soon as
         its chunk completes (the checkpoint layer journals trials here,
         so a killed campaign keeps everything that finished).
+    collect_metrics:
+        When true, each trial runs under a fresh worker-local metrics
+        registry and its snapshot rides back on the
+        :class:`TrialRecord` for the parent to aggregate.
     """
     if workers < 1:
         raise AnalysisError(f"workers must be >= 1 (or None), got {workers}")
@@ -381,7 +412,9 @@ def execute_tasks(
         # Task-at-a-time so on_record checkpoints progress incrementally.
         records = []
         for task in tasks:
-            records.extend(_run_task_chunk(trial, [task], fault_plan))
+            records.extend(
+                _run_task_chunk(trial, [task], fault_plan, collect_metrics)
+            )
             if on_record is not None:
                 on_record(records[-1])
         return records, TrialTimings.from_records(
@@ -401,7 +434,7 @@ def execute_tasks(
         if round_index:
             retries += 1
         round_records, pending = _run_round(
-            trial, pending, workers, timeout, fault_plan
+            trial, pending, workers, timeout, fault_plan, collect_metrics
         )
         records.extend(round_records)
         if on_record is not None:
@@ -421,7 +454,9 @@ def execute_tasks(
             stacklevel=2,
         )
         for chunk in pending:
-            chunk_records = _run_task_chunk(trial, chunk, fault_plan)
+            chunk_records = _run_task_chunk(
+                trial, chunk, fault_plan, collect_metrics
+            )
             records.extend(chunk_records)
             if on_record is not None:
                 for record in chunk_records:

@@ -349,6 +349,48 @@ class TestTST001:
         assert findings == []
 
 
+class TestOBS001:
+    def test_print_in_library_module_flagged(self):
+        findings = lint(
+            """\
+            def report(value):
+                print(value)
+            """
+        )
+        assert rule_ids(findings) == ["OBS001"]
+        assert findings[0].line == 2
+        assert "bare print()" in findings[0].message
+
+    def test_cli_module_exempt(self):
+        findings = lint(
+            "print('report')\n", path="src/repro/cli.py"
+        )
+        assert findings == []
+
+    def test_reporters_module_exempt(self):
+        findings = lint(
+            "print('finding')\n", path="src/repro/devtools/reporters.py"
+        )
+        assert findings == []
+
+    def test_test_files_exempt(self):
+        findings = lint("print('debug')\n", path=TEST_PATH)
+        assert findings == []
+
+    def test_files_outside_repro_exempt(self):
+        findings = lint("print('bench result')\n", path="benchmarks/bench_x.py")
+        assert findings == []
+
+    def test_shadowed_print_attribute_not_flagged(self):
+        findings = lint(
+            """\
+            def emit(logger, value):
+                logger.print(value)
+            """
+        )
+        assert findings == []
+
+
 class TestSuppressions:
     BAD_LINE = "import numpy as np\nx = np.random.rand(3)"
 

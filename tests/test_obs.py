@@ -1,0 +1,343 @@
+"""Tests for the observability layer (`repro.obs`).
+
+Covers the metrics monoid (merge associativity, empty identity),
+phase tracing against a hand-built opinion trajectory with
+exactly-known transitions, the per-span phase invariant on both
+engines, the non-positive observer-interval bugfix, and the CLI
+round-trip `run --trace-dir` -> `trace summarize`.
+"""
+
+from __future__ import annotations
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis.montecarlo import run_trials
+from repro.cli import main
+from repro.core import (
+    IncrementalVoting,
+    OpinionState,
+    run_div_complete,
+    run_dynamics,
+    run_synchronous_div,
+)
+from repro.core.schedulers import VertexScheduler
+from repro.errors import ProcessError, TraceError
+from repro.graphs import complete_graph
+from repro.obs import (
+    EMPTY_SNAPSHOT,
+    MetricsRegistry,
+    PhaseTraceObserver,
+    SpanProfiler,
+    Tracer,
+    activate,
+    active_metrics,
+    active_profiler,
+    collecting,
+    current_tracer,
+    iter_trace_records,
+    load_trace_dir,
+    merge_snapshots,
+    profiling,
+    summarize_records,
+)
+
+
+def _registry(counters=(), gauges=(), observations=()):
+    registry = MetricsRegistry()
+    for name, value in counters:
+        registry.inc(name, value)
+    for name, value in gauges:
+        registry.gauge(name, value)
+    for name, value in observations:
+        registry.observe(name, value)
+    return registry
+
+
+class TestMetricsRegistry:
+    def test_counters_gauges_histograms(self):
+        registry = MetricsRegistry()
+        registry.inc("runs")
+        registry.inc("runs", 2)
+        registry.gauge("workers", 4)
+        registry.gauge("workers", 2)
+        registry.observe("seconds", 1.0)
+        registry.observe("seconds", 3.0)
+        snapshot = registry.snapshot()
+        assert snapshot.counters["runs"] == 3
+        assert snapshot.gauges["workers"] == 2  # last write wins
+        hist = snapshot.histograms["seconds"]
+        assert hist.count == 2
+        assert hist.total == pytest.approx(4.0)
+        assert hist.minimum == pytest.approx(1.0)
+        assert hist.maximum == pytest.approx(3.0)
+        assert hist.mean == pytest.approx(2.0)
+
+    def test_timer_observes_elapsed(self):
+        registry = MetricsRegistry()
+        with registry.timer("tick"):
+            pass
+        hist = registry.snapshot().histograms["tick"]
+        assert hist.count == 1
+        assert hist.total >= 0.0
+
+    def test_inactive_by_default(self):
+        assert active_metrics() is None
+        with collecting() as registry:
+            assert active_metrics() is registry
+        assert active_metrics() is None
+
+
+class TestSnapshotMerge:
+    def test_empty_is_identity(self):
+        snapshot = _registry(
+            counters=[("a", 2)], gauges=[("g", 7)], observations=[("h", 0.5)]
+        ).snapshot()
+        left = merge_snapshots([EMPTY_SNAPSHOT, snapshot])
+        right = merge_snapshots([snapshot, EMPTY_SNAPSHOT])
+        assert left.to_dict() == snapshot.to_dict()
+        assert right.to_dict() == snapshot.to_dict()
+
+    def test_merge_is_associative(self):
+        a = _registry(counters=[("x", 1)], observations=[("h", 1.0)]).snapshot()
+        b = _registry(counters=[("x", 2), ("y", 5)], observations=[("h", 9.0)]).snapshot()
+        c = _registry(gauges=[("g", 3)], observations=[("h", 4.0)]).snapshot()
+        left = merge_snapshots([merge_snapshots([a, b]), c])
+        right = merge_snapshots([a, merge_snapshots([b, c])])
+        assert left.to_dict() == right.to_dict()
+        assert left.counters["x"] == 3
+        assert left.histograms["h"].count == 3
+        assert left.histograms["h"].maximum == pytest.approx(9.0)
+
+    def test_merge_skips_none(self):
+        snapshot = _registry(counters=[("x", 1)]).snapshot()
+        merged = merge_snapshots([None, snapshot, None])
+        assert merged.counters == {"x": 1}
+
+    def test_absorb_accumulates(self):
+        parent = MetricsRegistry()
+        parent.inc("x")
+        parent.absorb(_registry(counters=[("x", 2)], gauges=[("g", 1)]).snapshot())
+        snapshot = parent.snapshot()
+        assert snapshot.counters["x"] == 3
+        assert snapshot.gauges["g"] == 1
+
+
+class TestPhaseTraceObserver:
+    def test_hand_built_trajectory(self):
+        # Support sizes along a fabricated 30-step run:
+        #   [0,12) -> 3 distinct opinions, [12,20) -> 2, [20,30) -> 3,
+        #   consensus at step 30.
+        obs = PhaseTraceObserver()
+        state = lambda support: SimpleNamespace(support_size=support)  # noqa: E731
+        obs.sample(0, state(3))
+        obs.on_change(5, 0, 1, state(3))  # opinion changed, support did not
+        obs.on_change(12, 1, 2, state(2))
+        obs.on_change(20, 2, 0, state(3))
+        obs.on_change(30, 0, 1, state(1))
+        obs.sample(30, state(1))  # final endpoint sample
+
+        assert obs.initial_support == 3
+        assert obs.transitions == [(12, 2), (20, 3), (30, 1)]
+        phases = obs.phases()
+        assert [p["support"] for p in phases] == [3, 2, 1]
+        assert [p["steps"] for p in phases] == [22, 8, 0]
+        assert sum(p["steps"] for p in phases) == 30
+
+    def test_emit_writes_span_attributes_and_events(self):
+        obs = PhaseTraceObserver()
+        state = lambda support: SimpleNamespace(support_size=support)  # noqa: E731
+        obs.sample(0, state(2))
+        obs.on_change(4, 0, 1, state(1))
+        obs.sample(4, state(1))
+
+        tracer = Tracer()
+        with tracer.span("engine.run") as span:
+            obs.emit(span)
+        (event, span_record) = tracer.records()
+        assert span_record["initial_support"] == 2
+        assert span_record["phase_transitions"] == 1
+        assert event == {
+            "type": "event",
+            "span": span_record["id"],
+            "name": "phase.transition",
+            "step": 4,
+            "support": 1,
+        }
+
+
+class TestEnginePhaseInvariant:
+    def test_generic_engine_phases_sum_to_steps(self):
+        graph = complete_graph(12)
+        state = OpinionState(graph, [1, 2, 5] * 4)
+        tracer = Tracer()
+        with activate(tracer):
+            result = run_dynamics(
+                state, VertexScheduler(graph), IncrementalVoting(), rng=0
+            )
+        summary = summarize_records(tracer.records())  # raises on mismatch
+        assert summary.engine_spans == 1
+        assert summary.total_steps == result.steps
+        assert sum(summary.phase_steps.values()) == result.steps
+        # The run ends in consensus, so the trace visits support size 1.
+        assert 1 in summary.phase_steps
+
+    def test_complete_engine_phases_sum_to_steps(self):
+        tracer = Tracer()
+        with activate(tracer):
+            result = run_div_complete(12, {1: 4, 2: 4, 5: 4}, rng=0)
+        summary = summarize_records(tracer.records())
+        assert summary.engine_spans == 1
+        assert summary.total_steps == result.steps
+        (span,) = [r for r in tracer.records() if r.get("name") == "engine.run_complete"]
+        assert span["initial_support"] == 3
+        assert span["phase_transitions"] == len(
+            [r for r in tracer.records() if r.get("name") == "phase.transition"]
+        )
+
+    def test_untraced_runs_emit_nothing(self):
+        assert current_tracer() is None
+        result = run_div_complete(12, {1: 6, 5: 6}, rng=0)
+        assert result.steps > 0  # no tracer, no spans, still runs
+
+
+class TestObserverIntervalValidation:
+    def test_generic_engine_rejects_non_positive_interval(self):
+        graph = complete_graph(6)
+        state = OpinionState(graph, [1, 2, 3, 1, 2, 3])
+        bad = SimpleNamespace(interval=0, sample=lambda step, state: None)
+        with pytest.raises(ProcessError, match="non-positive sample interval"):
+            run_dynamics(
+                state,
+                VertexScheduler(graph),
+                IncrementalVoting(),
+                rng=0,
+                observers=[bad],
+            )
+
+    def test_synchronous_engine_rejects_non_positive_interval(self):
+        graph = complete_graph(6)
+        bad = SimpleNamespace(interval=-3, sample=lambda step, state: None)
+        with pytest.raises(ProcessError, match="non-positive sample interval"):
+            run_synchronous_div(graph, [1, 2, 3, 1, 2, 3], rng=0, observers=[bad])
+
+
+class TestParallelMetrics:
+    @staticmethod
+    def _trial(index, rng):
+        result = run_div_complete(40, {1: 20, 5: 20}, stop="two_adjacent", rng=rng)
+        return result.two_adjacent_step
+
+    def test_serial_and_parallel_counters_identical(self):
+        with collecting():
+            serial = run_trials(8, self._trial, seed=11)
+        with collecting():
+            parallel = run_trials(8, self._trial, seed=11, workers=2)
+        assert serial.outcomes == parallel.outcomes
+        assert serial.metrics is not None and parallel.metrics is not None
+        assert serial.metrics.counters == parallel.metrics.counters
+        assert serial.metrics.counters["engine.runs"] == 8
+
+    def test_no_registry_no_metrics(self):
+        batch = run_trials(4, self._trial, seed=11)
+        assert batch.metrics is None
+
+
+class TestTracerRoundTrip:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tracer = Tracer(path)
+        with tracer.span("campaign", experiment="E0") as outer:
+            with tracer.span("trial") as inner:
+                inner.set(index=0, worker="local", seconds=0.0)
+            outer.event("checkpoint.resume", batch=1, cached=3)
+        assert tracer.close() == path
+
+        records = iter_trace_records(path)
+        assert [r["type"] for r in records] == ["span", "event", "span"]
+        trial, event, campaign = records
+        assert trial["parent"] == campaign["id"]
+        assert event["span"] == campaign["id"]
+        assert load_trace_dir(tmp_path) == records
+
+    def test_malformed_line_raises_trace_error(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "span"}\nnot json\n', encoding="utf-8")
+        with pytest.raises(TraceError, match="bad.jsonl:2: malformed"):
+            iter_trace_records(path)
+
+    def test_record_without_type_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "x"}\n', encoding="utf-8")
+        with pytest.raises(TraceError, match="missing 'type'"):
+            iter_trace_records(path)
+
+    def test_empty_dir_raises(self, tmp_path):
+        with pytest.raises(TraceError, match="no .*jsonl"):
+            load_trace_dir(tmp_path)
+
+
+class TestProfiler:
+    def test_profiling_sections(self):
+        assert active_profiler() is None
+        with profiling() as profiler:
+            assert active_profiler() is profiler
+            with profiler.section("work"):
+                sum(range(1000))
+        rendered = profiler.render()
+        assert "work" in rendered
+        assert profiler.keys == ["work"]
+
+    def test_empty_profiler_renders_placeholder(self):
+        assert "(no profiled sections)" in SpanProfiler().render()
+
+
+class TestCliRoundTrip:
+    def test_run_trace_metrics_and_summarize(self, tmp_path, capsys):
+        trace_dir = tmp_path / "trace"
+        metrics_out = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "E10",
+                    "--quick",
+                    "--seed",
+                    "0",
+                    "--trace-dir",
+                    str(trace_dir),
+                    "--metrics-out",
+                    str(metrics_out),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        trace_file = trace_dir / "e10.jsonl"
+        assert trace_file.is_file()
+
+        # The metrics counters and the trace agree on total work done.
+        summary = summarize_records(load_trace_dir(trace_dir))
+        metrics = json.loads(metrics_out.read_text(encoding="utf-8"))
+        assert metrics["counters"]["engine.steps"] == summary.total_steps
+        assert metrics["counters"]["engine.runs"] == summary.engine_spans
+
+        assert main(["trace", "summarize", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "engine run(s)" in out
+        assert "|support|" in out
+        assert "campaign E10" in out
+
+    def test_summarize_corrupt_trace_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n", encoding="utf-8")
+        assert main(["trace", "summarize", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("div-repro: error:")
+        assert "malformed trace record" in err
+
+    def test_summarize_missing_path_exits_2(self, tmp_path, capsys):
+        assert main(["trace", "summarize", str(tmp_path / "nope")]) == 2
+        assert "no such trace" in capsys.readouterr().err

@@ -29,6 +29,7 @@ from typing import Callable, Dict, Generic, List, Optional, Sequence, TypeVar
 import numpy as np
 
 from repro.checkpoint import CampaignSession, current_session
+from repro.core.kernels import active_kernel, use_kernel
 from repro.errors import AnalysisError
 from repro.faults import FaultPlan
 from repro.obs.metrics import (
@@ -94,6 +95,7 @@ def run_trials(
     timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
     fault_plan: Optional[FaultPlan] = None,
+    kernel: Optional[str] = None,
 ) -> TrialSet:
     """Run ``trial(index, rng)`` for ``trials`` independent generators.
 
@@ -104,6 +106,13 @@ def run_trials(
     :func:`repro.parallel.execute_tasks`); ``fault_plan`` injects
     scripted failures (see :mod:`repro.faults`). Inside a checkpoint
     campaign, completed trials are journaled and skipped on resume.
+
+    ``kernel`` scopes an execution-kernel choice over the whole batch
+    (``"loop"``, ``"block"`` or ``"auto"``; see
+    :mod:`repro.core.kernels`) — installed ambiently around serial
+    trials and shipped to every worker on the parallel path, so engine
+    calls that leave ``kernel="auto"`` pick it up. Outcomes are
+    identical across kernels; this is a wall-clock knob only.
     """
     if trials < 1:
         raise AnalysisError(f"trials must be >= 1, got {trials}")
@@ -115,6 +124,7 @@ def run_trials(
     tracer = current_tracer()
     parent_metrics = active_metrics()
     with ExitStack() as stack:
+        stack.enter_context(use_kernel(kernel))
         if tracer is not None:
             span = stack.enter_context(tracer.span("trials.batch"))
             span.set(
@@ -154,6 +164,7 @@ def run_trials(
             fault_plan=fault_plan,
             on_record=_recorder(session, batch),
             collect_metrics=parent_metrics is not None,
+            kernel=active_kernel(),
             **_parallel_kwargs(chunk_size, timeout, max_retries),
         )
         _trace_records(tracer, records)
@@ -179,6 +190,7 @@ def run_trials_over(
     timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
     fault_plan: Optional[FaultPlan] = None,
+    kernel: Optional[str] = None,
 ) -> List[tuple]:
     """Run a trial batch per parameter value.
 
@@ -195,6 +207,9 @@ def run_trials_over(
     (``parameter_index * trials + trial_index``) on both paths, so a
     campaign interrupted under one worker count resumes correctly under
     any other.
+
+    ``kernel`` behaves as in :func:`run_trials`: ambient around serial
+    trials, shipped to workers on the parallel path, outcome-neutral.
     """
     if trials < 1:
         raise AnalysisError(f"trials must be >= 1, got {trials}")
@@ -207,6 +222,7 @@ def run_trials_over(
     parent_metrics = active_metrics()
     batch_seeds = spawn_seed_sequences(seed, len(parameters))
     with ExitStack() as stack:
+        stack.enter_context(use_kernel(kernel))
         if tracer is not None:
             span = stack.enter_context(tracer.span("trials.batch"))
             span.set(
@@ -266,6 +282,7 @@ def run_trials_over(
             fault_plan=fault_plan,
             on_record=_recorder(session, grid_key),
             collect_metrics=parent_metrics is not None,
+            kernel=active_kernel(),
             **_parallel_kwargs(chunk_size, timeout, max_retries),
         )
         _trace_records(tracer, records)

@@ -12,6 +12,7 @@ from typing import Optional, Sequence
 
 from repro.baselines.common import VotingOutcome, run_baseline
 from repro.core.dynamics import BestOfThree, BestOfTwo
+from repro.core.observers import EngineObserver
 from repro.graphs.graph import Graph
 from repro.rng import RngLike
 
@@ -23,7 +24,8 @@ def run_best_of_two(
     process: str = "vertex",
     rng: RngLike = None,
     max_steps: Optional[int] = None,
-    observers: Sequence[object] = (),
+    observers: Sequence[EngineObserver] = (),
+    kernel: str = "auto",
 ) -> VotingOutcome:
     """Run the two-choices dynamics to consensus."""
     return run_baseline(
@@ -35,6 +37,7 @@ def run_best_of_two(
         rng=rng,
         max_steps=max_steps,
         observers=observers,
+        kernel=kernel,
     )
 
 
@@ -45,7 +48,8 @@ def run_best_of_three(
     process: str = "vertex",
     rng: RngLike = None,
     max_steps: Optional[int] = None,
-    observers: Sequence[object] = (),
+    observers: Sequence[EngineObserver] = (),
+    kernel: str = "auto",
 ) -> VotingOutcome:
     """Run the 3-majority dynamics to consensus."""
     return run_baseline(
@@ -57,4 +61,5 @@ def run_best_of_three(
         rng=rng,
         max_steps=max_steps,
         observers=observers,
+        kernel=kernel,
     )

@@ -2,7 +2,10 @@
 
 Every baseline exposes a ``run_*`` function returning a
 :class:`VotingOutcome`; all of them delegate to the same engine the DIV
-process uses, so step counts are directly comparable.
+process uses, so step counts are directly comparable. The execution
+kernel (see :mod:`repro.core.kernels`) is threaded through rather than
+hard-coded, so a campaign-level :func:`repro.core.kernels.use_kernel`
+override reaches every baseline.
 """
 
 from __future__ import annotations
@@ -12,29 +15,33 @@ from typing import List, Optional, Sequence
 
 from repro.core.dynamics import Dynamics
 from repro.core.engine import run_dynamics
+from repro.core.observers import EngineObserver
+from repro.core.results import BaseRunResult
 from repro.core.schedulers import make_scheduler
 from repro.core.state import OpinionState
+from repro.core.stopping import StopLike
 from repro.graphs.graph import Graph
 from repro.rng import RngLike
 
 
 @dataclass
-class VotingOutcome:
+class VotingOutcome(BaseRunResult):
     """Outcome of one baseline run.
 
     ``winner`` is the consensus value when one was reached, else ``None``
     (some baselines stop at a non-consensus absorbing stage, e.g. load
-    balancing at a floor/ceil mixture).
+    balancing at a floor/ceil mixture). ``kernel`` records the execution
+    backend that actually ran (``"loop"`` or ``"block"``).
     """
 
     dynamics: str
     winner: Optional[int]
     steps: int
-    stop_reason: str
     initial_mean: float
     final_support: List[int]
     final_mean: float
     state: OpinionState
+    kernel: str = "loop"
 
 
 def run_baseline(
@@ -43,10 +50,11 @@ def run_baseline(
     dynamics: Dynamics,
     *,
     process: str = "vertex",
-    stop: object = "consensus",
+    stop: StopLike = "consensus",
     rng: RngLike = None,
     max_steps: Optional[int] = None,
-    observers: Sequence[object] = (),
+    observers: Sequence[EngineObserver] = (),
+    kernel: str = "auto",
 ) -> VotingOutcome:
     """Run ``dynamics`` with the standard engine and summarize."""
     state = OpinionState(graph, opinions)
@@ -59,6 +67,7 @@ def run_baseline(
         rng=rng,
         max_steps=max_steps,
         observers=observers,
+        kernel=kernel,
     )
     return VotingOutcome(
         dynamics=dynamics.name,
@@ -69,4 +78,5 @@ def run_baseline(
         final_support=state.support(),
         final_mean=state.mean(),
         state=state,
+        kernel=result.kernel,
     )

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.baselines.common import VotingOutcome, run_baseline
 from repro.core.dynamics import LoadBalancing
+from repro.core.observers import EngineObserver
 from repro.core.state import OpinionState
 from repro.core.stopping import range_at_most
 from repro.graphs.graph import Graph
@@ -49,7 +50,8 @@ def run_load_balancing(
     target_width: int = 2,
     rng: RngLike = None,
     max_steps: Optional[int] = None,
-    observers: Sequence[object] = (),
+    observers: Sequence[EngineObserver] = (),
+    kernel: str = "auto",
 ) -> VotingOutcome:
     """Run edge-averaging until the load range is at most ``target_width``.
 
@@ -72,4 +74,5 @@ def run_load_balancing(
         rng=rng,
         max_steps=max_steps,
         observers=observers,
+        kernel=kernel,
     )

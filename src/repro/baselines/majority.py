@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 
 from repro.baselines.common import VotingOutcome, run_baseline
 from repro.core.dynamics import LocalMajority
+from repro.core.observers import EngineObserver
 from repro.graphs.graph import Graph
 from repro.rng import RngLike
 
@@ -28,7 +29,8 @@ def run_local_majority(
     process: str = "vertex",
     rng: RngLike = None,
     max_steps: Optional[int] = None,
-    observers: Sequence[object] = (),
+    observers: Sequence[EngineObserver] = (),
+    kernel: str = "auto",
 ) -> VotingOutcome:
     """Run local majority polling until consensus or the step budget.
 
@@ -47,4 +49,5 @@ def run_local_majority(
         rng=rng,
         max_steps=max_steps,
         observers=observers,
+        kernel=kernel,
     )

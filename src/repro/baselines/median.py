@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 
 from repro.baselines.common import VotingOutcome, run_baseline
 from repro.core.dynamics import MedianVoting
+from repro.core.observers import EngineObserver
 from repro.graphs.graph import Graph
 from repro.rng import RngLike
 
@@ -24,7 +25,8 @@ def run_median_voting(
     process: str = "vertex",
     rng: RngLike = None,
     max_steps: Optional[int] = None,
-    observers: Sequence[object] = (),
+    observers: Sequence[EngineObserver] = (),
+    kernel: str = "auto",
 ) -> VotingOutcome:
     """Run median voting to consensus.
 
@@ -40,4 +42,5 @@ def run_median_voting(
         rng=rng,
         max_steps=max_steps,
         observers=observers,
+        kernel=kernel,
     )

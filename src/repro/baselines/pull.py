@@ -14,6 +14,7 @@ from typing import Optional, Sequence
 
 from repro.baselines.common import VotingOutcome, run_baseline
 from repro.core.dynamics import PullVoting, PushVoting
+from repro.core.observers import EngineObserver
 from repro.graphs.graph import Graph
 from repro.rng import RngLike
 
@@ -25,7 +26,8 @@ def run_pull_voting(
     process: str = "vertex",
     rng: RngLike = None,
     max_steps: Optional[int] = None,
-    observers: Sequence[object] = (),
+    observers: Sequence[EngineObserver] = (),
+    kernel: str = "auto",
 ) -> VotingOutcome:
     """Run classic pull voting to consensus."""
     return run_baseline(
@@ -37,6 +39,7 @@ def run_pull_voting(
         rng=rng,
         max_steps=max_steps,
         observers=observers,
+        kernel=kernel,
     )
 
 
@@ -47,7 +50,8 @@ def run_push_voting(
     process: str = "vertex",
     rng: RngLike = None,
     max_steps: Optional[int] = None,
-    observers: Sequence[object] = (),
+    observers: Sequence[EngineObserver] = (),
+    kernel: str = "auto",
 ) -> VotingOutcome:
     """Run push voting (the selected vertex imposes its opinion) to consensus."""
     return run_baseline(
@@ -59,4 +63,5 @@ def run_push_voting(
         rng=rng,
         max_steps=max_steps,
         observers=observers,
+        kernel=kernel,
     )

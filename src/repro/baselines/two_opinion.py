@@ -50,6 +50,7 @@ def run_two_opinion_voting(
     process: str = "vertex",
     rng: RngLike = None,
     max_steps: Optional[int] = None,
+    kernel: str = "auto",
 ) -> TwoOpinionResult:
     """Run {0,1} pull voting with opinion 1 planted on ``ones``.
 
@@ -68,6 +69,7 @@ def run_two_opinion_voting(
         stop="consensus",
         rng=rng,
         max_steps=max_steps,
+        kernel=kernel,
     )
     if outcome.winner is None:
         raise InvalidOpinionsError(

@@ -4,10 +4,12 @@ Commands
 --------
 ``list``
     Show all registered experiments.
-``run E1 [E5 ...] [--quick] [--seed N] [--workers N]``
+``run E1 [E5 ...] [--quick] [--seed N] [--workers N] [--kernel K]``
     Run experiments and print their reports (``all`` runs everything).
     ``--workers N`` parallelizes Monte-Carlo trials across N processes
     with outcomes bit-for-bit identical to the serial run.
+    ``--kernel loop|block|auto`` selects the engine execution backend
+    (also outcome-identical; see ``docs/kernels.md``).
     ``--checkpoint-dir DIR`` journals every completed trial so a killed
     campaign can continue with ``--resume``; ``--inject-faults SPEC``
     runs a deterministic chaos drill (see ``docs/robustness.md``).
@@ -63,6 +65,15 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="parallel trial workers (outcomes identical to serial; "
         "experiments without parallel support run serially)",
+    )
+    run.add_argument(
+        "--kernel",
+        choices=("auto", "loop", "block"),
+        default="auto",
+        help="engine execution kernel: 'loop' (per-step reference), "
+        "'block' (vectorized conflict-free segments) or 'auto' "
+        "(default; block wherever the dynamics supports it). Reports "
+        "are bit-for-bit identical across kernels (docs/kernels.md)",
     )
     run.add_argument(
         "--json",
@@ -175,6 +186,12 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="parallel trial workers (outcomes identical to serial)",
     )
+    report.add_argument(
+        "--kernel",
+        choices=("auto", "loop", "block"),
+        default="auto",
+        help="engine execution kernel (bit-identical; see docs/kernels.md)",
+    )
 
     trace = sub.add_parser(
         "trace", help="inspect JSONL run traces written by 'run --trace-dir'"
@@ -234,6 +251,7 @@ def _cmd_run(args) -> int:
         fault_plan=fault_plan,
         trial_timeout=args.trial_timeout,
         max_retries=args.max_retries,
+        kernel=None if args.kernel == "auto" else args.kernel,
     )
     if any(e.lower() == "all" for e in ids):
         specs = all_experiments()
@@ -473,7 +491,13 @@ def _cmd_checkpoint_diff(left: str, right: str) -> int:
     return 1
 
 
-def _cmd_report(output: str, quick: bool, seed: int, workers: Optional[int]) -> int:
+def _cmd_report(
+    output: str,
+    quick: bool,
+    seed: int,
+    workers: Optional[int],
+    kernel: Optional[str],
+) -> int:
     from pathlib import Path
 
     sections = [
@@ -486,7 +510,7 @@ def _cmd_report(output: str, quick: bool, seed: int, workers: Optional[int]) -> 
     for spec in all_experiments():
         started = time.time()
         runner = spec.run_quick if quick else spec.run_full
-        report = runner(seed=seed, workers=workers)
+        report = runner(seed=seed, workers=workers, kernel=kernel)
         elapsed = time.time() - started
         print(f"[{spec.experiment_id} finished in {elapsed:.1f}s]")
         sections.append("")
@@ -508,7 +532,13 @@ def _dispatch(args) -> int:
     if args.command == "lint":
         return _cmd_lint(args.paths, args.format, args.rules, args.list_rules)
     if args.command == "report":
-        return _cmd_report(args.output, args.quick, args.seed, args.workers)
+        return _cmd_report(
+            args.output,
+            args.quick,
+            args.seed,
+            args.workers,
+            None if args.kernel == "auto" else args.kernel,
+        )
     if args.command == "trace":
         return _cmd_trace_summarize(args.path)
     if args.command == "checkpoint":

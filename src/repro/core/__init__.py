@@ -14,6 +14,15 @@ from repro.core.dynamics import (
 )
 from repro.core.engine import RunResult, run_dynamics
 from repro.core.fast_complete import CompleteRunResult, run_div_complete
+from repro.core.kernels import (
+    KERNEL_NAMES,
+    BlockKernel,
+    LoopKernel,
+    make_kernel,
+    resolve_kernel,
+    supports_block,
+    use_kernel,
+)
 from repro.core.observers import (
     ChangeLog,
     ExtremeMeasureTrace,
@@ -24,10 +33,13 @@ from repro.core.observers import (
     SupportTrace,
     WeightTrace,
 )
+from repro.core.results import BaseRunResult
 from repro.core.schedulers import EdgeScheduler, VertexScheduler, make_scheduler
 from repro.core.synchronous import SynchronousResult, run_synchronous_div
 from repro.core.state import OpinionState
 from repro.core.stopping import (
+    MAX_STEPS_REASON,
+    StopTerm,
     consensus,
     first_of,
     make_stop_condition,
@@ -39,12 +51,18 @@ from repro.core.stopping import (
 from repro.core import theory
 
 __all__ = [
+    "BaseRunResult",
     "BestOfThree",
     "BestOfTwo",
+    "BlockKernel",
     "ChangeLog",
     "CompleteRunResult",
     "DIVResult",
     "EdgeScheduler",
+    "KERNEL_NAMES",
+    "LoopKernel",
+    "MAX_STEPS_REASON",
+    "StopTerm",
     "ExtremeMeasureTrace",
     "FirstTimeTracker",
     "IncrementalVoting",
@@ -67,15 +85,19 @@ __all__ = [
     "expected_consensus_average",
     "first_of",
     "make_dynamics",
+    "make_kernel",
     "make_scheduler",
     "make_stop_condition",
     "never",
     "range_at_most",
+    "resolve_kernel",
     "run_div",
     "run_div_complete",
     "run_dynamics",
     "run_synchronous_div",
     "support_at_most",
+    "supports_block",
     "theory",
     "two_adjacent",
+    "use_kernel",
 ]

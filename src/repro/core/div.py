@@ -13,28 +13,29 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.dynamics import IncrementalVoting
 from repro.core.engine import run_dynamics
-from repro.core.observers import FirstTimeTracker
+from repro.core.observers import EngineObserver, FirstTimeTracker
+from repro.core.results import BaseRunResult
 from repro.core.schedulers import make_scheduler
 from repro.core.state import OpinionState
-from repro.core.stopping import make_stop_condition
+from repro.core.stopping import StopLike, make_stop_condition
 from repro.graphs.graph import Graph
 from repro.rng import RngLike
 
 
 @dataclass
-class DIVResult:
+class DIVResult(BaseRunResult):
     """Outcome of one DIV run.
 
     Attributes
     ----------
+    stop_reason:
+        Why the run ended (``"consensus"``, ``"two_adjacent"``,
+        ``"max_steps"``, ...).
     winner:
         The consensus opinion, or ``None`` when consensus was not reached
         within the budget.
     steps:
         Asynchronous steps executed.
-    stop_reason:
-        Why the run ended (``"consensus"``, ``"two_adjacent"``,
-        ``"max_steps"``, ...).
     two_adjacent_step:
         First step at which at most two consecutive opinions remained
         (the ``τ`` of Theorem 1), or ``None`` if never reached.
@@ -52,7 +53,6 @@ class DIVResult:
 
     winner: Optional[int]
     steps: int
-    stop_reason: str
     two_adjacent_step: Optional[int]
     initial_mean: float
     initial_weighted_mean: float
@@ -65,10 +65,11 @@ def run_div(
     opinions: Sequence[int],
     *,
     process: str = "vertex",
-    stop: object = "consensus",
+    stop: StopLike = "consensus",
     rng: RngLike = None,
     max_steps: Optional[int] = None,
-    observers: Sequence[object] = (),
+    observers: Sequence[EngineObserver] = (),
+    kernel: str = "auto",
 ) -> DIVResult:
     """Run discrete incremental voting and summarize the outcome.
 
@@ -89,6 +90,11 @@ def run_div(
         Hard step budget (required when ``stop`` never fires).
     observers:
         Extra observers, e.g. :class:`~repro.core.observers.WeightTrace`.
+    kernel:
+        Execution backend (``"auto"``, ``"loop"`` or ``"block"``); see
+        :func:`repro.core.engine.run_dynamics`. Note ``run_div`` always
+        tracks the two-adjacent hitting time through a change observer,
+        so the block kernel runs in its exact replay mode here.
     """
     state = OpinionState(graph, opinions)
     initial_mean = state.mean()
@@ -102,6 +108,7 @@ def run_div(
         rng=rng,
         max_steps=max_steps,
         observers=list(observers) + [tracker],
+        kernel=kernel,
     )
     return DIVResult(
         winner=state.consensus_value(),

@@ -11,11 +11,19 @@ All dynamics implement::
 
 ``rng`` is used by dynamics that need extra neighbour samples (median
 voting, best-of-k).
+
+Dynamics whose update depends only on the pair ``(X_v, X_w)`` — DIV,
+pull and push — additionally implement :meth:`Dynamics.step_block`, a
+vectorized *proposal* over a conflict-free segment of interaction pairs.
+The block execution kernel (:mod:`repro.core.kernels`) uses it to apply
+whole scheduler segments in one numpy pass; dynamics without it (those
+drawing per-step RNG or polling whole neighbourhoods) transparently run
+on the per-step loop kernel instead.
 """
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import Protocol, Tuple
 
 import numpy as np
 
@@ -32,6 +40,31 @@ class Dynamics(Protocol):
         self, state: OpinionState, v: int, w: int, rng: np.random.Generator
     ) -> bool:
         """Apply one interaction where ``v`` observes ``w``."""
+        ...  # pragma: no cover - protocol
+
+
+class BlockDynamics(Dynamics, Protocol):
+    """A dynamic that can propose updates for a whole segment at once.
+
+    ``step_block`` must be *pure* (it reads the state but never mutates
+    it) and RNG-free; applying its proposal through
+    :meth:`OpinionState.apply_block` must be bit-identical to running
+    :meth:`Dynamics.step` over the segment sequentially, which holds
+    whenever the segment is conflict-free (no vertex appears twice
+    across the ``v`` and ``w`` arrays).
+    """
+
+    def step_block(
+        self, state: OpinionState, v: np.ndarray, w: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Propose the updates of one conflict-free segment.
+
+        Returns ``(changed, targets, new_values)``: a boolean mask over
+        the segment positions marking the steps that change an opinion,
+        plus the written vertex and its new value for each changed
+        position (both aligned with ``changed``'s true entries, in
+        segment order).
+        """
         ...  # pragma: no cover - protocol
 
 
@@ -58,6 +91,16 @@ class IncrementalVoting:
             return True
         return False
 
+    def step_block(
+        self, state: OpinionState, v: np.ndarray, w: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized eq. (1) over a conflict-free segment."""
+        values = state.values
+        xv = values[v]
+        moves = np.sign(values[w] - xv)
+        changed = moves != 0
+        return changed, v[changed], xv[changed] + moves[changed]
+
 
 class PullVoting:
     """Classic pull voting: ``v`` adopts ``w``'s opinion wholesale."""
@@ -74,6 +117,15 @@ class PullVoting:
             return True
         return False
 
+    def step_block(
+        self, state: OpinionState, v: np.ndarray, w: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized pull over a conflict-free segment."""
+        values = state.values
+        xw = values[w]
+        changed = xw != values[v]
+        return changed, v[changed], xw[changed]
+
 
 class PushVoting:
     """Push voting: ``v`` imposes its opinion on the sampled neighbour ``w``."""
@@ -89,6 +141,15 @@ class PushVoting:
             state.apply(w, xv)
             return True
         return False
+
+    def step_block(
+        self, state: OpinionState, v: np.ndarray, w: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized push over a conflict-free segment (writes ``w``)."""
+        values = state.values
+        xv = values[v]
+        changed = values[w] != xv
+        return changed, w[changed], xv[changed]
 
 
 class MedianVoting:

@@ -5,6 +5,12 @@ Runs any :mod:`~repro.core.dynamics` under any
 or the step budget runs out. Interaction pairs are drawn in blocks to
 amortize RNG overhead; observers (see :mod:`~repro.core.observers`) hook
 in without slowing down un-instrumented runs.
+
+The hot loop itself lives in :mod:`repro.core.kernels`: this module
+resolves specs into objects, picks an execution kernel (the per-step
+``"loop"`` reference or the vectorized ``"block"`` kernel — both
+bit-identical for any seed) and wraps the run in the observability
+layer (tracing span, metrics counters, profiler section).
 """
 
 from __future__ import annotations
@@ -15,10 +21,12 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.dynamics import Dynamics, make_dynamics
-from repro.core.observers import resolve_interval
+from repro.core.kernels import KernelContext, resolve_kernel
+from repro.core.observers import EngineObserver, resolve_interval
+from repro.core.results import BaseRunResult
 from repro.core.schedulers import Scheduler
 from repro.core.state import OpinionState
-from repro.core.stopping import MAX_STEPS_REASON, StopCondition, make_stop_condition
+from repro.core.stopping import StopCondition, StopLike, make_stop_condition
 from repro.errors import ProcessError
 from repro.obs.metrics import active_metrics
 from repro.obs.profile import active_profiler
@@ -30,30 +38,28 @@ DEFAULT_BLOCK_SIZE = 8192
 
 
 @dataclass
-class RunResult:
+class RunResult(BaseRunResult):
     """Outcome of one engine run.
 
     Attributes
     ----------
-    steps:
-        Number of asynchronous steps executed (each step is one
-        interaction, whether or not it changed an opinion).
     stop_reason:
         The reason string of the stopping condition that fired, or
         ``"max_steps"``.
+    steps:
+        Number of asynchronous steps executed (each step is one
+        interaction, whether or not it changed an opinion).
     state:
         The final :class:`OpinionState` (the same object that was passed
         in, mutated in place).
+    kernel:
+        Name of the execution kernel that actually ran (``"loop"`` or
+        ``"block"`` — the resolved backend, never ``"auto"``).
     """
 
     steps: int
-    stop_reason: str
     state: OpinionState
-
-    @property
-    def reached_stop(self) -> bool:
-        """Whether a stopping condition fired (vs. exhausting the budget)."""
-        return self.stop_reason != MAX_STEPS_REASON
+    kernel: str = "loop"
 
 
 def run_dynamics(
@@ -61,11 +67,12 @@ def run_dynamics(
     scheduler: Scheduler,
     dynamics: Dynamics,
     *,
-    stop: object = "consensus",
+    stop: StopLike = "consensus",
     rng: RngLike = None,
     max_steps: Optional[int] = None,
-    observers: Sequence[object] = (),
+    observers: Sequence[EngineObserver] = (),
     block_size: int = DEFAULT_BLOCK_SIZE,
+    kernel: str = "auto",
 ) -> RunResult:
     """Run ``dynamics`` on ``state`` until ``stop`` fires.
 
@@ -87,6 +94,15 @@ def run_dynamics(
         (e.g. ``"never"``).
     observers:
         Objects implementing the sampled and/or change observer hooks.
+    block_size:
+        Interaction pairs drawn per RNG block (identical across kernels,
+        which is what keeps their random streams in lockstep).
+    kernel:
+        Execution backend: ``"loop"``, ``"block"`` or ``"auto"`` (the
+        default — honours the ambient :func:`repro.core.kernels.
+        use_kernel` override, then picks ``"block"`` whenever the
+        dynamics supports it). Kernels are bit-identical; see
+        ``docs/kernels.md``.
     """
     dynamics = make_dynamics(dynamics)
     stop_condition: StopCondition = make_stop_condition(stop)
@@ -114,6 +130,20 @@ def run_dynamics(
     # ``interval`` attribute default to 1 here *and* at every re-arm.
     intervals = [resolve_interval(obs) for obs in sampled]
 
+    engine_kernel = resolve_kernel(kernel, dynamics)
+    ctx = KernelContext(
+        state=state,
+        scheduler=scheduler,
+        dynamics=dynamics,
+        stop_condition=stop_condition,
+        generator=generator,
+        max_steps=max_steps,
+        block_size=block_size,
+        sampled=sampled,
+        intervals=intervals,
+        change_observers=change_observers,
+    )
+
     with ExitStack() as stack:
         span = (
             stack.enter_context(tracer.span("engine.run"))
@@ -124,65 +154,28 @@ def run_dynamics(
             stack.enter_context(profiler.section("engine.run"))
         started = time.perf_counter()
 
-        for obs in sampled:
-            obs.sample(0, state)
-        last_sampled = {id(obs): 0 for obs in sampled}
-        next_due = list(intervals)
-
-        reason = stop_condition(state)
-        step = 0
-        blocks = 0
-        changes = 0
-        if reason is None:
-            step_fn = dynamics.step
-            while True:
-                remaining = block_size
-                if max_steps is not None:
-                    remaining = min(remaining, max_steps - step)
-                    if remaining <= 0:
-                        reason = MAX_STEPS_REASON
-                        break
-                v_block, w_block = scheduler.draw_block(generator, remaining)
-                blocks += 1
-                v_list = v_block.tolist()
-                w_list = w_block.tolist()
-                for v, w in zip(v_list, w_list):
-                    step += 1
-                    changed = step_fn(state, v, w, generator)
-                    if changed:
-                        changes += 1
-                        for obs in change_observers:
-                            obs.on_change(step, v, w, state)
-                        reason = stop_condition(state)
-                        if reason is not None:
-                            break
-                    if sampled:
-                        for i, obs in enumerate(sampled):
-                            if step >= next_due[i]:
-                                obs.sample(step, state)
-                                last_sampled[id(obs)] = step
-                                next_due[i] = step + intervals[i]
-                if reason is not None:
-                    break
-
-        for obs in sampled:
-            if last_sampled[id(obs)] != step:
-                obs.sample(step, state)
+        run = engine_kernel.execute(ctx)
 
         if span is not None:
             span.set(
                 engine="generic",
-                steps=step,
-                stop_reason=reason,
-                opinion_changes=changes,
-                rng_blocks=blocks,
+                kernel=engine_kernel.name,
+                steps=run.steps,
+                stop_reason=run.stop_reason,
+                opinion_changes=run.changes,
+                rng_blocks=run.blocks,
                 n=state.n,
             )
             phase_obs.emit(span)
         if metrics is not None:
             metrics.inc("engine.runs")
-            metrics.inc("engine.steps", step)
-            metrics.inc("engine.opinion_changes", changes)
-            metrics.inc("engine.rng_blocks", blocks)
+            metrics.inc("engine.steps", run.steps)
+            metrics.inc("engine.opinion_changes", run.changes)
+            metrics.inc("engine.rng_blocks", run.blocks)
             metrics.observe("engine.run_seconds", time.perf_counter() - started)
-    return RunResult(steps=step, stop_reason=reason, state=state)
+    return RunResult(
+        steps=run.steps,
+        stop_reason=run.stop_reason,
+        state=state,
+        kernel=engine_kernel.name,
+    )

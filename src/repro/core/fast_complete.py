@@ -20,6 +20,8 @@ from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core.results import BaseRunResult
+from repro.core.stopping import MAX_STEPS_REASON
 from repro.errors import ProcessError
 from repro.obs.metrics import active_metrics
 from repro.obs.profile import active_profiler
@@ -31,7 +33,7 @@ _BLOCK = 16384
 
 
 @dataclass
-class CompleteRunResult:
+class CompleteRunResult(BaseRunResult):
     """Outcome of a count-based run on ``K_n``.
 
     ``weight_steps`` / ``weights`` hold the sampled ``S(t)`` trace when a
@@ -40,7 +42,6 @@ class CompleteRunResult:
 
     n: int
     steps: int
-    stop_reason: str
     counts: Dict[int, int]
     two_adjacent_step: Optional[int]
     weight_steps: List[int] = field(default_factory=list)
@@ -170,7 +171,7 @@ def run_div_complete(
             if max_steps is not None:
                 block = min(block, max_steps - step)
                 if block <= 0:
-                    reason = "max_steps"
+                    reason = MAX_STEPS_REASON
                     break
             u1 = generator.random(block).tolist()
             u2 = generator.random(block).tolist()

@@ -1,0 +1,128 @@
+"""Backend-selectable execution kernels for the asynchronous engine.
+
+:func:`repro.core.engine.run_dynamics` delegates its hot loop to an
+*execution kernel*. Two ship with the package:
+
+``"loop"``
+    The per-step reference implementation (the engine's original loop,
+    extracted verbatim). Works with every dynamic.
+``"block"``
+    Vectorized application of conflict-free scheduler segments. Only
+    dynamics implementing :meth:`Dynamics.step_block` (DIV, pull, push)
+    can use it; for the rest it transparently falls back to the loop.
+
+Both kernels consume the RNG identically and fire stopping conditions
+and observers at the same steps, so results are bit-for-bit identical
+for any seed — ``tests/test_kernels.py`` sweeps that guarantee.
+
+Callers pick a kernel per run (``kernel="block"``), or ambiently for a
+whole campaign::
+
+    with use_kernel("block"):
+        run_trials(...)        # every engine call resolves "auto" -> block
+
+mirroring how :mod:`repro.obs.metrics` scopes its active sink. The
+default ``"auto"`` resolves to the block kernel whenever the dynamics
+supports it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.core.dynamics import Dynamics
+from repro.core.kernels.base import (
+    ExecutionKernel,
+    KernelContext,
+    KernelRun,
+    supports_block,
+)
+from repro.core.kernels.block import BlockKernel, conflict_free_bounds
+from repro.core.kernels.loop import LoopKernel
+from repro.errors import ProcessError
+
+__all__ = [
+    "KERNEL_NAMES",
+    "BlockKernel",
+    "ExecutionKernel",
+    "KernelContext",
+    "KernelRun",
+    "LoopKernel",
+    "active_kernel",
+    "conflict_free_bounds",
+    "make_kernel",
+    "resolve_kernel",
+    "supports_block",
+    "use_kernel",
+]
+
+_KERNELS = {
+    LoopKernel.name: LoopKernel,
+    BlockKernel.name: BlockKernel,
+}
+
+#: Kernel specs accepted by the engine entry points.
+KERNEL_NAMES = ("auto",) + tuple(sorted(_KERNELS))
+
+# Ambient kernel override for ``kernel="auto"`` calls, innermost wins —
+# same scoping idiom as ``repro.obs.metrics._ACTIVE``. Note this stack
+# is per-process: parallel campaigns ship the kernel name to their
+# workers explicitly (see ``repro.parallel``).
+_ACTIVE: list = []
+
+
+def active_kernel() -> Optional[str]:
+    """The innermost ambient kernel override, or ``None``."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def use_kernel(kernel: Optional[str]) -> Iterator[None]:
+    """Scope an ambient kernel default for ``kernel="auto"`` engine calls.
+
+    ``None`` is a no-op pass-through so callers can thread an optional
+    setting without branching; ``"auto"`` restores the heuristic inside
+    an outer override. Explicit ``kernel=`` arguments on engine entry
+    points always win over the ambient value.
+    """
+    if kernel is None:
+        yield
+        return
+    if kernel not in KERNEL_NAMES:
+        known = ", ".join(KERNEL_NAMES)
+        raise ProcessError(f"unknown kernel {kernel!r}; known: {known}")
+    _ACTIVE.append(kernel)
+    try:
+        yield
+    finally:
+        _ACTIVE.pop()
+
+
+def make_kernel(name: str) -> ExecutionKernel:
+    """Instantiate a kernel by its registered name (no ``"auto"`` here)."""
+    try:
+        return _KERNELS[name]()
+    except KeyError:
+        known = ", ".join(KERNEL_NAMES)
+        raise ProcessError(f"unknown kernel {name!r}; known: {known}") from None
+
+
+def resolve_kernel(spec: str, dynamics: Dynamics) -> ExecutionKernel:
+    """Resolve a kernel spec against a concrete dynamics.
+
+    ``"auto"`` consults the ambient :func:`use_kernel` override first and
+    otherwise picks the block kernel whenever the dynamics supports it.
+    A ``"block"`` request for a dynamics without :meth:`step_block`
+    (per-step RNG draws or whole-neighbourhood polls cannot be replayed
+    vectorized) transparently falls back to the loop kernel; check the
+    resolved name on the result when it matters.
+    """
+    name = spec
+    if name == "auto":
+        name = active_kernel() or "auto"
+    if name == "auto":
+        name = "block" if supports_block(dynamics) else "loop"
+    if name == "block" and not supports_block(dynamics):
+        name = "loop"
+    return make_kernel(name)

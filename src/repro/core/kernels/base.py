@@ -1,0 +1,87 @@
+"""Execution-kernel interface of the asynchronous engine.
+
+A *kernel* is the strategy :func:`repro.core.engine.run_dynamics` uses
+to turn scheduler blocks of interaction pairs into state updates. Every
+kernel implements the same contract:
+
+* it consumes the scheduler and RNG exactly like the reference loop
+  (one ``draw_block`` of the same size per iteration), so the random
+  stream — and therefore every outcome — is independent of the kernel;
+* it fires stopping conditions, sampled observers and change observers
+  at the exact steps the reference loop would, including the implicit
+  step-0 sample and the final-step flush;
+* it reports the same counters (steps, stop reason, opinion changes,
+  RNG blocks) for observability.
+
+Two kernels ship with the package: :class:`~repro.core.kernels.loop.
+LoopKernel` (the per-step reference implementation) and
+:class:`~repro.core.kernels.block.BlockKernel` (vectorized conflict-free
+segment application). See ``docs/kernels.md`` for the equivalence
+argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.core.dynamics import Dynamics
+from repro.core.observers import EngineObserver
+from repro.core.schedulers import Scheduler
+from repro.core.state import OpinionState
+from repro.core.stopping import StopCondition
+
+
+@dataclass
+class KernelContext:
+    """Everything a kernel needs to execute one engine run.
+
+    Built by :func:`repro.core.engine.run_dynamics` after it has resolved
+    names into objects; kernels never parse user-facing specs.
+
+    ``sampled`` and ``intervals`` are aligned: ``intervals[i]`` is the
+    validated sample interval of ``sampled[i]``.
+    """
+
+    state: OpinionState
+    scheduler: Scheduler
+    dynamics: Dynamics
+    stop_condition: StopCondition
+    generator: np.random.Generator
+    max_steps: Optional[int]
+    block_size: int
+    sampled: Sequence[EngineObserver]
+    intervals: Sequence[int]
+    change_observers: Sequence[EngineObserver]
+
+
+@dataclass
+class KernelRun:
+    """What a kernel reports back to the engine wrapper.
+
+    ``steps`` and ``stop_reason`` become the :class:`RunResult`;
+    ``blocks`` and ``changes`` feed the metrics/trace span so both
+    kernels stay comparable in the observability layer.
+    """
+
+    steps: int
+    stop_reason: str
+    blocks: int
+    changes: int
+
+
+class ExecutionKernel(Protocol):
+    """One execution strategy for the asynchronous engine."""
+
+    name: str
+
+    def execute(self, ctx: KernelContext) -> KernelRun:
+        """Run to the stopping condition or the step budget."""
+        ...  # pragma: no cover - protocol
+
+
+def supports_block(dynamics: Dynamics) -> bool:
+    """Whether ``dynamics`` can run on the vectorized block kernel."""
+    return callable(getattr(dynamics, "step_block", None))

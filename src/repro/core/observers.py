@@ -15,7 +15,7 @@ Un-instrumented runs pay nothing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol, Tuple, runtime_checkable
+from typing import List, Optional, Protocol, Tuple, Union, runtime_checkable
 
 from repro.core.state import OpinionState
 from repro.errors import ProcessError
@@ -57,6 +57,11 @@ class ChangeObserver(Protocol):
 
     def on_change(self, step: int, v: int, w: int, state: OpinionState) -> None:
         ...  # pragma: no cover - protocol
+
+
+#: What the engines accept in an ``observers`` sequence: anything
+#: implementing the sampled hook, the change hook, or both.
+EngineObserver = Union[SampledObserver, ChangeObserver]
 
 
 class WeightTrace:

@@ -1,0 +1,43 @@
+"""Shared base for the engine result dataclasses.
+
+Every engine in this package — the generic asynchronous engine
+(:class:`~repro.core.engine.RunResult`), the count-based ``K_n`` engine
+(:class:`~repro.core.fast_complete.CompleteRunResult`), the round-based
+synchronous engine (:class:`~repro.core.synchronous.SynchronousResult`)
+and the high-level summaries built on top of them — reports *why* a run
+ended through the same ``stop_reason`` vocabulary:
+
+* the reason string of the stopping condition that fired
+  (``"consensus"``, ``"two_adjacent"``, ``"range<=N"``, ...), or
+* :data:`~repro.core.stopping.MAX_STEPS_REASON` when the step/round
+  budget ran out first.
+
+:class:`BaseRunResult` pins that shared field down in one place so
+``reached_stop`` means the same thing on every result type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stopping import MAX_STEPS_REASON
+
+
+@dataclass
+class BaseRunResult:
+    """Fields every engine outcome shares.
+
+    Attributes
+    ----------
+    stop_reason:
+        The reason string of the stopping condition that fired, or
+        :data:`~repro.core.stopping.MAX_STEPS_REASON` when the run
+        exhausted its budget.
+    """
+
+    stop_reason: str
+
+    @property
+    def reached_stop(self) -> bool:
+        """Whether a stopping condition fired (vs. exhausting the budget)."""
+        return self.stop_reason != MAX_STEPS_REASON

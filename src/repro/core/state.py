@@ -16,7 +16,7 @@ The state is shared by DIV and all baseline dynamics; each dynamic calls
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -59,6 +59,7 @@ class OpinionState:
         "_support_size",
         "_min_idx",
         "_max_idx",
+        "_weights_dirty",
     )
 
     def __init__(self, graph: Graph, opinions: Sequence[int]) -> None:
@@ -83,6 +84,7 @@ class OpinionState:
         self._support_size = int(np.count_nonzero(self._counts))
         self._min_idx = 0
         self._max_idx = width - 1
+        self._weights_dirty = False
 
     # ------------------------------------------------------------------
     # Read access
@@ -112,6 +114,7 @@ class OpinionState:
 
     def degree_count(self, opinion: int) -> int:
         """``d(A_i(t))`` — total degree of the holders of ``opinion``."""
+        self._refresh_weights()
         idx = opinion - self._offset
         if not 0 <= idx < self._degree_counts.size:
             return 0
@@ -171,23 +174,28 @@ class OpinionState:
     @property
     def total_sum(self) -> int:
         """``S(t) = Σ_v X_v(t)`` — the edge-process total weight."""
+        self._refresh_weights()
         return self._sum
 
     @property
     def degree_weighted_sum(self) -> int:
         """``Σ_v d(v) X_v(t) = 2m · Σ_v π_v X_v(t)``."""
+        self._refresh_weights()
         return self._degree_sum
 
     def mean(self) -> float:
         """Simple average opinion ``S(t) / n``."""
+        self._refresh_weights()
         return self._sum / self.graph.n
 
     def weighted_mean(self) -> float:
         """Degree-weighted average ``Σ_v π_v X_v(t) = Z(t) / n``."""
+        self._refresh_weights()
         return self._degree_sum / (2.0 * self.graph.m)
 
     def total_weight(self, process: str) -> float:
         """``W(t)``: ``S(t)`` for the edge process, ``Z(t)`` for the vertex process."""
+        self._refresh_weights()
         if process == "edge":
             return float(self._sum)
         if process == "vertex":
@@ -225,7 +233,6 @@ class OpinionState:
                 f"[{self._offset}, {self._offset + self._counts.size - 1}]"
             )
         old_idx = old_value - self._offset
-        degree = int(self.graph.degrees[v])
 
         self._values[v] = new_value
         self._counts[old_idx] -= 1
@@ -234,12 +241,139 @@ class OpinionState:
         if self._counts[new_idx] == 0:
             self._support_size += 1
         self._counts[new_idx] += 1
+        if self._weights_dirty:
+            # Weight aggregates are stale anyway; the next read rebuilds
+            # them from the opinion vector (see apply_block).
+            return old_value
+        degree = int(self.graph.degrees[v])
         self._degree_counts[old_idx] -= degree
         self._degree_counts[new_idx] += degree
         delta = new_value - old_value
         self._sum += delta
         self._degree_sum += delta * degree
         return old_value
+
+    def apply_block(
+        self,
+        vertices: np.ndarray,
+        new_values: np.ndarray,
+        defer_weights: bool = False,
+    ) -> np.ndarray:
+        """Apply a batch of single-vertex updates in one numpy pass.
+
+        The batch must be *conflict-free*: ``vertices`` may not contain a
+        vertex twice (each vertex is written at most once), which is what
+        the block execution kernel guarantees by splitting scheduler
+        blocks at the first repeated vertex. Under that precondition the
+        final state — values, counts, degree counts, sums, support size —
+        is bit-identical to applying the updates one at a time through
+        :meth:`apply`, because every read the batch was computed from saw
+        the pre-batch state. Returns the previous values.
+
+        With ``defer_weights=True`` the degree-weighted aggregates
+        (``d(A_i)``, ``S(t)``, ``Σ_v d(v) X_v``) are not maintained
+        incrementally; the next read rebuilds them exactly from the
+        opinion vector. The block kernel defers whenever no observer can
+        read weights mid-run, halving the batched bookkeeping on its hot
+        path without changing any observable value.
+
+        Like :meth:`apply`, raises when any new value falls outside the
+        initial opinion range.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        new_values = np.asarray(new_values, dtype=np.int64)
+        old_values = self._values[vertices]
+        if vertices.size == 0:
+            return old_values
+        new_idx = new_values - self._offset
+        if int(new_idx.min()) < 0 or int(new_idx.max()) >= self._counts.size:
+            raise InvalidOpinionsError(
+                f"value(s) outside the initial opinion range "
+                f"[{self._offset}, {self._offset + self._counts.size - 1}]"
+            )
+        old_idx = old_values - self._offset
+
+        self._values[vertices] = new_values
+        counts = self._counts
+        np.add.at(counts, old_idx, -1)
+        np.add.at(counts, new_idx, 1)
+        self._support_size = int(np.count_nonzero(counts))
+        if defer_weights or self._weights_dirty:
+            self._weights_dirty = True
+            return old_values
+        degrees = self.graph.degrees[vertices]
+        np.add.at(self._degree_counts, old_idx, -degrees)
+        np.add.at(self._degree_counts, new_idx, degrees)
+        value_delta = new_values - old_values
+        self._sum += int(value_delta.sum())
+        self._degree_sum += int((value_delta * degrees).sum())
+        return old_values
+
+    def support_range_timeline(
+        self, old_values: np.ndarray, new_values: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Aggregate trajectories of a pending conflict-free batch.
+
+        Given the per-change old and new opinions of a batch that has
+        *not* been applied yet (in sequential order, conflict-free, every
+        entry an actual change), return two aligned arrays: the support
+        size and the range width ``ℓ - s`` the state would have *after*
+        each change. This is how the block kernel reconstructs the exact
+        step at which a stopping condition first fires inside a segment
+        it is about to apply in one pass (see
+        :class:`~repro.core.stopping.StopTerm`).
+
+        Cost is O(changes × current range width): the per-change count
+        deltas are scattered into a dense ``(changes, width)`` matrix
+        over the currently populated window and cumulatively summed.
+        """
+        self._advance_extremes()
+        old_idx = np.asarray(old_values, dtype=np.int64) - self._offset
+        new_idx = np.asarray(new_values, dtype=np.int64) - self._offset
+        changes = old_idx.size
+        if changes == 0:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        if int(new_idx.min()) < 0 or int(new_idx.max()) >= self._counts.size:
+            raise InvalidOpinionsError(
+                f"value(s) outside the initial opinion range "
+                f"[{self._offset}, {self._offset + self._counts.size - 1}]"
+            )
+        lo = min(self._min_idx, int(old_idx.min()), int(new_idx.min()))
+        hi = max(self._max_idx, int(old_idx.max()), int(new_idx.max()))
+        width = hi - lo + 1
+        rows = np.arange(changes)
+        delta = np.zeros((changes, width), dtype=np.int64)
+        # Per row the two touched columns are distinct (old != new) and
+        # rows are distinct, so fancy-indexed in-place adds never collide.
+        delta[rows, old_idx - lo] -= 1
+        delta[rows, new_idx - lo] += 1
+        counts_timeline = self._counts[lo : hi + 1][None, :] + delta.cumsum(axis=0)
+        present = counts_timeline > 0
+        support_sizes = present.sum(axis=1)
+        min_cols = present.argmax(axis=1)
+        max_cols = width - 1 - present[:, ::-1].argmax(axis=1)
+        return support_sizes, max_cols - min_cols
+
+    def min_changes_to_support(self, target: int) -> int:
+        """Lower bound on single-vertex changes before support can reach
+        ``target``.
+
+        Shrinking the support by one requires emptying an entire opinion
+        class, i.e. at least as many changes as that class has members;
+        the cheapest route to ``target`` empties the smallest classes
+        first. (Changes may also *repopulate* an empty intermediate
+        class, which only pushes the support further away, so this bound
+        is safe.) The block kernel uses it to skip stop-condition
+        timeline reconstruction while a window provably cannot fire.
+        """
+        excess = self._support_size - target
+        if excess <= 0:
+            return 0
+        counts = self._counts[self._counts > 0]
+        excess = min(excess, counts.size - 1)
+        if excess <= 0:
+            return 0
+        return int(np.partition(counts, excess - 1)[:excess].sum())
 
     def copy(self) -> "OpinionState":
         """An independent copy sharing the (immutable) graph."""
@@ -248,6 +382,25 @@ class OpinionState:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _refresh_weights(self) -> None:
+        """Rebuild the deferred weight aggregates from the opinion vector.
+
+        Exact-integer recomputation, so a deferred-then-read aggregate is
+        bit-identical to one maintained incrementally; O(n), amortized
+        over the whole deferred stretch.
+        """
+        if not self._weights_dirty:
+            return
+        values = self._values
+        degrees = self.graph.degrees
+        shifted = values - self._offset
+        self._degree_counts = _exact_degree_counts(
+            shifted, degrees, self._counts.size
+        )
+        self._sum = int(values.sum())
+        self._degree_sum = int((values * degrees).sum())
+        self._weights_dirty = False
+
     def _advance_extremes(self) -> None:
         """Lazily move the extreme pointers past emptied opinion classes."""
         counts = self._counts
@@ -263,6 +416,7 @@ class OpinionState:
 
         Used by the property-based test-suite; O(n + k).
         """
+        self._refresh_weights()
         values = self._values
         shifted = values - self._offset
         counts = np.bincount(shifted, minlength=self._counts.size)

@@ -9,15 +9,66 @@ step 0.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Union
 
 from repro.core.state import OpinionState
 from repro.errors import StoppingConditionError
 
 StopCondition = Callable[[OpinionState], Optional[str]]
 
+#: What engine entry points accept as a stopping condition: a registered
+#: name (``"consensus"``, ``"two_adjacent"``, ``"never"``) or a callable.
+StopLike = Union[str, StopCondition]
+
 #: Reason reported when the engine exhausts its step budget.
 MAX_STEPS_REASON = "max_steps"
+
+
+@dataclass(frozen=True)
+class StopTerm:
+    """One vectorizable clause of a stopping condition.
+
+    The block execution kernel (:mod:`repro.core.kernels.block`) applies
+    whole conflict-free segments in one numpy pass and then has to
+    report the *exact* step the sequential loop would have stopped at.
+    Every condition in this module is a predicate over the two aggregate
+    trajectories the kernel can reconstruct from cumulative support
+    deltas — the support size ``|support(t)|`` and the range width
+    ``ℓ(t) - s(t)`` — so each publishes its clauses as ``StopTerm``
+    objects via a ``support_range_terms`` attribute.
+
+    Attributes
+    ----------
+    reason:
+        The reason string reported when this clause fires.
+    fires:
+        Vectorized predicate ``(support_sizes, range_widths) -> bool
+        array``; both inputs are aligned per-opinion-change timelines.
+    support_ceiling:
+        Largest support size at which the clause can possibly fire, or
+        ``None`` when it can fire at any support size. Since one opinion
+        change removes at most one opinion class, a kernel may skip the
+        timeline reconstruction entirely while
+        ``current support - pending changes > support_ceiling``.
+    """
+
+    reason: str
+    fires: Callable
+    support_ceiling: Optional[int] = None
+
+
+def support_range_terms(condition: StopCondition) -> Optional[Tuple[StopTerm, ...]]:
+    """The :class:`StopTerm` clauses of ``condition``, or ``None``.
+
+    ``None`` means the condition is an opaque callable the block kernel
+    cannot reconstruct mid-segment; the kernel then replays opinion
+    changes one at a time (still skipping the no-change steps) and
+    evaluates the condition on the live state, which is exact for any
+    callable. An empty tuple means the condition never fires
+    (:func:`never`).
+    """
+    return getattr(condition, "support_range_terms", None)
 
 
 def consensus(state: OpinionState) -> Optional[str]:
@@ -25,9 +76,28 @@ def consensus(state: OpinionState) -> Optional[str]:
     return "consensus" if state.is_consensus else None
 
 
+consensus.support_range_terms = (
+    StopTerm(
+        reason="consensus",
+        fires=lambda support, widths: support == 1,
+        support_ceiling=1,
+    ),
+)
+
+
 def two_adjacent(state: OpinionState) -> Optional[str]:
     """Stop once at most two consecutive opinions remain (Theorem 1's event)."""
     return "two_adjacent" if state.is_two_adjacent else None
+
+
+two_adjacent.support_range_terms = (
+    StopTerm(
+        reason="two_adjacent",
+        fires=lambda support, widths: (support == 1)
+        | ((support == 2) & (widths == 1)),
+        support_ceiling=2,
+    ),
+)
 
 
 def range_at_most(width: int) -> StopCondition:
@@ -40,6 +110,12 @@ def range_at_most(width: int) -> StopCondition:
             return f"range<={width}"
         return None
 
+    condition.support_range_terms = (
+        StopTerm(
+            reason=f"range<={width}",
+            fires=lambda support, widths: widths <= width,
+        ),
+    )
     return condition
 
 
@@ -53,12 +129,22 @@ def support_at_most(size: int) -> StopCondition:
             return f"support<={size}"
         return None
 
+    condition.support_range_terms = (
+        StopTerm(
+            reason=f"support<={size}",
+            fires=lambda support, widths: support <= size,
+            support_ceiling=size,
+        ),
+    )
     return condition
 
 
 def never(state: OpinionState) -> Optional[str]:
     """Never stop early — run to the step budget (martingale traces)."""
     return None
+
+
+never.support_range_terms = ()
 
 
 def first_of(*conditions: StopCondition) -> StopCondition:
@@ -73,6 +159,15 @@ def first_of(*conditions: StopCondition) -> StopCondition:
                 return reason
         return None
 
+    # The composite is reconstructible exactly when every member is; the
+    # flat term tuple preserves member order, which is what makes the
+    # block kernel report the same reason as the sequential evaluation
+    # when several members fire at the same step.
+    member_terms = [support_range_terms(c) for c in conditions]
+    if all(terms is not None for terms in member_terms):
+        condition.support_range_terms = tuple(
+            term for terms in member_terms for term in terms
+        )
     return condition
 
 

@@ -24,16 +24,17 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.observers import resolve_interval
+from repro.core.observers import EngineObserver, resolve_interval
+from repro.core.results import BaseRunResult
 from repro.core.state import OpinionState
-from repro.core.stopping import MAX_STEPS_REASON, make_stop_condition
+from repro.core.stopping import MAX_STEPS_REASON, StopLike, make_stop_condition
 from repro.errors import ProcessError
 from repro.graphs.graph import Graph
 from repro.rng import RngLike, make_rng
 
 
 @dataclass
-class SynchronousResult:
+class SynchronousResult(BaseRunResult):
     """Outcome of a synchronous DIV run.
 
     ``rounds`` counts synchronous rounds; each round applies ``n``
@@ -42,7 +43,6 @@ class SynchronousResult:
     """
 
     rounds: int
-    stop_reason: str
     winner: Optional[int]
     initial_mean: float
     final_support: List[int]
@@ -65,11 +65,11 @@ def run_synchronous_div(
     graph: Graph,
     opinions: Sequence[int],
     *,
-    stop: object = "consensus",
+    stop: StopLike = "consensus",
     rng: RngLike = None,
     max_rounds: Optional[int] = None,
     lazy: bool = False,
-    observers: Sequence[object] = (),
+    observers: Sequence[EngineObserver] = (),
 ) -> SynchronousResult:
     """Run round-based DIV until ``stop`` fires or ``max_rounds`` expires.
 

@@ -1,5 +1,6 @@
 """Built-in lint rules: determinism (RNG001/RNG002), layering (LAY001),
-correctness (COR001), test hygiene (TST001) and observability (OBS001).
+correctness (COR001), test hygiene (TST001), observability (OBS001) and
+kernel threading (KER001).
 
 Every headline number this repo reproduces — the Lemma 3 martingale, the
 Lemma 5 / Theorem 2 winning probabilities — is a statistical claim whose
@@ -516,6 +517,60 @@ class BarePrintRule(Rule):
                 )
 
 
+#: Layers that must leave execution-kernel selection to their caller.
+_KERNEL_THREADING_PREFIXES: Tuple[str, ...] = (
+    "repro.experiments",
+    "repro.baselines",
+)
+
+
+@register
+class KernelThreadingRule(Rule):
+    """KER001 — experiments/baselines must thread ``kernel=`` through."""
+
+    rule_id = "KER001"
+    title = "thread kernel= instead of hard-coding a backend"
+    rationale = (
+        "Experiment drivers and baselines must leave execution-kernel "
+        "selection to their caller: pass kernel=\"auto\" or a threaded "
+        "`kernel` parameter down to the engine.  Hard-coding "
+        "kernel=\"block\" or kernel=\"loop\" in a driver pins a backend "
+        "that the campaign-level --kernel override and the CI "
+        "kernel-equivalence drill can no longer reach, so a divergence "
+        "between backends would go undetected exactly where it matters."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        module = ctx.module
+        if not module or ctx.is_test:
+            return
+        if not any(
+            module == p or module.startswith(p + ".")
+            for p in _KERNEL_THREADING_PREFIXES
+        ):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg != "kernel":
+                    continue
+                value = keyword.value
+                if (
+                    isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                    and value.value != "auto"
+                ):
+                    yield self.finding(
+                        ctx,
+                        value,
+                        f'hard-coded execution kernel kernel={value.value!r} '
+                        f"in `{module}`",
+                        'accept a `kernel: str = "auto"` parameter and pass '
+                        "it through to the engine",
+                    )
+
+
 BUILTIN_RULES: Sequence[type] = (
     GlobalRandomnessRule,
     RngThreadingRule,
@@ -523,6 +578,7 @@ BUILTIN_RULES: Sequence[type] = (
     MutableDefaultRule,
     FloatEqualityRule,
     BarePrintRule,
+    KernelThreadingRule,
 )
 
 RULE_DOCS: Dict[str, str] = {

@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.checkpoint import CheckpointJournal, campaign, config_fingerprint
+from repro.core.kernels import use_kernel
 from repro.errors import ExperimentError
 from repro.faults import FaultPlan
 from repro.obs.tracing import current_tracer
@@ -67,8 +68,8 @@ class ExperimentSpec:
         ``workers`` is forwarded to drivers that support parallel trial
         execution and silently ignored by the rest (see
         :attr:`supports_workers`). Keyword-only campaign options
-        (``checkpoint_dir``, ``resume``, ``fault_plan`` …) are described
-        on :meth:`run_campaign`.
+        (``checkpoint_dir``, ``resume``, ``kernel``, ``fault_plan`` …)
+        are described on :meth:`run_campaign`.
         """
         return self.run_campaign("full", seed=seed, workers=workers, **campaign_options)
 
@@ -93,6 +94,7 @@ class ExperimentSpec:
         fault_plan: Optional[FaultPlan] = None,
         trial_timeout: Optional[float] = None,
         max_retries: Optional[int] = None,
+        kernel: Optional[str] = None,
     ) -> ExperimentReport:
         """Run one scale ("full"/"quick") as a crash-safe campaign.
 
@@ -106,6 +108,13 @@ class ExperimentSpec:
         scale is refused (``CheckpointMismatchError``). The remaining
         options inject deterministic faults and tune the parallel layer
         for chaos drills (``div-repro run --inject-faults``).
+
+        ``kernel`` scopes an execution-kernel choice over the whole
+        campaign via :func:`repro.core.kernels.use_kernel` — every
+        engine call the driver makes with ``kernel="auto"`` resolves to
+        it, including inside worker processes. Reports are identical
+        across kernels (the backends are bit-for-bit equivalent), which
+        is exactly what the CI kernel-equivalence drill asserts.
         """
         if scale not in ("full", "quick"):
             raise ExperimentError(f"unknown campaign scale {scale!r}")
@@ -128,6 +137,10 @@ class ExperimentSpec:
             )
         tracer = current_tracer()
         with ExitStack() as stack:
+            # Ambient, not per-call: drivers thread kernel="auto" down to
+            # the engine, and the Monte-Carlo layer re-ships the ambient
+            # choice to worker processes.
+            stack.enter_context(use_kernel(kernel))
             if tracer is not None:
                 span = stack.enter_context(tracer.span("campaign"))
                 span.set(
@@ -136,6 +149,7 @@ class ExperimentSpec:
                     seed=repr(seed),
                     workers=0 if workers is None else workers,
                     checkpointed=journal is not None,
+                    kernel="auto" if kernel is None else kernel,
                 )
             if (
                 journal is None

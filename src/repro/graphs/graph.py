@@ -32,7 +32,15 @@ class Graph:
         Optional human-readable label used in tables and ``repr``.
     """
 
-    __slots__ = ("_n", "_m", "_indptr", "_indices", "_edge_array", "name")
+    __slots__ = (
+        "_n",
+        "_m",
+        "_indptr",
+        "_indices",
+        "_edge_array",
+        "_degrees",
+        "name",
+    )
 
     def __init__(self, n: int, edges: Iterable[Edge], name: str = "") -> None:
         if n < 1:
@@ -75,6 +83,7 @@ class Graph:
         self._indices = indices
         self._indptr.setflags(write=False)
         self._indices.setflags(write=False)
+        self._degrees = None
         edge_array = np.stack([lo, hi], axis=1) if m else np.empty((0, 2), dtype=np.int64)
         order = np.lexsort((edge_array[:, 1], edge_array[:, 0])) if m else np.array([], dtype=np.int64)
         self._edge_array = edge_array[order]
@@ -105,8 +114,13 @@ class Graph:
 
     @property
     def degrees(self) -> np.ndarray:
-        """Vertex degrees as an ``int64`` array of length ``n``."""
-        return np.diff(self._indptr)
+        """Vertex degrees as an ``int64`` array of length ``n`` (read-only,
+        cached — the block kernel gathers from it in its hot path)."""
+        if self._degrees is None:
+            degrees = np.diff(self._indptr)
+            degrees.setflags(write=False)
+            self._degrees = degrees
+        return self._degrees
 
     @property
     def edge_array(self) -> np.ndarray:

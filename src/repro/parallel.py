@@ -50,6 +50,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.kernels import use_kernel
 from repro.errors import AnalysisError, ParallelExecutionError
 from repro.faults import FaultPlan
 from repro.obs.metrics import MetricsSnapshot, collecting
@@ -235,6 +236,7 @@ def _run_task_chunk(
     chunk: Sequence[TrialTask],
     fault_plan: Optional[FaultPlan] = None,
     collect_metrics: bool = False,
+    kernel: Optional[str] = None,
 ) -> List[TrialRecord]:
     """Execute a chunk of tasks; runs inside a worker (or in-process).
 
@@ -247,29 +249,35 @@ def _run_task_chunk(
     With ``collect_metrics=True`` each trial runs under a fresh metrics
     registry (shadowing anything inherited through ``fork``) and its
     snapshot is attached to the record for parent-side aggregation.
+
+    ``kernel`` re-installs the parent's ambient execution-kernel choice
+    (see :func:`repro.core.kernels.use_kernel`) inside the worker — the
+    ambient stack is per-process, so it must be shipped explicitly.
+    Kernels are bit-identical, so this affects wall-clock only.
     """
     label = _worker_label()
     records = []
-    for index, args, trial_seed in chunk:
-        if fault_plan is not None:
-            fault_plan.worker_fault(index)
-        started = time.perf_counter()
-        snapshot = None
-        if collect_metrics:
-            with collecting() as registry:
+    with use_kernel(kernel):
+        for index, args, trial_seed in chunk:
+            if fault_plan is not None:
+                fault_plan.worker_fault(index)
+            started = time.perf_counter()
+            snapshot = None
+            if collect_metrics:
+                with collecting() as registry:
+                    outcome = trial(*args, make_rng(trial_seed))
+                snapshot = registry.snapshot()
+            else:
                 outcome = trial(*args, make_rng(trial_seed))
-            snapshot = registry.snapshot()
-        else:
-            outcome = trial(*args, make_rng(trial_seed))
-        records.append(
-            TrialRecord(
-                index=index,
-                outcome=outcome,
-                seconds=time.perf_counter() - started,
-                worker=label,
-                metrics=snapshot,
+            records.append(
+                TrialRecord(
+                    index=index,
+                    outcome=outcome,
+                    seconds=time.perf_counter() - started,
+                    worker=label,
+                    metrics=snapshot,
+                )
             )
-        )
     return records
 
 
@@ -316,6 +324,7 @@ def _run_round(
     timeout: Optional[float],
     fault_plan: Optional[FaultPlan],
     collect_metrics: bool,
+    kernel: Optional[str],
 ) -> Tuple[List[TrialRecord], List[Sequence[TrialTask]]]:
     """Run one pool round; returns (records, chunks that must be retried).
 
@@ -330,7 +339,12 @@ def _run_round(
         futures = [
             (
                 pool.submit(
-                    _run_task_chunk, trial, chunk, fault_plan, collect_metrics
+                    _run_task_chunk,
+                    trial,
+                    chunk,
+                    fault_plan,
+                    collect_metrics,
+                    kernel,
                 ),
                 chunk,
             )
@@ -368,6 +382,7 @@ def execute_tasks(
     fault_plan: Optional[FaultPlan] = None,
     on_record: Optional[Callable[[TrialRecord], None]] = None,
     collect_metrics: bool = False,
+    kernel: Optional[str] = None,
 ) -> Tuple[List[TrialRecord], TrialTimings]:
     """Execute ``tasks`` on ``workers`` processes; deterministic outcomes.
 
@@ -402,6 +417,11 @@ def execute_tasks(
         When true, each trial runs under a fresh worker-local metrics
         registry and its snapshot rides back on the
         :class:`TrialRecord` for the parent to aggregate.
+    kernel:
+        Optional execution-kernel name installed ambiently in every
+        worker (and on the in-process fallback path) while the trials
+        run; ``None`` leaves the engine default. Outcomes are identical
+        either way — kernels are bit-for-bit equivalent.
     """
     if workers < 1:
         raise AnalysisError(f"workers must be >= 1 (or None), got {workers}")
@@ -413,7 +433,9 @@ def execute_tasks(
         records = []
         for task in tasks:
             records.extend(
-                _run_task_chunk(trial, [task], fault_plan, collect_metrics)
+                _run_task_chunk(
+                    trial, [task], fault_plan, collect_metrics, kernel
+                )
             )
             if on_record is not None:
                 on_record(records[-1])
@@ -434,7 +456,7 @@ def execute_tasks(
         if round_index:
             retries += 1
         round_records, pending = _run_round(
-            trial, pending, workers, timeout, fault_plan, collect_metrics
+            trial, pending, workers, timeout, fault_plan, collect_metrics, kernel
         )
         records.extend(round_records)
         if on_record is not None:
@@ -455,7 +477,7 @@ def execute_tasks(
         )
         for chunk in pending:
             chunk_records = _run_task_chunk(
-                trial, chunk, fault_plan, collect_metrics
+                trial, chunk, fault_plan, collect_metrics, kernel
             )
             records.extend(chunk_records)
             if on_record is not None:

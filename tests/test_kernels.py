@@ -1,0 +1,366 @@
+"""Loop-vs-block execution kernel equivalence and unit tests.
+
+The block kernel's contract is *bit-for-bit* equivalence with the
+sequential reference loop: same final opinions, same step count, same
+stop reason, same observer sequences, for any seed.  The sweep below
+exercises that contract across graphs × dynamics × schedulers × stop
+conditions × observers; the unit tests pin down the conflict-free
+segment splitter and the batched state operations it relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EdgeScheduler,
+    IncrementalVoting,
+    MedianVoting,
+    OpinionState,
+    PullVoting,
+    PushVoting,
+    VertexScheduler,
+    run_dynamics,
+)
+from repro.core.kernels import (
+    BlockKernel,
+    KERNEL_NAMES,
+    LoopKernel,
+    active_kernel,
+    conflict_free_bounds,
+    make_kernel,
+    resolve_kernel,
+    supports_block,
+    use_kernel,
+)
+from repro.core.observers import ChangeLog, SupportTrace, WeightTrace
+from repro.core.stopping import (
+    first_of,
+    never,
+    range_at_most,
+    support_at_most,
+    two_adjacent,
+)
+from repro.errors import ProcessError
+from repro.graphs import complete_graph, random_regular_graph
+from repro.rng import make_rng
+
+
+def initial_state(graph, seed, k=6):
+    opinions = make_rng(seed).integers(0, k, size=graph.n)
+    return OpinionState(graph, opinions)
+
+
+def run_pair(graph, dynamics, scheduler_cls, *, stop, seed, observers=(), **kw):
+    """Run the same configuration under both kernels; return both results
+    plus the observer pairs for sequence comparison."""
+    results, observer_sets = [], []
+    for kernel in ("loop", "block"):
+        state = initial_state(graph, seed)
+        obs = [factory() for factory in observers]
+        result = run_dynamics(
+            state,
+            scheduler_cls(graph),
+            dynamics,
+            stop=stop,
+            rng=seed + 1,
+            observers=obs,
+            kernel=kernel,
+            **kw,
+        )
+        results.append(result)
+        observer_sets.append(obs)
+    return results, observer_sets
+
+
+def assert_equivalent(results, observer_sets):
+    loop, block = results
+    assert block.steps == loop.steps
+    assert block.stop_reason == loop.stop_reason
+    np.testing.assert_array_equal(block.state.values, loop.state.values)
+    block.state.check_consistency()
+    for obs_loop, obs_block in zip(*observer_sets):
+        state_loop = {
+            key: val
+            for key, val in vars(obs_loop).items()
+            if isinstance(val, list)
+        }
+        state_block = {
+            key: val
+            for key, val in vars(obs_block).items()
+            if isinstance(val, list)
+        }
+        assert state_block == state_loop
+
+
+GRAPHS = [
+    pytest.param(lambda: complete_graph(17), id="complete17"),
+    pytest.param(lambda: random_regular_graph(26, 5, rng=3), id="regular26"),
+]
+DYNAMICS = [
+    pytest.param(IncrementalVoting, id="div"),
+    pytest.param(PullVoting, id="pull"),
+    pytest.param(PushVoting, id="push"),
+    pytest.param(MedianVoting, id="median"),
+]
+SCHEDULERS = [
+    pytest.param(VertexScheduler, id="vertex"),
+    pytest.param(EdgeScheduler, id="edge"),
+]
+
+
+class TestEquivalenceSweep:
+    @pytest.mark.parametrize("graph_factory", GRAPHS)
+    @pytest.mark.parametrize("dynamics_cls", DYNAMICS)
+    @pytest.mark.parametrize("scheduler_cls", SCHEDULERS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_consensus_runs_bit_identical(
+        self, graph_factory, dynamics_cls, scheduler_cls, seed
+    ):
+        results, observers = run_pair(
+            graph_factory(),
+            dynamics_cls(),
+            scheduler_cls,
+            stop="consensus",
+            seed=seed,
+        )
+        assert_equivalent(results, observers)
+
+    @pytest.mark.parametrize(
+        "stop",
+        [
+            pytest.param(two_adjacent, id="two_adjacent"),
+            pytest.param(support_at_most(2), id="support_at_most2"),
+            pytest.param(range_at_most(1), id="range_at_most1"),
+            pytest.param(
+                first_of(support_at_most(3), range_at_most(2)), id="first_of"
+            ),
+        ],
+    )
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_stop_conditions_fire_at_same_step(self, stop, seed):
+        results, observers = run_pair(
+            complete_graph(19),
+            IncrementalVoting(),
+            VertexScheduler,
+            stop=stop,
+            seed=seed,
+        )
+        assert_equivalent(results, observers)
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_never_with_max_steps(self, seed):
+        results, observers = run_pair(
+            complete_graph(15),
+            IncrementalVoting(),
+            VertexScheduler,
+            stop=never,
+            seed=seed,
+            max_steps=173,
+        )
+        assert_equivalent(results, observers)
+        assert results[0].steps == 173
+        assert not results[1].reached_stop
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_sampled_observers_identical(self, seed):
+        results, observers = run_pair(
+            complete_graph(21),
+            IncrementalVoting(),
+            EdgeScheduler,
+            stop="consensus",
+            seed=seed,
+            observers=(
+                lambda: WeightTrace("vertex", interval=7),
+                lambda: SupportTrace(interval=13),
+            ),
+        )
+        assert_equivalent(results, observers)
+        assert observers[0][0].steps  # the trace actually sampled
+
+    @pytest.mark.parametrize("seed", [0, 9])
+    def test_change_observers_force_exact_replay(self, seed):
+        """ChangeLog sees every (step, v, w, values) tuple identically —
+        the block kernel degrades to per-change replay for these."""
+        results, observers = run_pair(
+            complete_graph(14),
+            PullVoting(),
+            VertexScheduler,
+            stop="consensus",
+            seed=seed,
+            observers=(ChangeLog, lambda: WeightTrace("edge", interval=11)),
+        )
+        assert_equivalent(results, observers)
+        assert observers[0][0].entries == observers[1][0].entries
+
+    def test_small_block_size_hits_segment_boundaries(self):
+        results, observers = run_pair(
+            complete_graph(13),
+            IncrementalVoting(),
+            VertexScheduler,
+            stop="consensus",
+            seed=4,
+            block_size=3,
+        )
+        assert_equivalent(results, observers)
+
+
+class TestConflictFreeBounds:
+    def test_no_conflicts_single_segment(self):
+        v = np.array([0, 1, 2, 3])
+        w = np.array([4, 5, 6, 7])
+        assert conflict_free_bounds(v, w) == [0, 4]
+
+    def test_split_at_repeated_updater(self):
+        v = np.array([0, 1, 2, 0, 3])
+        w = np.array([4, 5, 6, 7, 8])
+        assert conflict_free_bounds(v, w) == [0, 3, 5]
+
+    def test_split_at_updater_observed_earlier(self):
+        # pair 2 updates vertex 5, which pair 1 observed.
+        v = np.array([0, 1, 5])
+        w = np.array([4, 5, 6])
+        assert conflict_free_bounds(v, w) == [0, 2, 3]
+
+    def test_single_self_pair_is_not_a_conflict(self):
+        assert conflict_free_bounds(np.array([3]), np.array([3])) == [0, 1]
+
+    def test_repeated_self_pair_splits(self):
+        v = np.array([3, 3])
+        w = np.array([3, 3])
+        assert conflict_free_bounds(v, w) == [0, 1, 2]
+
+    def test_full_conflict_block_degenerates_to_singletons(self):
+        v = np.array([2, 2, 2, 2])
+        w = np.array([9, 9, 9, 9])
+        assert conflict_free_bounds(v, w) == [0, 1, 2, 3, 4]
+
+    def test_empty_block(self):
+        empty = np.array([], dtype=np.int64)
+        assert conflict_free_bounds(empty, empty) == [0]
+
+    def test_segments_are_internally_conflict_free(self):
+        rng = make_rng(11)
+        v = rng.integers(0, 12, size=200)
+        w = rng.integers(0, 12, size=200)
+        bounds = conflict_free_bounds(v, w)
+        assert bounds[0] == 0 and bounds[-1] == 200
+        assert bounds == sorted(set(bounds))
+        for start, end in zip(bounds, bounds[1:]):
+            touched = []
+            for i in range(start, end):
+                # within a segment no vertex may repeat, except that a
+                # pair's own v==w coincidence is harmless.
+                pair = {int(v[i]), int(w[i])}
+                assert not pair & set(touched)
+                touched.extend(pair)
+
+
+class TestBatchedStateOps:
+    def _random_batch(self, state, size, seed):
+        rng = make_rng(seed)
+        vertices = rng.permutation(state.graph.n)[:size]
+        new_values = state.values[vertices] + rng.integers(-1, 2, size=size)
+        lo, hi = state.values.min(), state.values.max()
+        new_values = np.clip(new_values, lo, hi)
+        changed = new_values != state.values[vertices]
+        return vertices[changed], new_values[changed]
+
+    def test_apply_block_matches_scalar_apply(self):
+        graph = random_regular_graph(30, 4, rng=2)
+        scalar = initial_state(graph, 8)
+        batched = initial_state(graph, 8)
+        vertices, new_values = self._random_batch(scalar, 12, seed=21)
+        for vertex, value in zip(vertices, new_values):
+            scalar.apply(int(vertex), int(value))
+        old = batched.apply_block(vertices, new_values)
+        np.testing.assert_array_equal(batched.values, scalar.values)
+        np.testing.assert_array_equal(
+            old, initial_state(graph, 8).values[vertices]
+        )
+        batched.check_consistency()
+        assert batched.support_size == scalar.support_size
+
+    def test_support_range_timeline_matches_replay(self):
+        graph = complete_graph(25)
+        state = initial_state(graph, 13)
+        vertices, new_values = self._random_batch(state, 10, seed=5)
+        old_values = state.values[vertices]
+        supports, widths = state.support_range_timeline(old_values, new_values)
+        replay = state  # timeline must not have mutated the state
+        for i, (vertex, value) in enumerate(zip(vertices, new_values)):
+            replay.apply(int(vertex), int(value))
+            assert supports[i] == replay.support_size
+            assert widths[i] == replay.max_opinion - replay.min_opinion
+
+
+class TestKernelSelection:
+    def test_kernel_names(self):
+        assert KERNEL_NAMES == ("auto", "block", "loop")
+
+    def test_make_kernel(self):
+        assert isinstance(make_kernel("loop"), LoopKernel)
+        assert isinstance(make_kernel("block"), BlockKernel)
+        with pytest.raises(ProcessError):
+            make_kernel("vectorised")
+
+    def test_supports_block(self):
+        assert supports_block(IncrementalVoting())
+        assert not supports_block(MedianVoting())
+
+    def test_auto_resolves_by_dynamics(self):
+        assert resolve_kernel("auto", IncrementalVoting()).name == "block"
+        assert resolve_kernel("auto", MedianVoting()).name == "loop"
+
+    def test_block_falls_back_without_step_block(self):
+        assert resolve_kernel("block", MedianVoting()).name == "loop"
+
+    def test_explicit_loop_wins_over_heuristic(self):
+        assert resolve_kernel("loop", IncrementalVoting()).name == "loop"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ProcessError):
+            resolve_kernel("simd", IncrementalVoting())
+
+    def test_use_kernel_overrides_auto(self):
+        assert active_kernel() is None
+        with use_kernel("loop"):
+            assert active_kernel() == "loop"
+            assert resolve_kernel("auto", IncrementalVoting()).name == "loop"
+            with use_kernel("block"):
+                assert active_kernel() == "block"
+            assert active_kernel() == "loop"
+        assert active_kernel() is None
+
+    def test_use_kernel_none_is_passthrough(self):
+        with use_kernel(None):
+            assert active_kernel() is None
+
+    def test_use_kernel_rejects_unknown(self):
+        with pytest.raises(ProcessError):
+            with use_kernel("simd"):
+                pass  # pragma: no cover
+
+    def test_result_records_resolved_kernel(self):
+        graph = complete_graph(10)
+        for kernel, expected in (("auto", "block"), ("loop", "loop")):
+            result = run_dynamics(
+                initial_state(graph, 1),
+                VertexScheduler(graph),
+                IncrementalVoting(),
+                rng=2,
+                kernel=kernel,
+            )
+            assert result.kernel == expected
+
+    def test_fallback_recorded_on_result(self):
+        graph = complete_graph(10)
+        result = run_dynamics(
+            initial_state(graph, 1),
+            VertexScheduler(graph),
+            MedianVoting(),
+            rng=2,
+            kernel="block",
+        )
+        assert result.kernel == "loop"

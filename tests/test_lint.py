@@ -391,6 +391,73 @@ class TestOBS001:
         assert findings == []
 
 
+class TestKER001:
+    EXPERIMENT_PATH = "src/repro/experiments/e01_winning_distribution.py"
+    BASELINE_PATH = "src/repro/baselines/pull.py"
+
+    def test_hard_coded_kernel_in_experiment_flagged(self):
+        findings = lint(
+            """\
+            def run(config, seed=0):
+                return run_dynamics(graph, opinions, dynamics, kernel="block")
+            """,
+            path=self.EXPERIMENT_PATH,
+        )
+        assert rule_ids(findings) == ["KER001"]
+        assert findings[0].line == 2
+        assert "kernel='block'" in findings[0].message
+
+    def test_hard_coded_loop_kernel_in_baseline_flagged(self):
+        findings = lint(
+            """\
+            def run_pull_voting(graph, opinions):
+                return run_baseline(graph, opinions, kernel="loop")
+            """,
+            path=self.BASELINE_PATH,
+        )
+        assert rule_ids(findings) == ["KER001"]
+
+    def test_auto_kernel_allowed(self):
+        findings = lint(
+            """\
+            def run(config, seed=0):
+                return run_dynamics(graph, opinions, dynamics, kernel="auto")
+            """,
+            path=self.EXPERIMENT_PATH,
+        )
+        assert findings == []
+
+    def test_threaded_kernel_parameter_allowed(self):
+        findings = lint(
+            """\
+            def run(config, seed=0, kernel="auto"):
+                return run_dynamics(graph, opinions, dynamics, kernel=kernel)
+            """,
+            path=self.EXPERIMENT_PATH,
+        )
+        assert findings == []
+
+    def test_other_layers_exempt(self):
+        findings = lint(
+            """\
+            def compare():
+                return run_dynamics(graph, opinions, dynamics, kernel="block")
+            """,
+            path=SRC_PATH,
+        )
+        assert findings == []
+
+    def test_test_files_exempt(self):
+        findings = lint(
+            """\
+            def test_block():
+                assert run(kernel="block").steps >= 0
+            """,
+            path="src/repro/experiments/test_example.py",
+        )
+        assert findings == []
+
+
 class TestSuppressions:
     BAD_LINE = "import numpy as np\nx = np.random.rand(3)"
 

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Lint drill for the static-analysis engine (run by CI, runnable locally).
+#
+# The linter gating CI is only trustworthy if CI also proves the linter
+# still *catches* things — a regression that silences an analyzer family
+# would otherwise pass every gate.  The drill seeds contract violations
+# in a scratch tree and asserts each one is reported:
+#   1. determinism-flow — an unseeded default_rng() (DET001) and a
+#      global-state np.random draw (DET002);
+#   2. correctness — a mutable default argument (COR001);
+#   3. concurrency — a lambda trial shipped to a worker pool (PAR003);
+# then checks a clean file passes, and that a suppression comment
+# against the *superseded* per-file rule id still silences its
+# flow-aware successor (the aliasing contract).
+#
+# Usage: scripts/lint_drill.sh   (override the CLI with DIV_REPRO=...)
+set -euo pipefail
+
+RUN=${DIV_REPRO:-div-repro}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+say() { echo "[lint-drill] $*"; }
+
+expect_rule() { # expect_rule <rule-id> <output-file>
+    if ! grep -q "$1" "$2"; then
+        say "FAIL: expected $1 in lint output:"
+        cat "$2"
+        exit 1
+    fi
+    say "caught $1"
+}
+
+# ------------------------------------------------------- seeded violations
+cat > "$WORK/seeded.py" <<'PY'
+import numpy as np
+
+from repro.analysis import run_trials
+
+
+def unseeded():
+    return np.random.default_rng()
+
+
+def global_state():
+    return np.random.rand(3)
+
+
+def mutable_default(acc=[]):
+    return acc
+
+
+def unpicklable():
+    return run_trials(8, lambda i, rng: 0.0, workers=4)
+PY
+
+say "linting a tree with seeded contract violations (must exit non-zero)"
+if $RUN lint --no-cache "$WORK" > "$WORK/out.txt"; then
+    say "FAIL: linter exited zero on seeded violations"
+    cat "$WORK/out.txt"
+    exit 1
+fi
+expect_rule DET001 "$WORK/out.txt"
+expect_rule DET002 "$WORK/out.txt"
+expect_rule COR001 "$WORK/out.txt"
+expect_rule PAR003 "$WORK/out.txt"
+
+# ------------------------------------------------------------- clean tree
+rm "$WORK/seeded.py"
+cat > "$WORK/clean.py" <<'PY'
+from repro.rng import make_rng
+
+
+def sample(seed=0):
+    rng = make_rng(seed)
+    return rng.random()
+PY
+
+say "linting a clean tree (must exit zero)"
+$RUN lint --no-cache "$WORK" > "$WORK/out.txt"
+say "clean tree passes"
+
+# ------------------------------------------------- suppression aliasing
+cat > "$WORK/suppressed.py" <<'PY'
+import numpy as np
+
+
+def draw():
+    return np.random.rand(3)  # lint: disable=RNG001
+PY
+
+say "comment against superseded RNG001 must silence DET002"
+$RUN lint --no-cache "$WORK" > "$WORK/out.txt"
+say "aliased suppression honoured"
+
+say "PASS: all seeded violations caught, clean tree and aliasing intact"

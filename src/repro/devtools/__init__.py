@@ -1,24 +1,72 @@
-"""Developer tooling: the determinism & layering linter.
+"""Developer tooling: project-wide static analysis for the reproduction.
 
-``repro.devtools`` is a self-contained static-analysis pass over this
+``repro.devtools`` is a self-contained static-analysis engine over this
 repository's own source (stdlib ``ast`` only, no third-party linter
-involved).  It enforces the invariants the reproduction depends on:
-seed-threaded randomness (RNG001/RNG002), the core→analysis→experiments
-import DAG (LAY001), no mutable defaults (COR001) and tolerance-based
-float assertions in tests (TST001).
+involved).  Two tiers enforce the invariants the reproduction depends
+on:
 
-Run it via ``div-repro lint [--format json] [--rules ...] [paths]`` or
+* **Per-file rules** (``repro.devtools.builtin``) check what a single
+  module proves on its own: no mutable defaults (COR001),
+  tolerance-based float assertions in tests (TST001), no bare prints
+  (OBS001), no hard-coded kernel literals (KER001).
+* **Project analyzers** (``repro.devtools.analyzers``) reason over the
+  cross-module import graph and call graph: worker-process safety
+  (PAR001–PAR003), flow-aware RNG provenance (DET001–DET003,
+  superseding the syntactic RNG001/RNG002), kernel/dynamics contracts
+  (KER002–KER004) and the declared architecture layers from
+  ``pyproject.toml`` (LAY002/LAY003, superseding LAY001).
+
+Run it via ``div-repro lint [--format text|json|sarif] [paths]`` or
 programmatically::
 
-    from repro.devtools import lint_paths
-    run = lint_paths(["src", "tests"])
+    from repro.devtools import lint_project
+    run = lint_project(["src", "tests"])
     assert not run.findings
 
-See ``docs/devtools.md`` for the rule catalogue and rationale.
+Project runs cache per-file findings by content hash (warm re-lints
+skip unchanged files) and subtract the suppression baseline
+(``lint-baseline.json``).  See ``docs/devtools.md`` for the rule
+catalogue, layer-spec format, and baseline workflow.
 """
 
+from repro.devtools.analyzers import (
+    ProjectAnalyzer,
+    ProjectContext,
+    all_analyzer_ids,
+    analyzer_docs,
+    get_analyzers,
+    register_analyzer,
+    run_analyzers,
+    superseded_rule_ids,
+)
+from repro.devtools.baseline import (
+    Baseline,
+    DEFAULT_BASELINE_NAME,
+    finding_fingerprint,
+    load_baseline,
+    write_baseline,
+)
 from repro.devtools.builtin import BUILTIN_RULES, RULE_DOCS
+from repro.devtools.cache import DEFAULT_CACHE_NAME, LintCache
+from repro.devtools.config import (
+    LayerSpec,
+    LintConfig,
+    LintConfigError,
+    load_config,
+    parse_config,
+)
+from repro.devtools.engine import (
+    ProjectLintRun,
+    lint_project,
+    split_rule_ids,
+    suppression_aliases,
+)
 from repro.devtools.findings import Finding, Severity
+from repro.devtools.project import (
+    ProjectModel,
+    build_project,
+    strongly_connected_components,
+)
 from repro.devtools.reporters import (
     JSON_SCHEMA_VERSION,
     render_json,
@@ -39,6 +87,12 @@ from repro.devtools.runner import (
     lint_paths,
     lint_source,
 )
+from repro.devtools.sarif import (
+    SARIF_VERSION,
+    findings_from_sarif,
+    render_sarif,
+    sarif_log,
+)
 from repro.devtools.suppressions import (
     SuppressionIndex,
     apply_suppressions,
@@ -48,23 +102,54 @@ from repro.devtools.suppressions import (
 __all__ = [
     "BUILTIN_RULES",
     "RULE_DOCS",
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "DEFAULT_CACHE_NAME",
     "Finding",
-    "Severity",
     "JSON_SCHEMA_VERSION",
-    "render_json",
-    "render_text",
-    "summarize_findings",
+    "LayerSpec",
+    "LintCache",
+    "LintConfig",
+    "LintConfigError",
     "LintContext",
-    "Rule",
-    "all_rule_ids",
-    "get_rules",
-    "register",
     "LintRun",
     "PARSE_ERROR_RULE",
+    "ProjectAnalyzer",
+    "ProjectContext",
+    "ProjectLintRun",
+    "ProjectModel",
+    "Rule",
+    "SARIF_VERSION",
+    "Severity",
+    "SuppressionIndex",
+    "all_analyzer_ids",
+    "all_rule_ids",
+    "analyzer_docs",
+    "apply_suppressions",
+    "build_project",
+    "finding_fingerprint",
+    "findings_from_sarif",
+    "get_analyzers",
+    "get_rules",
     "iter_python_files",
     "lint_paths",
+    "lint_project",
     "lint_source",
-    "SuppressionIndex",
-    "apply_suppressions",
+    "load_baseline",
+    "load_config",
+    "parse_config",
     "parse_suppressions",
+    "register",
+    "register_analyzer",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "run_analyzers",
+    "sarif_log",
+    "split_rule_ids",
+    "strongly_connected_components",
+    "summarize_findings",
+    "superseded_rule_ids",
+    "suppression_aliases",
+    "write_baseline",
 ]

@@ -1,0 +1,172 @@
+"""Project-wide analyzer families.
+
+Per-file rules (:mod:`repro.devtools.builtin`) check what a single
+module's AST can prove.  *Analyzers* check contracts that only hold (or
+break) across module boundaries: worker-process safety, RNG provenance,
+kernel/dynamics method contracts, and the declared architecture layers.
+They run over one shared :class:`ProjectContext` — the project model,
+call graph, and pyproject layer spec are built once per lint run.
+
+Some analyzers *supersede* syntactic per-file rules: the flow-aware
+DET002 replaces RNG001, DET001 replaces RNG002, and the spec-driven
+LAY002 replaces the hard-coded LAY001.  In project mode the superseded
+rules are skipped (``superseded_rule_ids``), and a suppression comment
+written against the old id keeps working against its successor (see
+:func:`repro.devtools.suppressions.apply_suppressions`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+
+from repro.devtools.callgraph import CallGraph, worker_reachable
+from repro.devtools.config import LintConfig
+from repro.devtools.findings import Finding, Severity
+from repro.devtools.project import ModuleInfo, ProjectModel
+
+
+class ProjectContext:
+    """Shared, lazily-computed inputs for one project analysis run."""
+
+    def __init__(self, model: ProjectModel, config: Optional[LintConfig] = None):
+        self.model = model
+        self.config = config if config is not None else LintConfig()
+        self._graph: Optional[CallGraph] = None
+        self._worker_refs: Optional[Set[str]] = None
+
+    @property
+    def graph(self) -> CallGraph:
+        if self._graph is None:
+            self._graph = CallGraph(self.model)
+        return self._graph
+
+    @property
+    def worker_refs(self) -> Set[str]:
+        """``module:qualname`` of functions that may run in a worker."""
+        if self._worker_refs is None:
+            self._worker_refs = worker_reachable(self.model, self.graph)
+        return self._worker_refs
+
+
+class ProjectAnalyzer:
+    """Base class for project-wide analyzers.
+
+    Subclasses set ``rule_id``/``severity``/``summary`` (and optionally
+    ``supersedes`` — per-file rule ids this analyzer replaces in project
+    mode) and implement :meth:`analyze` yielding findings.
+    """
+
+    rule_id: str = ""
+    severity: Severity = Severity.ERROR
+    summary: str = ""
+    #: Per-file rule ids made redundant by this analyzer.
+    supersedes: Sequence[str] = ()
+
+    def analyze(self, ctx: ProjectContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        info: ModuleInfo,
+        node: Optional[ast.AST],
+        message: str,
+        suggestion: Optional[str] = None,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Finding(
+            rule_id=self.rule_id,
+            severity=severity or self.severity,
+            path=info.path,
+            line=line,
+            col=col,
+            message=message,
+            suggestion=suggestion,
+        )
+
+
+_ANALYZERS: Dict[str, Type[ProjectAnalyzer]] = {}
+
+
+def register_analyzer(cls: Type[ProjectAnalyzer]) -> Type[ProjectAnalyzer]:
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} must define a rule_id")
+    if cls.rule_id in _ANALYZERS and _ANALYZERS[cls.rule_id] is not cls:
+        raise ValueError(f"duplicate analyzer id {cls.rule_id!r}")
+    _ANALYZERS[cls.rule_id] = cls
+    return cls
+
+
+def all_analyzer_ids() -> List[str]:
+    _ensure_loaded()
+    return sorted(_ANALYZERS)
+
+
+def get_analyzers(
+    rule_ids: Optional[Sequence[str]] = None,
+) -> List[ProjectAnalyzer]:
+    """Instantiate analyzers (all registered ones by default)."""
+    _ensure_loaded()
+    if rule_ids is None:
+        ids: Iterable[str] = sorted(_ANALYZERS)
+    else:
+        ids = rule_ids
+    out: List[ProjectAnalyzer] = []
+    for rule_id in ids:
+        if rule_id not in _ANALYZERS:
+            raise KeyError(rule_id)
+        out.append(_ANALYZERS[rule_id]())
+    return out
+
+
+def superseded_rule_ids() -> Dict[str, str]:
+    """``old per-file rule id -> successor analyzer id``."""
+    _ensure_loaded()
+    out: Dict[str, str] = {}
+    for rule_id in sorted(_ANALYZERS):
+        for old in _ANALYZERS[rule_id].supersedes:
+            out[old] = rule_id
+    return out
+
+
+def analyzer_docs() -> Dict[str, str]:
+    _ensure_loaded()
+    return {rid: _ANALYZERS[rid].summary for rid in sorted(_ANALYZERS)}
+
+
+def _ensure_loaded() -> None:
+    """Import the analyzer family modules (registration side effect)."""
+    from repro.devtools.analyzers import (  # noqa: F401
+        concurrency,
+        determinism,
+        kernelcontract,
+        layering,
+    )
+
+
+def run_analyzers(
+    ctx: ProjectContext,
+    analyzers: Optional[Sequence[ProjectAnalyzer]] = None,
+) -> List[Finding]:
+    """Run analyzers over a context, findings sorted by location."""
+    if analyzers is None:
+        analyzers = get_analyzers()
+    findings: List[Finding] = []
+    for analyzer in analyzers:
+        findings.extend(analyzer.analyze(ctx))
+    findings.sort(key=lambda f: f.sort_key())
+    return findings
+
+
+__all__ = [
+    "ProjectAnalyzer",
+    "ProjectContext",
+    "all_analyzer_ids",
+    "analyzer_docs",
+    "get_analyzers",
+    "register_analyzer",
+    "run_analyzers",
+    "superseded_rule_ids",
+]

@@ -1,0 +1,451 @@
+"""Concurrency-safety analyzers (PAR0xx).
+
+Worker processes are forked (or spawned) from the parent, so three
+classes of bug slip past per-file linting:
+
+* mutation of module-level mutable state from code that runs in a
+  worker — each process mutates its own copy, silently diverging from
+  the serial path (PAR001);
+* reading ambient context (active kernel, metrics registry, tracer,
+  profiler, campaign session) that the worker entry never re-ships —
+  under ``fork`` the worker sees a stale copy of the parent's stack and
+  buffers output nobody will ever collect (PAR002);
+* shipping lambdas or locally-defined closures across the process
+  boundary, which pickle rejects at runtime (PAR003).
+
+The reachable set comes from :func:`repro.devtools.callgraph.worker_reachable`:
+everything callable from the worker entry points plus every trial
+callable passed to the dispatch APIs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.devtools.analyzers import (
+    ProjectAnalyzer,
+    ProjectContext,
+    register_analyzer,
+)
+from repro.devtools.callgraph import TRIAL_DISPATCHERS, WORKER_ENTRY_POINTS
+from repro.devtools.findings import Finding
+from repro.devtools.project import ModuleInfo
+
+
+@dataclass(frozen=True)
+class AmbientFamily:
+    """One ambient-context mechanism: who owns it, reads it, installs it."""
+
+    name: str
+    owner: str
+    readers: FrozenSet[str]
+    installers: FrozenSet[str]
+
+
+#: The repo's ambient per-process context stacks.  A worker entry must
+#: call one of ``installers`` (re-ship, shadow, or suspend) before code
+#: that calls a ``reader`` may run in the worker.
+AMBIENT_FAMILIES: Tuple[AmbientFamily, ...] = (
+    AmbientFamily(
+        "kernel",
+        "repro.core.kernels",
+        frozenset({"active_kernel", "resolve_kernel"}),
+        frozenset({"use_kernel"}),
+    ),
+    AmbientFamily(
+        "metrics",
+        "repro.obs.metrics",
+        frozenset({"active_metrics"}),
+        frozenset({"collecting", "suspended"}),
+    ),
+    AmbientFamily(
+        "tracing",
+        "repro.obs.tracing",
+        frozenset({"current_tracer"}),
+        frozenset({"activate", "suspended"}),
+    ),
+    AmbientFamily(
+        "profile",
+        "repro.obs.profile",
+        frozenset({"active_profiler"}),
+        frozenset({"profiling", "suspended"}),
+    ),
+    AmbientFamily(
+        "session",
+        "repro.checkpoint",
+        frozenset({"current_session"}),
+        frozenset({"campaign"}),
+    ),
+)
+
+#: Modules that own an ambient stack: their own mutation of it is the
+#: mechanism, not a bug.
+AMBIENT_OWNER_MODULES: FrozenSet[str] = frozenset(
+    family.owner for family in AMBIENT_FAMILIES
+)
+
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+        "reverse",
+    }
+)
+
+
+def _worker_functions(ctx: ProjectContext) -> Iterator[Tuple[ModuleInfo, str]]:
+    """(module info, qualname) for every worker-reachable project function."""
+    for ref in sorted(ctx.worker_refs):
+        module, qualname = ref.split(":", 1)
+        info = ctx.model.modules.get(module)
+        if info is not None and qualname in info.functions:
+            yield info, qualname
+
+
+def _locally_bound(fn: ast.AST) -> Set[str]:
+    """Names rebound inside a function (params + plain assignments)."""
+    bound: Set[str] = set()
+    args = getattr(fn, "args", None)
+    if args is not None:
+        for arg in [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        ]:
+            bound.add(arg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            target = node.target
+            if isinstance(target, ast.Name):
+                bound.add(target.id)
+    # ``global X`` undoes local binding: X refers to module state again.
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            bound.difference_update(node.names)
+    return bound
+
+
+@register_analyzer
+class SharedStateMutation(ProjectAnalyzer):
+    rule_id = "PAR001"
+    summary = (
+        "worker-reachable code must not mutate module-level mutable state "
+        "(each process mutates its own copy)"
+    )
+
+    def analyze(self, ctx: ProjectContext) -> Iterator[Finding]:
+        for info, qualname in _worker_functions(ctx):
+            if info.module in AMBIENT_OWNER_MODULES:
+                continue  # the ambient stacks are the sanctioned mechanism
+            fn = info.functions[qualname].node
+            globals_declared: Set[str] = set()
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Global):
+                    globals_declared.update(node.names)
+            local = _locally_bound(fn) - globals_declared
+            for node in ast.walk(fn):
+                name = self._mutated_global(node, info, local, globals_declared)
+                if name is not None:
+                    yield self.finding(
+                        info,
+                        node,
+                        f"{qualname}() runs in worker processes but mutates "
+                        f"module-level state {name!r}; each process would "
+                        f"mutate its own copy and the parent never sees it",
+                        suggestion=(
+                            "return the data to the parent instead, or ship "
+                            "it explicitly through the task record"
+                        ),
+                    )
+
+    def _mutated_global(
+        self,
+        node: ast.AST,
+        info: ModuleInfo,
+        local: Set[str],
+        globals_declared: Set[str],
+    ) -> Optional[str]:
+        def is_global(name: str) -> bool:
+            if name in local:
+                return False
+            return name in info.mutable_globals or name in globals_declared
+
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            base = node.func.value
+            if (
+                isinstance(base, ast.Name)
+                and node.func.attr in _MUTATING_METHODS
+                and is_global(base.id)
+            ):
+                return base.id
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+            targets = (
+                node.targets
+                if isinstance(node, (ast.Assign, ast.Delete))
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Name
+                ):
+                    if is_global(target.value.id):
+                        return target.value.id
+                if isinstance(target, ast.Name) and target.id in globals_declared:
+                    return target.id
+        return None
+
+
+@register_analyzer
+class AmbientContextNotReshipped(ProjectAnalyzer):
+    rule_id = "PAR002"
+    summary = (
+        "ambient context read in worker-reachable code must be re-shipped "
+        "(or suspended) by the worker entry point"
+    )
+
+    def analyze(self, ctx: ProjectContext) -> Iterator[Finding]:
+        entries = self._entry_functions(ctx)
+        for family in AMBIENT_FAMILIES:
+            if self._established(ctx, entries, family):
+                continue
+            entry_names = ", ".join(ref for ref, _fn in entries) or "<none>"
+            for info, qualname in _worker_functions(ctx):
+                if info.module == family.owner:
+                    continue
+                fn = info.functions[qualname].node
+                for node in ast.walk(fn):
+                    reader = self._reads_family(ctx, info, node, family)
+                    if reader is not None:
+                        yield self.finding(
+                            info,
+                            node,
+                            f"{qualname}() may run in a worker and reads the "
+                            f"ambient {family.name} context via {reader}(), "
+                            f"but no worker entry ({entry_names}) re-ships or "
+                            f"suspends it; under fork the worker inherits a "
+                            f"stale copy of the parent's stack",
+                            suggestion=(
+                                f"establish the {family.name} context in the "
+                                f"worker entry (call one of: "
+                                f"{', '.join(sorted(family.installers))})"
+                            ),
+                        )
+
+    def _entry_functions(
+        self, ctx: ProjectContext
+    ) -> List[Tuple[str, ast.AST]]:
+        out: List[Tuple[str, ast.AST]] = []
+        for ref in WORKER_ENTRY_POINTS:
+            module, qualname = ref.split(":", 1)
+            fn = ctx.model.function(module, qualname)
+            if fn is not None:
+                out.append((ref, fn.node))
+        return out
+
+    def _established(
+        self,
+        ctx: ProjectContext,
+        entries: List[Tuple[str, ast.AST]],
+        family: AmbientFamily,
+    ) -> bool:
+        for ref, fn in entries:
+            module = ref.split(":", 1)[0]
+            info = ctx.model.modules.get(module)
+            if info is None:
+                continue
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = self._resolved_call(ctx, info, node, family.installers)
+                if name is not None:
+                    return True
+        return False
+
+    def _reads_family(
+        self,
+        ctx: ProjectContext,
+        info: ModuleInfo,
+        node: ast.AST,
+        family: AmbientFamily,
+    ) -> Optional[str]:
+        if not isinstance(node, ast.Call):
+            return None
+        return self._resolved_call(ctx, info, node, family.readers, family.owner)
+
+    def _resolved_call(
+        self,
+        ctx: ProjectContext,
+        info: ModuleInfo,
+        call: ast.Call,
+        names: FrozenSet[str],
+        owner: Optional[str] = None,
+    ) -> Optional[str]:
+        """The called name if it is one of ``names`` defined in ``owner``.
+
+        Resolution runs through import bindings first so aliased imports
+        (``from repro.obs.tracing import suspended as tracing_suspended``)
+        are recognised by their defining name, not their local alias.
+        """
+        func = call.func
+        module = info.module
+        if isinstance(func, ast.Name):
+            if module is None:
+                return func.id if func.id in names else None
+            resolved = ctx.model.resolve_name(module, func.id)
+            if resolved is None:
+                return None
+            if resolved[1] in names and (owner is None or resolved[0] == owner):
+                return resolved[1]
+        if isinstance(func, ast.Attribute) and func.attr in names:
+            if not isinstance(func.value, ast.Name):
+                return None
+            for record in info.imports:
+                if record.symbol is None and record.alias == func.value.id:
+                    target = ctx.model.resolve_module(record)
+                    if owner is None or target == owner:
+                        return func.attr
+        return None
+
+
+@register_analyzer
+class UnpicklableTrialArgument(ProjectAnalyzer):
+    rule_id = "PAR003"
+    summary = (
+        "trial callables shipped to worker pools must be module-level "
+        "functions (lambdas/closures do not pickle)"
+    )
+
+    def analyze(self, ctx: ProjectContext) -> Iterator[Finding]:
+        for path in sorted(ctx.model.files):
+            info = ctx.model.files[path]
+            enclosing: Dict[int, ast.AST] = {}
+            self._map_enclosing(info.tree, enclosing)
+            for node in ast.walk(info.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = self._called_name(node.func)
+                if name not in TRIAL_DISPATCHERS:
+                    continue
+                outer = enclosing.get(id(node))
+                if not self._workers_involved(node, outer):
+                    continue
+                arg = self._trial_argument(node, TRIAL_DISPATCHERS[name])
+                if arg is None:
+                    continue
+                problem = self._unpicklable(info, arg, outer)
+                if problem is not None:
+                    yield self.finding(
+                        info,
+                        arg,
+                        f"{name}() may dispatch to worker processes but the "
+                        f"trial argument is {problem}, which cannot be "
+                        f"pickled across the process boundary",
+                        suggestion=(
+                            "define the trial at module level and pass "
+                            "per-trial data through task args"
+                        ),
+                    )
+
+    def _map_enclosing(
+        self, tree: ast.AST, out: Dict[int, ast.AST], fn: Optional[ast.AST] = None
+    ) -> None:
+        for child in ast.iter_child_nodes(tree):
+            out[id(child)] = fn
+            inner = (
+                child
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                else fn
+            )
+            self._map_enclosing(child, out, inner)
+
+    @staticmethod
+    def _called_name(func: ast.AST) -> Optional[str]:
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return None
+
+    @staticmethod
+    def _trial_argument(call: ast.Call, position: int) -> Optional[ast.AST]:
+        for keyword in call.keywords:
+            if keyword.arg == "trial":
+                return keyword.value
+        if len(call.args) > position:
+            arg = call.args[position]
+            if isinstance(arg, ast.Starred):
+                return None
+            return arg
+        return None
+
+    @staticmethod
+    def _workers_involved(call: ast.Call, outer: Optional[ast.AST]) -> bool:
+        """True unless the call is provably serial.
+
+        Serial means: ``workers`` is passed as a literal ``None``/``0``/
+        ``1``, or the call neither passes ``workers`` nor sits inside a
+        function that takes a ``workers`` parameter to forward.
+        """
+        for keyword in call.keywords:
+            if keyword.arg == "workers":
+                value = keyword.value
+                if isinstance(value, ast.Constant) and value.value in (None, 0, 1):
+                    return False
+                return True
+        args = getattr(outer, "args", None)
+        if args is not None:
+            names = {a.arg for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]}
+            if "workers" in names:
+                return True
+        return False
+
+    def _unpicklable(
+        self, info: ModuleInfo, arg: ast.AST, outer: Optional[ast.AST]
+    ) -> Optional[str]:
+        if isinstance(arg, ast.Lambda):
+            return "a lambda"
+        if isinstance(arg, ast.Call):
+            name = self._called_name(arg.func)
+            if name == "partial" and arg.args:
+                return self._unpicklable(info, arg.args[0], outer)
+            return None
+        if isinstance(arg, ast.Name) and outer is not None:
+            for node in ast.walk(outer):
+                if (
+                    isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node is not outer
+                    and node.name == arg.id
+                ):
+                    return f"the locally-defined closure {arg.id!r}"
+        return None
+
+
+__all__ = [
+    "AMBIENT_FAMILIES",
+    "AMBIENT_OWNER_MODULES",
+    "AmbientFamily",
+    "AmbientContextNotReshipped",
+    "SharedStateMutation",
+    "UnpicklableTrialArgument",
+]

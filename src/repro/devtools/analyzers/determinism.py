@@ -1,0 +1,242 @@
+"""Determinism-flow analyzers (DETxxx).
+
+The paper's claims are statements about seeded stochastic processes, so
+every generator in the project must *originate* from the audited
+entry points (:func:`repro.rng.make_rng` /
+:func:`repro.rng.spawn_seed_sequences`) and be threaded explicitly.
+DET001/DET002 are the flow-aware successors of the per-file RNG002 and
+RNG001 checks: they run project-wide (tests and scripts included where
+that is meaningful) and additionally reject *unseeded* generator
+construction — ``default_rng()`` or a bit-generator built with no seed
+draws fresh OS entropy and is unreproducible by definition, which no
+suppression comment should hide in non-test code.  DET003 closes the
+remaining hole: an RNG-typed parameter with a non-``None`` mutable or
+call default silently detaches the callee from the caller's seed at
+import time.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import replace
+from typing import Iterator, List, Optional
+
+from repro.devtools.analyzers import (
+    ProjectAnalyzer,
+    ProjectContext,
+    register_analyzer,
+)
+from repro.devtools.builtin import (
+    GlobalRandomnessRule,
+    RngThreadingRule,
+    _dotted_chain,
+    _ImportAliases,
+    _is_rng_name,
+)
+from repro.devtools.findings import Finding
+from repro.devtools.project import ModuleInfo
+from repro.devtools.rules import LintContext
+
+#: Constructors that create entropy-bearing objects: with no arguments
+#: they seed from the OS, which is never reproducible.
+_ENTROPY_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Annotations that mark a parameter as RNG-typed.
+_RNG_ANNOTATIONS = frozenset({"Generator", "RngLike", "BitGenerator"})
+
+
+def _lint_context(info: ModuleInfo) -> LintContext:
+    return LintContext(
+        path=info.path,
+        source=info.source,
+        tree=info.tree,
+        module=info.module,
+        is_test=info.is_test,
+    )
+
+
+@register_analyzer
+class RngProvenance(ProjectAnalyzer):
+    rule_id = "DET001"
+    summary = (
+        "generators must originate from make_rng/spawn_seed_sequences with "
+        "the caller's seed threaded in; unseeded construction is never "
+        "reproducible"
+    )
+    supersedes = ("RNG002",)
+
+    _threading = RngThreadingRule()
+
+    def analyze(self, ctx: ProjectContext) -> Iterator[Finding]:
+        for path in sorted(ctx.model.files):
+            info = ctx.model.files[path]
+            file_ctx = _lint_context(info)
+            # Seed-threading flow (the RNG002 logic, re-tagged): does a
+            # make_rng argument trace back to an rng/seed name in scope?
+            for found in self._threading.check(file_ctx):
+                yield replace(found, rule_id=self.rule_id)
+            # Unseeded construction — applies everywhere, tests included.
+            yield from self._unseeded(info, file_ctx)
+
+    def _unseeded(
+        self, info: ModuleInfo, file_ctx: LintContext
+    ) -> Iterator[Finding]:
+        if file_ctx.is_rng_module:
+            return
+        aliases = _ImportAliases(info.tree)
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = self._entropy_constructor(node.func, aliases)
+            if name is None:
+                continue
+            if node.args or node.keywords:
+                continue
+            yield self.finding(
+                info,
+                node,
+                f"{name}() with no seed draws fresh OS entropy; the result "
+                f"can never be reproduced from the campaign seed",
+                suggestion=(
+                    "create generators with repro.rng.make_rng(seed) or "
+                    "derive a child via spawn_seed_sequences"
+                ),
+            )
+
+    @staticmethod
+    def _entropy_constructor(
+        func: ast.AST, aliases: _ImportAliases
+    ) -> Optional[str]:
+        chain = _dotted_chain(func)
+        if chain is None:
+            return None
+        if len(chain) == 1 and chain[0] in _ENTROPY_CONSTRUCTORS:
+            return chain[0]
+        if (
+            len(chain) >= 3
+            and chain[0] in aliases.numpy
+            and chain[1] == "random"
+            and chain[2] in _ENTROPY_CONSTRUCTORS
+        ):
+            return ".".join(chain[:3])
+        if (
+            len(chain) >= 2
+            and chain[0] in aliases.np_random
+            and chain[1] in _ENTROPY_CONSTRUCTORS
+        ):
+            return ".".join(chain[:2])
+        return None
+
+
+@register_analyzer
+class GlobalRandomnessFlow(ProjectAnalyzer):
+    rule_id = "DET002"
+    summary = (
+        "no global-state randomness anywhere in the project "
+        "(np.random.* module functions, stdlib random)"
+    )
+    supersedes = ("RNG001",)
+
+    _syntactic = GlobalRandomnessRule()
+
+    def analyze(self, ctx: ProjectContext) -> Iterator[Finding]:
+        for path in sorted(ctx.model.files):
+            info = ctx.model.files[path]
+            for found in self._syntactic.check(_lint_context(info)):
+                yield replace(found, rule_id=self.rule_id)
+
+
+@register_analyzer
+class RngParameterDefaults(ProjectAnalyzer):
+    rule_id = "DET003"
+    summary = (
+        "rng parameters must default to None and seed parameters to None "
+        "or an integer literal; expression defaults detach the callee "
+        "from the caller's seed"
+    )
+
+    def analyze(self, ctx: ProjectContext) -> Iterator[Finding]:
+        for module in sorted(ctx.model.modules):
+            info = ctx.model.modules[module]
+            if info.is_test:
+                continue
+            for fn in info.functions.values():
+                yield from self._check_signature(info, fn.qualname, fn.node)
+
+    def _check_signature(
+        self,
+        info: ModuleInfo,
+        qualname: str,
+        fn: "ast.FunctionDef | ast.AsyncFunctionDef",
+    ) -> Iterator[Finding]:
+        args = fn.args
+        positional = [*args.posonlyargs, *args.args]
+        defaults: List[Optional[ast.AST]] = [None] * (
+            len(positional) - len(args.defaults)
+        ) + list(args.defaults)
+        pairs = list(zip(positional, defaults)) + list(
+            zip(args.kwonlyargs, args.kw_defaults)
+        )
+        for arg, default in pairs:
+            if default is None:
+                continue
+            problem = self._bad_default(arg, default)
+            if problem is not None:
+                yield self.finding(
+                    info,
+                    default,
+                    f"{qualname}() parameter {arg.arg!r} has {problem}; the "
+                    f"default is evaluated at import time, detached from "
+                    f"any campaign seed",
+                    suggestion=(
+                        "default rng parameters to None and resolve via "
+                        "make_rng inside the function; seed parameters may "
+                        "default to None or an integer literal"
+                    ),
+                )
+
+    @staticmethod
+    def _bad_default(arg: ast.arg, default: ast.AST) -> Optional[str]:
+        name = arg.arg
+        annotation = ""
+        if arg.annotation is not None:
+            chain = _dotted_chain(arg.annotation)
+            if chain:
+                annotation = chain[-1]
+        is_rng = (
+            name == "rng" or name.endswith("_rng") or annotation in _RNG_ANNOTATIONS
+        )
+        is_seed = name == "seed" or name.endswith("_seed")
+        if not (is_rng or is_seed):
+            return None
+        if isinstance(default, ast.Constant):
+            value = default.value
+            if value is None:
+                return None
+            if is_seed and isinstance(value, int) and not isinstance(value, bool):
+                return None
+            return f"non-None default {value!r}"
+        if (
+            is_seed
+            and isinstance(default, ast.UnaryOp)
+            and isinstance(default.op, ast.USub)
+            and isinstance(default.operand, ast.Constant)
+            and isinstance(default.operand.value, int)
+        ):
+            return None
+        if _is_rng_name(name) or annotation in _RNG_ANNOTATIONS:
+            return "a non-literal default expression"
+        return None
+
+
+__all__ = ["GlobalRandomnessFlow", "RngParameterDefaults", "RngProvenance"]

@@ -1,0 +1,282 @@
+"""Kernel/Dynamics contract analyzers (KERxxx).
+
+The block kernel is only sound because of two contracts (see
+``docs/kernels.md``): every dynamics that offers a batched
+``step_block`` must also offer the sequential ``step`` it is
+bit-identical to (KER002 — the loop kernel is the semantic ground
+truth, a batched-only dynamics has no reference to be checked against),
+and batched code may touch :class:`repro.core.state.OpinionState` only
+through its approved mutators, never its private incremental caches
+(KER003 — a direct ``_counts`` write silently corrupts the support
+bookkeeping the stop conditions read).  KER004 generalises the per-file
+KER001: experiments and baselines must stay kernel-agnostic, so backend
+module imports and literal backend selection are confined to the
+kernel-resolution layer.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Optional, Set, Tuple
+
+from repro.devtools.analyzers import (
+    ProjectAnalyzer,
+    ProjectContext,
+    register_analyzer,
+)
+from repro.devtools.findings import Finding, Severity
+from repro.devtools.project import ClassInfo, ProjectModel
+
+STATE_MODULE = "repro.core.state"
+STATE_CLASS = "OpinionState"
+#: The only methods allowed to mutate OpinionState's incremental caches.
+APPROVED_MUTATORS: FrozenSet[str] = frozenset({"apply", "apply_block"})
+
+KERNELS_PACKAGE = "repro.core.kernels"
+#: Modules that must stay kernel-agnostic.
+_KERNEL_AGNOSTIC_PREFIXES = ("repro.experiments", "repro.baselines")
+#: Kernel-selection callables that take a backend name.
+_KERNEL_SELECTORS = frozenset({"use_kernel", "make_kernel", "resolve_kernel"})
+
+#: Fallback when the state module is not in the model (fixture projects).
+_DEFAULT_PRIVATE_ATTRS: FrozenSet[str] = frozenset(
+    {
+        "_values",
+        "_offset",
+        "_counts",
+        "_degree_counts",
+        "_sum",
+        "_degree_sum",
+        "_support_size",
+        "_min_idx",
+        "_max_idx",
+        "_weights_dirty",
+    }
+)
+
+
+def private_state_attrs(model: ProjectModel) -> FrozenSet[str]:
+    """Private ``__slots__`` of OpinionState, read from the model itself
+    so the rule tracks the class as it evolves."""
+    info = model.modules.get(STATE_MODULE)
+    if info is None:
+        return _DEFAULT_PRIVATE_ATTRS
+    cls = info.classes.get(STATE_CLASS)
+    if cls is None:
+        return _DEFAULT_PRIVATE_ATTRS
+    attrs: Set[str] = set()
+    for node in cls.node.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__slots__" for t in node.targets
+        ):
+            continue
+        if isinstance(node.value, (ast.Tuple, ast.List)):
+            for element in node.value.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    if element.value.startswith("_"):
+                        attrs.add(element.value)
+    return frozenset(attrs) if attrs else _DEFAULT_PRIVATE_ATTRS
+
+
+@register_analyzer
+class BatchedWithoutSequential(ProjectAnalyzer):
+    rule_id = "KER002"
+    summary = (
+        "a dynamics defining step_block must define (or inherit) the "
+        "sequential step it is checked against"
+    )
+
+    def analyze(self, ctx: ProjectContext) -> Iterator[Finding]:
+        for module in sorted(ctx.model.modules):
+            info = ctx.model.modules[module]
+            for cls in info.classes.values():
+                if "step_block" not in cls.methods:
+                    continue
+                if self._defines_step(ctx.model, module, cls, depth=5):
+                    continue
+                yield self.finding(
+                    info,
+                    cls.methods["step_block"].node,
+                    f"class {cls.qualname} defines step_block but neither "
+                    f"defines nor inherits step; the batched path has no "
+                    f"sequential reference semantics to be equivalent to",
+                    suggestion=(
+                        "implement step() first — the loop kernel is the "
+                        "ground truth the block kernel is verified against"
+                    ),
+                )
+
+    def _defines_step(
+        self, model: ProjectModel, module: str, cls: ClassInfo, depth: int
+    ) -> bool:
+        if "step" in cls.methods:
+            return True
+        if depth <= 0:
+            return False
+        for base in cls.bases:
+            resolved = self._resolve_base(model, module, base)
+            if resolved is not None and self._defines_step(
+                model, resolved[0], resolved[1], depth - 1
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _resolve_base(
+        model: ProjectModel, module: str, base: str
+    ) -> Optional[Tuple[str, ClassInfo]]:
+        head = base.split(".")[0]
+        if "." not in base:
+            resolved = model.resolve_name(module, base)
+            if resolved is None:
+                return None
+            target_info = model.modules.get(resolved[0])
+            if target_info is None:
+                return None
+            cls = target_info.classes.get(resolved[1])
+            return (resolved[0], cls) if cls is not None else None
+        # ``mod.Base``: resolve the module alias, then the class.
+        info = model.modules.get(module)
+        if info is None:
+            return None
+        for record in info.imports:
+            if record.symbol is None and record.alias == head:
+                target = model.resolve_module(record)
+                if target is None:
+                    continue
+                target_info = model.modules.get(target)
+                if target_info is None:
+                    continue
+                cls = target_info.classes.get(base.split(".")[-1])
+                if cls is not None:
+                    return target, cls
+        return None
+
+
+@register_analyzer
+class StateInternalsAccess(ProjectAnalyzer):
+    rule_id = "KER003"
+    summary = (
+        "OpinionState's incremental caches are private; mutate only "
+        "through apply/apply_block"
+    )
+
+    def analyze(self, ctx: ProjectContext) -> Iterator[Finding]:
+        private = private_state_attrs(ctx.model)
+        for module in sorted(ctx.model.modules):
+            if module == STATE_MODULE:
+                continue
+            info = ctx.model.modules[module]
+            if info.is_test:
+                continue
+            for node in ast.walk(info.tree):
+                if not isinstance(node, ast.Attribute):
+                    continue
+                if node.attr not in private:
+                    continue
+                if isinstance(node.value, ast.Name) and node.value.id == "self":
+                    continue  # another class's own private attribute
+                mutating = isinstance(node.ctx, (ast.Store, ast.Del))
+                verb = "mutates" if mutating else "reads"
+                yield self.finding(
+                    info,
+                    node,
+                    f"{verb} private OpinionState cache {node.attr!r} outside "
+                    f"{STATE_MODULE}; the incremental support bookkeeping "
+                    f"is only coherent through the approved mutators "
+                    f"({', '.join(sorted(APPROVED_MUTATORS))})",
+                    suggestion=(
+                        "use the public properties, or extend OpinionState "
+                        "with a method that maintains its invariants"
+                    ),
+                )
+
+
+@register_analyzer
+class KernelAgnosticExperiments(ProjectAnalyzer):
+    rule_id = "KER004"
+    summary = (
+        "experiments and baselines stay kernel-agnostic: no backend module "
+        "imports, no literal backend selection"
+    )
+    severity = Severity.ERROR
+
+    def analyze(self, ctx: ProjectContext) -> Iterator[Finding]:
+        backends = self._backend_modules(ctx.model)
+        for module in sorted(ctx.model.modules):
+            if not module.startswith(_KERNEL_AGNOSTIC_PREFIXES):
+                continue
+            info = ctx.model.modules[module]
+            for record in info.imports:
+                target = ctx.model.resolve_module(record)
+                if record.symbol is not None and target == KERNELS_PACKAGE:
+                    continue  # the public facade (use_kernel etc.) is fine
+                if target in backends:
+                    yield self.finding(
+                        info,
+                        ast.Pass(lineno=record.lineno, col_offset=0),
+                        f"{module} imports kernel backend module {target}; "
+                        f"experiments/baselines must go through the "
+                        f"kernel-agnostic facade so campaigns can select "
+                        f"backends uniformly",
+                        suggestion=(
+                            "accept a kernel parameter and let "
+                            "repro.core.kernels.resolve_kernel pick the "
+                            "backend"
+                        ),
+                    )
+            for node in ast.walk(info.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = self._selector_name(node.func)
+                if name is None:
+                    continue
+                literal = self._literal_backend(node)
+                if literal is not None:
+                    yield self.finding(
+                        info,
+                        node,
+                        f"{module} calls {name}({literal!r}) with a "
+                        f"hard-coded backend; thread the campaign's kernel "
+                        f"selection through instead",
+                        suggestion="pass the kernel variable, not a literal",
+                    )
+
+    @staticmethod
+    def _backend_modules(model: ProjectModel) -> Set[str]:
+        return {
+            module
+            for module in model.modules
+            if module.startswith(KERNELS_PACKAGE + ".")
+        }
+
+    @staticmethod
+    def _selector_name(func: ast.AST) -> Optional[str]:
+        if isinstance(func, ast.Name) and func.id in _KERNEL_SELECTORS:
+            return func.id
+        if isinstance(func, ast.Attribute) and func.attr in _KERNEL_SELECTORS:
+            return func.attr
+        return None
+
+    @staticmethod
+    def _literal_backend(call: ast.Call) -> Optional[str]:
+        candidates = list(call.args[:1]) + [
+            kw.value for kw in call.keywords if kw.arg in ("kernel", "name", "spec")
+        ]
+        for arg in candidates:
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                return arg.value
+        return None
+
+
+__all__ = [
+    "APPROVED_MUTATORS",
+    "BatchedWithoutSequential",
+    "KernelAgnosticExperiments",
+    "StateInternalsAccess",
+    "private_state_attrs",
+]

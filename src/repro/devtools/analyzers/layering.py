@@ -1,0 +1,142 @@
+"""Declared-architecture layering analyzers (LAYxxx).
+
+LAY002 enforces the layer spec declared in ``pyproject.toml`` (see
+:mod:`repro.devtools.config`) over the *real* module-level import graph:
+every ``repro.*`` module must belong to a declared layer, and an eager
+import edge is legal only when the importing layer lists the target
+layer in ``may_import`` (or both ends share a layer — unless that layer
+is ``independent``, which encodes the experiment-driver rule that
+sibling reproductions never import each other).  Lazy (function-local)
+imports are exempt by design: the repo uses them exactly where a
+deferred edge is the sanctioned way around the DAG.
+
+LAY003 rejects import cycles outright, spec or no spec — a cycle makes
+module initialisation order-dependent, which is how "works from the CLI,
+crashes from pytest" bugs are born.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from repro.devtools.analyzers import (
+    ProjectAnalyzer,
+    ProjectContext,
+    register_analyzer,
+)
+from repro.devtools.findings import Finding
+from repro.devtools.project import strongly_connected_components
+
+
+def _line(lineno: int) -> ast.Pass:
+    return ast.Pass(lineno=lineno, col_offset=0)
+
+
+@register_analyzer
+class DeclaredLayering(ProjectAnalyzer):
+    rule_id = "LAY002"
+    summary = (
+        "module imports must respect the layer spec declared in "
+        "pyproject.toml ([[tool.div-repro.lint.layers]])"
+    )
+    supersedes = ("LAY001",)
+
+    def analyze(self, ctx: ProjectContext) -> Iterator[Finding]:
+        config = ctx.config
+        if not config.layers:
+            return
+        graph = ctx.model.import_graph(include_lazy=False)
+        for module in sorted(graph):
+            info = ctx.model.modules[module]
+            layer = config.layer_of(module)
+            if layer is None:
+                yield self.finding(
+                    info,
+                    _line(1),
+                    f"module {module} is not assigned to any declared layer",
+                    suggestion=(
+                        "add it to a [[tool.div-repro.lint.layers]] entry "
+                        "in pyproject.toml"
+                    ),
+                )
+                continue
+            allowed: Set[str] = {layer.name, *layer.may_import}
+            for record in info.imports:
+                if record.lazy:
+                    continue
+                target = ctx.model.resolve_module(record)
+                if target is None or target == module or target not in graph:
+                    continue
+                target_layer = config.layer_of(target)
+                if target_layer is None:
+                    continue  # reported once on the target module itself
+                if target_layer.name == layer.name:
+                    if layer.independent:
+                        yield self.finding(
+                            info,
+                            _line(record.lineno),
+                            f"{module} imports sibling {target} inside "
+                            f"independent layer {layer.name!r}; these "
+                            f"modules must not depend on each other",
+                            suggestion=(
+                                "hoist the shared helper into a lower "
+                                "layer both siblings may import"
+                            ),
+                        )
+                    continue
+                if target_layer.name not in allowed:
+                    yield self.finding(
+                        info,
+                        _line(record.lineno),
+                        f"{module} (layer {layer.name!r}) imports {target} "
+                        f"(layer {target_layer.name!r}), which is not in "
+                        f"its declared may_import list",
+                        suggestion=(
+                            "invert the dependency, use a lazy "
+                            "function-local import for a deliberate "
+                            "deferred edge, or amend the layer spec"
+                        ),
+                    )
+
+
+@register_analyzer
+class ImportCycles(ProjectAnalyzer):
+    rule_id = "LAY003"
+    summary = "the eager module import graph must be acyclic"
+
+    def analyze(self, ctx: ProjectContext) -> Iterator[Finding]:
+        graph = ctx.model.import_graph(include_lazy=False)
+        for component in strongly_connected_components(graph):
+            members = sorted(component)
+            if len(members) < 2 and not self._self_loop(graph, members):
+                continue
+            anchor = members[0]
+            info = ctx.model.modules[anchor]
+            lineno = self._edge_line(ctx, anchor, set(members))
+            yield self.finding(
+                info,
+                _line(lineno),
+                "import cycle: " + " -> ".join(members + [members[0]]),
+                suggestion=(
+                    "break the cycle with a lazy function-local import or "
+                    "by extracting the shared piece into a lower layer"
+                ),
+            )
+
+    @staticmethod
+    def _self_loop(graph: Dict[str, Set[str]], members: List[str]) -> bool:
+        return bool(members) and members[0] in graph.get(members[0], set())
+
+    def _edge_line(self, ctx: ProjectContext, module: str, cycle: Set[str]) -> int:
+        info = ctx.model.modules[module]
+        for record in info.imports:
+            if record.lazy:
+                continue
+            target = ctx.model.resolve_module(record)
+            if target in cycle and target != module:
+                return record.lineno
+        return 1
+
+
+__all__ = ["DeclaredLayering", "ImportCycles"]

@@ -1,0 +1,150 @@
+"""Suppression baseline: accepted findings with justifications.
+
+Rolling out a new analyzer family over an existing tree surfaces
+findings that are *intentional* — a test that deliberately ships a
+lambda to prove the runtime rejects it, for example.  Rather than
+littering code with disable comments or blocking CI, such findings are
+recorded in a checked-in baseline file (``lint-baseline.json``): the
+linter subtracts baselined findings from its report, and CI stays green
+while the baseline shrinks over time.
+
+Each entry carries a content *fingerprint* — a hash of the rule id, the
+path, the message, and the text of the offending source line — so a
+baselined finding survives unrelated edits that shift line numbers, but
+resurfaces the moment the offending line itself changes.  Entries have
+a mandatory ``justification`` field; ``div-repro lint
+--update-baseline`` preserves justifications for surviving entries and
+stamps new ones with a TODO marker that reviewers can grep for.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.devtools.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Default baseline location, relative to the lint root.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+_TODO_JUSTIFICATION = "TODO: justify or fix"
+
+
+def finding_fingerprint(finding: Finding, line_text: str) -> str:
+    payload = "\x1f".join(
+        [finding.rule_id, finding.path, finding.message, line_text.strip()]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
+class Baseline:
+    """A set of accepted findings, keyed by content fingerprint."""
+
+    def __init__(self, entries: Optional[Dict[str, dict]] = None) -> None:
+        #: fingerprint -> entry dict (rule/path/message/justification...)
+        self.entries: Dict[str, dict] = entries or {}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def filter(
+        self,
+        findings: Sequence[Finding],
+        line_text_of: Callable[[Finding], str],
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split findings into (unbaselined, baselined)."""
+        kept: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in findings:
+            fp = finding_fingerprint(finding, line_text_of(finding))
+            if fp in self.entries:
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+        return kept, suppressed
+
+    def stale_entries(
+        self,
+        findings: Sequence[Finding],
+        line_text_of: Callable[[Finding], str],
+    ) -> List[dict]:
+        """Entries no longer matched by any current finding — candidates
+        for removal on the next ``--update-baseline``."""
+        live = {
+            finding_fingerprint(f, line_text_of(f)) for f in findings
+        }
+        return [
+            entry
+            for fp, entry in sorted(self.entries.items())
+            if fp not in live
+        ]
+
+
+def load_baseline(path: Optional[Union[str, Path]]) -> Baseline:
+    """Load a baseline file; missing or unreadable files mean 'empty'."""
+    if path is None:
+        return Baseline()
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return Baseline()
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        return Baseline()
+    entries: Dict[str, dict] = {}
+    for entry in data.get("entries", []):
+        if isinstance(entry, dict) and "fingerprint" in entry:
+            entries[str(entry["fingerprint"])] = entry
+    return Baseline(entries)
+
+
+def write_baseline(
+    path: Union[str, Path],
+    findings: Sequence[Finding],
+    line_text_of: Callable[[Finding], str],
+    previous: Optional[Baseline] = None,
+) -> Baseline:
+    """Write ``findings`` as the new baseline, preserving justifications.
+
+    A finding already present in ``previous`` keeps its justification;
+    new findings get a TODO placeholder that should be replaced with the
+    reason the finding is intentional before the baseline is committed.
+    """
+    previous = previous or Baseline()
+    entries: Dict[str, dict] = {}
+    for finding in sorted(findings, key=Finding.sort_key):
+        fp = finding_fingerprint(finding, line_text_of(finding))
+        old = previous.entries.get(fp)
+        entries[fp] = {
+            "fingerprint": fp,
+            "rule": finding.rule_id,
+            "path": finding.path,
+            "line": finding.line,
+            "message": finding.message,
+            "justification": (
+                old.get("justification", _TODO_JUSTIFICATION)
+                if old
+                else _TODO_JUSTIFICATION
+            ),
+        }
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [entries[fp] for fp in sorted(entries)],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+    return Baseline(entries)
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "finding_fingerprint",
+    "load_baseline",
+    "write_baseline",
+]

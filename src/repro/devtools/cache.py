@@ -1,0 +1,179 @@
+"""Content-hash incremental cache for project lint runs.
+
+A cold project-wide run parses every file and runs every analyzer; on a
+warm run only the files whose sha256 changed are re-linted, and the
+project analyzers re-run only when *any* file (or the config) changed —
+their findings depend on the whole import graph, so a whole-model
+fingerprint is the only sound key.
+
+The cache file is JSON (one per tree, gitignored).  Entries are keyed
+by file hash plus a run *fingerprint* covering the active rule set,
+analyzer set, config, and a format salt, so changing any of those
+invalidates everything at once.  Corrupt or mismatched caches are
+silently discarded — the cache can only ever trade time, never results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.devtools.findings import Finding, Severity
+
+#: Bump when finding serialisation or rule semantics change shape.
+CACHE_VERSION = 1
+
+#: Default cache location, relative to the lint root.
+DEFAULT_CACHE_NAME = ".div_repro_lint_cache.json"
+
+
+def run_fingerprint(
+    rule_ids: Sequence[str],
+    analyzer_ids: Sequence[str],
+    config_fingerprint: str,
+) -> str:
+    payload = json.dumps(
+        {
+            "version": CACHE_VERSION,
+            "rules": sorted(rule_ids),
+            "analyzers": sorted(analyzer_ids),
+            "config": config_fingerprint,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def finding_to_dict(finding: Finding) -> dict:
+    return finding.to_dict()
+
+
+def finding_from_dict(data: dict) -> Finding:
+    return Finding(
+        rule_id=data["rule"],
+        severity=Severity(data["severity"]),
+        path=data["path"],
+        line=int(data["line"]),
+        col=int(data["col"]),
+        message=data["message"],
+        suggestion=data.get("suggestion"),
+    )
+
+
+class LintCache:
+    """Per-file and whole-project cached findings."""
+
+    def __init__(self, path: Optional[Union[str, Path]], fingerprint: str):
+        self.path = Path(path) if path is not None else None
+        self.fingerprint = fingerprint
+        #: path -> {"sha256": ..., "findings": [...]}
+        self._files: Dict[str, dict] = {}
+        self._project_fp: Optional[str] = None
+        self._project_findings: List[dict] = []
+        self.hits = 0
+        self.misses = 0
+
+    # -- persistence ----------------------------------------------------
+    @classmethod
+    def load(
+        cls, path: Optional[Union[str, Path]], fingerprint: str
+    ) -> "LintCache":
+        cache = cls(path, fingerprint)
+        if path is None:
+            return cache
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != CACHE_VERSION
+            or data.get("fingerprint") != fingerprint
+        ):
+            return cache
+        files = data.get("files")
+        if isinstance(files, dict):
+            cache._files = files
+        project = data.get("project")
+        if isinstance(project, dict):
+            cache._project_fp = project.get("fingerprint")
+            findings = project.get("findings")
+            if isinstance(findings, list):
+                cache._project_findings = findings
+        return cache
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        payload = {
+            "version": CACHE_VERSION,
+            "fingerprint": self.fingerprint,
+            "files": self._files,
+            "project": {
+                "fingerprint": self._project_fp,
+                "findings": self._project_findings,
+            },
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+            tmp.write_text(
+                json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8"
+            )
+            tmp.replace(self.path)
+        except OSError:
+            pass  # caching is best-effort; a read-only tree still lints
+
+    # -- per-file entries ----------------------------------------------
+    def get_file(self, path: str, sha256: str) -> Optional[List[Finding]]:
+        entry = self._files.get(path)
+        if entry is None or entry.get("sha256") != sha256:
+            self.misses += 1
+            return None
+        try:
+            findings = [finding_from_dict(d) for d in entry.get("findings", [])]
+        except (KeyError, ValueError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def put_file(
+        self, path: str, sha256: str, findings: Sequence[Finding]
+    ) -> None:
+        self._files[path] = {
+            "sha256": sha256,
+            "findings": [finding_to_dict(f) for f in findings],
+        }
+
+    def prune(self, live_paths: Sequence[str]) -> None:
+        """Drop entries for files no longer part of the lint set."""
+        keep = set(live_paths)
+        self._files = {p: e for p, e in self._files.items() if p in keep}
+
+    # -- project-analyzer entry ----------------------------------------
+    def get_project(self, fingerprint: str) -> Optional[List[Finding]]:
+        if self._project_fp != fingerprint:
+            return None
+        try:
+            return [finding_from_dict(d) for d in self._project_findings]
+        except (KeyError, ValueError, TypeError):
+            return None
+
+    def put_project(
+        self, fingerprint: str, findings: Sequence[Finding]
+    ) -> None:
+        self._project_fp = fingerprint
+        self._project_findings = [finding_to_dict(f) for f in findings]
+
+
+__all__ = [
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_NAME",
+    "LintCache",
+    "finding_from_dict",
+    "finding_to_dict",
+    "run_fingerprint",
+]

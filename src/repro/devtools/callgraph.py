@@ -1,0 +1,201 @@
+"""Static call graph and worker-process reachability.
+
+The concurrency analyzers need to know which functions can execute
+inside a worker process.  Workers run
+:func:`repro.parallel._run_task_chunk`, which invokes the *trial*
+callable shipped to it — so the reachable set is everything callable
+from the worker entry points plus every function the project passes as
+a trial to the dispatch APIs (``run_trials``/``run_trials_over``/
+``execute_tasks``).
+
+The call graph is a static over-approximation: a call to a bare name
+resolves through the module's imports and local definitions (see
+:meth:`ProjectModel.resolve_name`); ``module.fn(...)`` attribute calls
+resolve when ``module`` is an imported module alias; method calls
+``obj.method(...)`` resolve by *method name* against every class in the
+project that defines it.  Over-approximation is the right failure mode
+for a safety analysis — an unreachable function flagged as reachable
+costs a suppression, a reachable function assumed safe costs a
+corrupted campaign.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.devtools.project import FunctionInfo, ModuleInfo, ProjectModel
+
+#: Dispatch APIs whose ``trial`` argument crosses the process boundary:
+#: ``name -> 0-based positional index of the trial callable``.
+TRIAL_DISPATCHERS: Dict[str, int] = {
+    "run_trials": 1,
+    "run_trials_over": 2,
+    "execute_tasks": 0,
+}
+
+#: Functions that are executed inside worker processes by construction.
+WORKER_ENTRY_POINTS: Tuple[str, ...] = (
+    "repro.parallel:_run_task_chunk",
+    "repro.faults:FaultPlan.worker_fault",
+)
+
+
+class CallGraph:
+    """Function-level call edges over a :class:`ProjectModel`."""
+
+    def __init__(self, model: ProjectModel) -> None:
+        self.model = model
+        #: ``module:qualname -> set of module:qualname`` callees.
+        self.edges: Dict[str, Set[str]] = {}
+        #: method name -> every ``module:Class.method`` defining it.
+        self._methods: Dict[str, List[str]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for module, info in self.model.modules.items():
+            for fn in info.functions.values():
+                self.edges[fn.ref] = set()
+                if "." in fn.qualname:
+                    method = fn.qualname.split(".", 1)[1]
+                    self._methods.setdefault(method, []).append(fn.ref)
+        for module, info in self.model.modules.items():
+            for fn in info.functions.values():
+                self.edges[fn.ref] = set(self._callees(module, info, fn))
+
+    def _callees(
+        self, module: str, info: ModuleInfo, fn: FunctionInfo
+    ) -> Iterator[str]:
+        module_aliases = {
+            record.alias: record
+            for record in info.imports
+            if record.symbol is None
+        }
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                resolved = self.model.resolve_name(module, func.id)
+                if resolved is not None:
+                    target_module, symbol = resolved
+                    yield from self._expand(target_module, symbol)
+            elif isinstance(func, ast.Attribute):
+                if isinstance(func.value, ast.Name):
+                    record = module_aliases.get(func.value.id)
+                    if record is not None:
+                        target = self.model.resolve_module(record)
+                        if target is not None:
+                            yield from self._expand(target, func.attr)
+                            continue
+                # Method-name dispatch: over-approximate across classes.
+                for ref in self._methods.get(func.attr, ()):
+                    yield ref
+
+    def _expand(self, module: str, symbol: str) -> Iterator[str]:
+        """A resolved (module, symbol) as call-graph targets.
+
+        Calling a class reaches its ``__init__``; calling a function
+        reaches the function.
+        """
+        info = self.model.modules.get(module)
+        if info is None:
+            return
+        if symbol in info.functions:
+            yield f"{module}:{symbol}"
+            return
+        cls = info.classes.get(symbol)
+        if cls is not None and "__init__" in cls.methods:
+            yield f"{module}:{symbol}.__init__"
+
+    def reachable_from(self, roots: Sequence[str]) -> Set[str]:
+        """Transitive closure of call edges from ``roots``."""
+        seen: Set[str] = set()
+        frontier = [ref for ref in roots if ref in self.edges]
+        while frontier:
+            ref = frontier.pop()
+            if ref in seen:
+                continue
+            seen.add(ref)
+            frontier.extend(self.edges.get(ref, ()))
+        return seen
+
+
+def trial_callables(model: ProjectModel) -> List[Tuple[str, str, ast.AST]]:
+    """Every callable the project ships across the process boundary.
+
+    Scans all files (package modules *and* scripts) for calls to the
+    dispatch APIs and returns ``(path, ref_or_description, arg_node)``
+    for each trial argument.  ``ref_or_description`` is a resolved
+    ``module:qualname`` when the argument is a name that resolves to a
+    project function, else a textual description of the node.
+    """
+    out: List[Tuple[str, str, ast.AST]] = []
+    for path, info in model.files.items():
+        module = info.module
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _called_name(node.func)
+            if name not in TRIAL_DISPATCHERS:
+                continue
+            arg = _trial_argument(node, TRIAL_DISPATCHERS[name])
+            if arg is None:
+                continue
+            ref = _describe_trial(model, module, arg)
+            out.append((path, ref, arg))
+    return out
+
+
+def worker_reachable(model: ProjectModel, graph: CallGraph) -> Set[str]:
+    """``module:qualname`` of every function that may run in a worker."""
+    roots: List[str] = [ref for ref in WORKER_ENTRY_POINTS if ref in graph.edges]
+    for _path, ref, _node in trial_callables(model):
+        if ref in graph.edges:
+            roots.append(ref)
+    return graph.reachable_from(roots)
+
+
+def _called_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _trial_argument(call: ast.Call, position: int) -> Optional[ast.AST]:
+    for keyword in call.keywords:
+        if keyword.arg == "trial":
+            return keyword.value
+    if len(call.args) > position:
+        arg = call.args[position]
+        if isinstance(arg, ast.Starred):
+            return None
+        return arg
+    return None
+
+
+def _describe_trial(
+    model: ProjectModel, module: Optional[str], arg: ast.AST
+) -> str:
+    if isinstance(arg, ast.Lambda):
+        return "<lambda>"
+    if isinstance(arg, ast.Name):
+        if module is not None:
+            resolved = model.resolve_name(module, arg.id)
+            if resolved is not None:
+                return f"{resolved[0]}:{resolved[1]}"
+        return arg.id
+    if isinstance(arg, ast.Call):
+        # functools.partial(fn, ...) — the shipped callable is the first
+        # argument of the partial.
+        name = _called_name(arg.func)
+        if name == "partial" and arg.args:
+            return _describe_trial(model, module, arg.args[0])
+    dotted = None
+    if isinstance(arg, ast.Attribute):
+        from repro.devtools.project import dotted_name
+
+        dotted = dotted_name(arg)
+    return dotted or f"<{type(arg).__name__}>"

@@ -1,0 +1,323 @@
+"""Lint configuration: the declared-architecture layer spec.
+
+The layering analyzer (LAY002/LAY003) no longer hard-codes the
+``core → analysis → experiments`` DAG; the architecture is *declared* in
+``pyproject.toml`` and enforced over the real import graph::
+
+    [[tool.div-repro.lint.layers]]
+    name = "core"
+    modules = ["repro.core"]
+    may_import = ["foundation", "graph-substrate", "obs"]
+
+Each layer names the modules it owns (dotted prefixes, or ``fnmatch``
+globs like ``repro.experiments.e*``) and the layers it may import.
+A module belongs to the **first** layer whose pattern matches, so more
+specific layers go first.  ``independent = true`` forbids the layer's
+modules from importing each other (the experiment-driver property:
+refactoring E1 must never shift E3's RNG stream).
+
+Parsing uses :mod:`tomllib` where available (Python ≥ 3.11, or an
+installed ``tomli``); on older interpreters a minimal built-in parser
+reads just the ``[tool.div-repro.lint]`` subtree — the repo supports
+3.9 without adding a dependency.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import ReproError
+
+
+class LintConfigError(ReproError):
+    """The lint configuration in pyproject.toml is malformed."""
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One declared architecture layer."""
+
+    name: str
+    modules: Sequence[str]
+    may_import: Sequence[str] = ()
+    #: When true, modules inside this layer may not import each other.
+    independent: bool = False
+
+    def matches(self, module: str) -> bool:
+        for pattern in self.modules:
+            if "*" in pattern or "?" in pattern or "[" in pattern:
+                if fnmatch.fnmatchcase(module, pattern):
+                    return True
+            elif module == pattern or module.startswith(pattern + "."):
+                return True
+        return False
+
+
+@dataclass
+class LintConfig:
+    """Everything ``pyproject.toml`` contributes to a lint run."""
+
+    layers: List[LayerSpec] = field(default_factory=list)
+    #: Source text the config was parsed from (cache fingerprinting).
+    raw: str = ""
+
+    def layer_of(self, module: str) -> Optional[LayerSpec]:
+        """First-match layer assignment for a dotted module name."""
+        for layer in self.layers:
+            if layer.matches(module):
+                return layer
+        return None
+
+    def layer_named(self, name: str) -> Optional[LayerSpec]:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        return None
+
+    def fingerprint(self) -> str:
+        payload = repr(
+            [
+                (l.name, tuple(l.modules), tuple(l.may_import), l.independent)
+                for l in self.layers
+            ]
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def validate(self) -> None:
+        names = [layer.name for layer in self.layers]
+        if len(names) != len(set(names)):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise LintConfigError(f"duplicate layer name(s): {', '.join(dupes)}")
+        known = set(names)
+        for layer in self.layers:
+            for dep in layer.may_import:
+                if dep not in known:
+                    raise LintConfigError(
+                        f"layer {layer.name!r} may_import unknown layer {dep!r}"
+                    )
+
+
+def find_pyproject(start: Union[str, Path]) -> Optional[Path]:
+    """Nearest ``pyproject.toml`` at or above ``start``."""
+    path = Path(start).resolve()
+    if path.is_file():
+        path = path.parent
+    for candidate in [path, *path.parents]:
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def load_config(
+    start: Union[str, Path] = ".", pyproject: Optional[Path] = None
+) -> LintConfig:
+    """Load the lint config for a tree (empty config when unconfigured)."""
+    if pyproject is None:
+        pyproject = find_pyproject(start)
+    if pyproject is None or not Path(pyproject).is_file():
+        return LintConfig()
+    text = Path(pyproject).read_text(encoding="utf-8")
+    return parse_config(text)
+
+
+def parse_config(pyproject_text: str) -> LintConfig:
+    """Parse a pyproject.toml document into a :class:`LintConfig`."""
+    data = _load_toml(pyproject_text)
+    section = data.get("tool", {}).get("div-repro", {}).get("lint", {})
+    layers: List[LayerSpec] = []
+    for index, entry in enumerate(section.get("layers", [])):
+        if not isinstance(entry, dict) or "name" not in entry:
+            raise LintConfigError(
+                f"layers[{index}] must be a table with a 'name' key"
+            )
+        modules = entry.get("modules", [])
+        if not isinstance(modules, list) or not modules:
+            raise LintConfigError(
+                f"layer {entry['name']!r} must declare a non-empty 'modules' list"
+            )
+        layers.append(
+            LayerSpec(
+                name=str(entry["name"]),
+                modules=tuple(str(m) for m in modules),
+                may_import=tuple(str(m) for m in entry.get("may_import", [])),
+                independent=bool(entry.get("independent", False)),
+            )
+        )
+    config = LintConfig(layers=layers, raw=pyproject_text)
+    config.validate()
+    return config
+
+
+def _load_toml(text: str) -> dict:
+    try:
+        import tomllib  # Python >= 3.11
+    except ImportError:
+        try:
+            import tomli as tomllib  # type: ignore[no-redef]
+        except ImportError:
+            return _parse_minimal_toml(text)
+    try:
+        return tomllib.loads(text)
+    except Exception as exc:  # tomllib.TOMLDecodeError, ValueError
+        raise LintConfigError(f"pyproject.toml does not parse: {exc}") from None
+
+
+# ---------------------------------------------------------------------------
+# Minimal TOML subset parser (Python 3.9 fallback)
+# ---------------------------------------------------------------------------
+
+_SECTION = re.compile(r"^\[(?P<array>\[)?\s*(?P<name>[^\]]+?)\s*\]\]?\s*(#.*)?$")
+_ASSIGN = re.compile(r"^(?P<key>[A-Za-z0-9_.\-\"']+)\s*=\s*(?P<value>.+)$")
+
+
+def _parse_minimal_toml(text: str) -> dict:
+    """Parse the TOML subset this repo's config actually uses.
+
+    Supports ``[table]`` and ``[[array-of-tables]]`` headers with
+    (possibly quoted) dotted keys, and ``key = value`` assignments where
+    the value is a string, boolean, integer, or a (possibly multi-line)
+    array of strings.  Anything fancier should run on an interpreter
+    with :mod:`tomllib`.
+    """
+    root: dict = {}
+    current: dict = root
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i].strip()
+        i += 1
+        if not line or line.startswith("#"):
+            continue
+        match = _SECTION.match(line)
+        if match:
+            keys = _split_dotted(match.group("name"))
+            if match.group("array"):
+                parent = _descend(root, keys[:-1])
+                table: dict = {}
+                parent.setdefault(keys[-1], [])
+                if not isinstance(parent[keys[-1]], list):
+                    raise LintConfigError(
+                        f"[{'.'.join(keys)}] redefines a non-array table"
+                    )
+                parent[keys[-1]].append(table)
+                current = table
+            else:
+                current = _descend(root, keys)
+            continue
+        match = _ASSIGN.match(line)
+        if match is None:
+            continue  # outside our subtree; the real parser owns strictness
+        value = match.group("value").strip()
+        # Accumulate multi-line arrays until brackets balance.
+        while value.count("[") > value.count("]") and i < len(lines):
+            value += " " + lines[i].strip()
+            i += 1
+        key = _split_dotted(match.group("key"))[-1]
+        current[key] = _parse_value(value)
+    return root
+
+
+def _split_dotted(raw: str) -> List[str]:
+    parts: List[str] = []
+    for piece in re.findall(r'"[^"]*"|\'[^\']*\'|[^.\s]+', raw):
+        parts.append(piece.strip("\"'"))
+    return parts
+
+
+def _descend(root: dict, keys: Sequence[str]) -> dict:
+    node = root
+    for key in keys:
+        nxt = node.setdefault(key, {})
+        if isinstance(nxt, list):
+            nxt = nxt[-1]
+        node = nxt
+    return node
+
+
+def _parse_value(raw: str):
+    raw = raw.strip()
+    comment = _strip_trailing_comment(raw)
+    raw = comment.strip()
+    if raw.startswith("["):
+        inner = raw[1 : raw.rindex("]")] if "]" in raw else raw[1:]
+        items = [
+            piece.strip()
+            for piece in _split_array_items(inner)
+            if piece.strip()
+        ]
+        return [_parse_scalar(item) for item in items]
+    return _parse_scalar(raw)
+
+
+def _strip_trailing_comment(raw: str) -> str:
+    out: List[str] = []
+    in_string: Optional[str] = None
+    for ch in raw:
+        if in_string:
+            if ch == in_string:
+                in_string = None
+        elif ch in "\"'":
+            in_string = ch
+        elif ch == "#":
+            break
+        out.append(ch)
+    return "".join(out)
+
+
+def _split_array_items(inner: str) -> List[str]:
+    items: List[str] = []
+    depth = 0
+    in_string: Optional[str] = None
+    current: List[str] = []
+    for ch in inner:
+        if in_string:
+            current.append(ch)
+            if ch == in_string:
+                in_string = None
+            continue
+        if ch in "\"'":
+            in_string = ch
+            current.append(ch)
+        elif ch == "[":
+            depth += 1
+            current.append(ch)
+        elif ch == "]":
+            depth -= 1
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    items.append("".join(current))
+    return items
+
+
+def _parse_scalar(raw: str):
+    raw = raw.strip()
+    if len(raw) >= 2 and raw[0] in "\"'" and raw[-1] == raw[0]:
+        return raw[1:-1]
+    if raw == "true":
+        return True
+    if raw == "false":
+        return False
+    try:
+        return int(raw)
+    except ValueError:
+        return raw
+
+
+__all__ = [
+    "LayerSpec",
+    "LintConfig",
+    "LintConfigError",
+    "find_pyproject",
+    "load_config",
+    "parse_config",
+]

@@ -1,0 +1,237 @@
+"""Project lint engine: one entry point over rules + analyzers.
+
+:func:`lint_project` is what ``div-repro lint`` runs.  It builds the
+:class:`ProjectModel` once, runs the per-file rules (minus the ones a
+project analyzer supersedes) with per-file content-hash caching, runs
+the project analyzers keyed on a whole-model fingerprint, applies
+suppression comments (with aliasing, so a comment against a superseded
+rule still works) and the suppression baseline, and returns a
+:class:`ProjectLintRun` with enough bookkeeping for the CLI to report
+cache effectiveness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.devtools.analyzers import (
+    ProjectContext,
+    all_analyzer_ids,
+    get_analyzers,
+    run_analyzers,
+    superseded_rule_ids,
+)
+from repro.devtools.baseline import (
+    Baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.cache import LintCache, run_fingerprint
+from repro.devtools.config import LintConfig, load_config
+from repro.devtools.findings import Finding, Severity
+from repro.devtools.project import ProjectModel
+from repro.devtools.rules import all_rule_ids, get_rules
+from repro.devtools.runner import iter_python_files, lint_source
+from repro.devtools.suppressions import (
+    SuppressionIndex,
+    apply_suppressions,
+    parse_suppressions,
+)
+
+
+class ProjectLintRun:
+    """Result of one :func:`lint_project` invocation."""
+
+    def __init__(
+        self,
+        findings: List[Finding],
+        checked_files: int,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
+        analyzers_cached: bool = False,
+        baselined: Optional[List[Finding]] = None,
+    ) -> None:
+        self.findings = sorted(findings, key=Finding.sort_key)
+        self.checked_files = checked_files
+        self.cache_hits = cache_hits
+        self.cache_misses = cache_misses
+        self.analyzers_cached = analyzers_cached
+        #: Findings present but accepted by the suppression baseline.
+        self.baselined = sorted(baselined or [], key=Finding.sort_key)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(f.severity is Severity.ERROR for f in self.findings)
+
+    def __bool__(self) -> bool:  # truthy when clean, like a passing check
+        return not self.findings
+
+
+def split_rule_ids(
+    rule_ids: Optional[Sequence[str]],
+) -> Tuple[List[str], List[str]]:
+    """Partition requested ids into (per-file rules, project analyzers).
+
+    With no explicit request, every analyzer runs and every per-file
+    rule *except* the superseded ones; naming a superseded rule
+    explicitly (``--rules RNG001``) still runs it.
+    """
+    file_ids = set(all_rule_ids())
+    analyzer_ids = set(all_analyzer_ids())
+    if rule_ids is None:
+        superseded = set(superseded_rule_ids())
+        return sorted(file_ids - superseded), sorted(analyzer_ids)
+    files: List[str] = []
+    analyzers: List[str] = []
+    for rule_id in rule_ids:
+        if rule_id in file_ids:
+            files.append(rule_id)
+        elif rule_id in analyzer_ids:
+            analyzers.append(rule_id)
+        else:
+            raise KeyError(rule_id)
+    return files, analyzers
+
+
+def suppression_aliases(active_analyzers: Sequence[str]) -> Dict[str, Set[str]]:
+    """``analyzer id -> superseded per-file ids`` for comment aliasing."""
+    aliases: Dict[str, Set[str]] = {}
+    for old, new in superseded_rule_ids().items():
+        if new in active_analyzers:
+            aliases.setdefault(new, set()).add(old)
+    return aliases
+
+
+def lint_project(
+    paths: Sequence[Union[str, Path]],
+    *,
+    root: Union[str, Path] = ".",
+    rule_ids: Optional[Sequence[str]] = None,
+    config: Optional[LintConfig] = None,
+    cache_path: Optional[Union[str, Path]] = None,
+    use_cache: bool = True,
+    baseline_path: Optional[Union[str, Path]] = None,
+    update_baseline: bool = False,
+    extra_sources: Optional[Dict[str, str]] = None,
+) -> ProjectLintRun:
+    """Lint files + project contracts in one pass.
+
+    ``extra_sources`` maps in-memory files (path -> source) into the run
+    — fixtures use it to simulate project layouts without touching disk
+    (in-memory files are never cached).
+    """
+    if config is None:
+        config = load_config(root)
+    file_rule_ids, analyzer_ids = split_rule_ids(rule_ids)
+    rules = get_rules(file_rule_ids)
+    analyzers = get_analyzers(analyzer_ids)
+    aliases = suppression_aliases(analyzer_ids)
+
+    sources: Dict[str, str] = {}
+    unreadable: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        try:
+            sources[str(file_path)] = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            unreadable.append(
+                Finding(
+                    rule_id="PARSE",
+                    severity=Severity.ERROR,
+                    path=str(file_path),
+                    line=1,
+                    col=0,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+    disk_paths = set(sources)
+    if extra_sources:
+        sources.update(extra_sources)
+
+    model = ProjectModel()
+    for path in sorted(sources):
+        model.add_source(path, sources[path])
+
+    fingerprint = run_fingerprint(
+        file_rule_ids, analyzer_ids, config.fingerprint()
+    )
+    cache = LintCache.load(cache_path if use_cache else None, fingerprint)
+
+    findings: List[Finding] = list(unreadable)
+    for path in sorted(sources):
+        source = sources[path]
+        info = model.files.get(path)
+        sha = info.sha256 if info is not None else _sha(source)
+        cached = cache.get_file(path, sha) if path in disk_paths else None
+        if cached is not None:
+            findings.extend(cached)
+            continue
+        file_findings = lint_source(source, path=path, rules=rules)
+        findings.extend(file_findings)
+        if path in disk_paths:
+            cache.put_file(path, sha, file_findings)
+    cache.prune(sorted(disk_paths))
+
+    project_fp = _sha(model.fingerprint() + fingerprint)
+    project_findings = cache.get_project(project_fp)
+    analyzers_cached = project_findings is not None
+    if project_findings is None:
+        ctx = ProjectContext(model, config)
+        raw = run_analyzers(ctx, analyzers)
+        project_findings = []
+        suppression_cache: Dict[str, SuppressionIndex] = {}
+        for finding in raw:
+            source = sources.get(finding.path)
+            if source is None:
+                project_findings.append(finding)
+                continue
+            index = suppression_cache.get(finding.path)
+            if index is None:
+                index = parse_suppressions(source)
+                suppression_cache[finding.path] = index
+            project_findings.extend(
+                apply_suppressions([finding], index, aliases)
+            )
+        cache.put_project(project_fp, project_findings)
+    findings.extend(project_findings)
+
+    def line_text_of(finding: Finding) -> str:
+        source = sources.get(finding.path)
+        if source is None:
+            return ""
+        lines = source.splitlines()
+        if 1 <= finding.line <= len(lines):
+            return lines[finding.line - 1]
+        return ""
+
+    baseline: Baseline = load_baseline(baseline_path)
+    if update_baseline and baseline_path is not None:
+        baseline = write_baseline(
+            baseline_path, findings, line_text_of, previous=baseline
+        )
+    kept, baselined = baseline.filter(findings, line_text_of)
+
+    if use_cache:
+        cache.save()
+
+    return ProjectLintRun(
+        findings=kept,
+        checked_files=len(sources),
+        cache_hits=cache.hits,
+        cache_misses=cache.misses,
+        analyzers_cached=analyzers_cached,
+        baselined=baselined,
+    )
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+__all__ = [
+    "ProjectLintRun",
+    "lint_project",
+    "split_rule_ids",
+    "suppression_aliases",
+]

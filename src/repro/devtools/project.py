@@ -1,0 +1,426 @@
+"""Project model: cross-module symbol table and import graph.
+
+The per-file rules in :mod:`repro.devtools.builtin` see one module at a
+time; the analyzer families in :mod:`repro.devtools.analyzers` reason
+about the *project* — which function calls which across modules, which
+code runs inside worker processes, whether the import DAG matches the
+declared layering.  :class:`ProjectModel` is the shared substrate: every
+discovered file parsed once, each ``repro.*`` module's top-level symbols
+(functions, classes, assignments) indexed by qualified name, and the
+import graph with eager (module-level) imports distinguished from lazy
+(function-local) ones — the repo uses function-local imports exactly
+where a module-level edge would create a layering cycle, so the two
+kinds must not be conflated.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.devtools.rules import is_test_path, module_name_for_path
+
+
+@dataclass(frozen=True)
+class ImportRecord:
+    """One resolved import binding in a module.
+
+    ``target`` is the dotted module the binding refers to
+    (``repro.core.engine``); ``symbol`` is the attribute imported from it
+    (``run_dynamics``), or ``None`` for a plain module import; ``alias``
+    is the local name the binding introduces.  ``lazy`` marks imports
+    nested inside a function body — deliberate deferred edges that keep
+    the module-level graph acyclic.
+    """
+
+    target: str
+    symbol: Optional[str]
+    alias: str
+    lineno: int
+    lazy: bool
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method: its AST and where it lives."""
+
+    qualname: str  # "run_trials" or "OpinionState.apply_block"
+    module: str
+    node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    lineno: int = 0
+
+    def __post_init__(self) -> None:
+        self.lineno = self.node.lineno
+
+    @property
+    def ref(self) -> str:
+        """Project-wide reference: ``module:qualname``."""
+        return f"{self.module}:{self.qualname}"
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: AST, base names, and its methods."""
+
+    qualname: str
+    module: str
+    node: ast.ClassDef
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus its extracted symbols."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    sha256: str
+    #: Dotted name for ``repro.*`` package files, else ``None``.
+    module: Optional[str]
+    is_test: bool
+    imports: List[ImportRecord] = field(default_factory=list)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: Module-level names bound to mutable containers (list/dict/set
+    #: literals or constructor calls) — candidate shared state.
+    mutable_globals: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def lines(self) -> List[str]:
+        return self.source.splitlines()
+
+
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+
+
+def file_sha256(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _resolve_from_import(
+    node: ast.ImportFrom, module: Optional[str], is_package: bool
+) -> Optional[str]:
+    """Dotted base module of a ``from X import ...`` statement."""
+    if not node.level:
+        return node.module or None
+    if module is None:
+        return None
+    hops = node.level if not is_package else node.level - 1
+    package = module
+    if hops:
+        parts = package.rsplit(".", hops)
+        if len(parts) <= hops:
+            return None
+        package = parts[0]
+    return f"{package}.{node.module}" if node.module else package
+
+
+def extract_imports(
+    tree: ast.Module, module: Optional[str], is_package: bool
+) -> List[ImportRecord]:
+    """All import bindings of a module, lazy ones marked as such."""
+    records: List[ImportRecord] = []
+
+    def visit(node: ast.AST, lazy: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_lazy = lazy or isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef)
+            )
+            if isinstance(child, ast.Import):
+                for alias in child.names:
+                    records.append(
+                        ImportRecord(
+                            target=alias.name,
+                            symbol=None,
+                            alias=alias.asname or alias.name.split(".")[0],
+                            lineno=child.lineno,
+                            lazy=lazy,
+                        )
+                    )
+            elif isinstance(child, ast.ImportFrom):
+                base = _resolve_from_import(child, module, is_package)
+                if base is None:
+                    continue
+                for alias in child.names:
+                    records.append(
+                        ImportRecord(
+                            target=base,
+                            symbol=alias.name,
+                            alias=alias.asname or alias.name,
+                            lineno=child.lineno,
+                            lazy=lazy,
+                        )
+                    )
+            else:
+                visit(child, child_lazy)
+
+    visit(tree, lazy=False)
+    return records
+
+
+def _index_symbols(info: ModuleInfo) -> None:
+    """Populate functions/classes/mutable_globals from the module tree."""
+    module = info.module or info.path
+    for node in info.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.functions[node.name] = FunctionInfo(node.name, module, node)
+        elif isinstance(node, ast.ClassDef):
+            bases = []
+            for base in node.bases:
+                chain = dotted_name(base)
+                if chain:
+                    bases.append(chain)
+            cls = ClassInfo(node.name, module, node, bases=bases)
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    method = FunctionInfo(f"{node.name}.{item.name}", module, item)
+                    cls.methods[item.name] = method
+                    info.functions[method.qualname] = method
+            info.classes[node.name] = cls
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and _is_mutable_literal(node.value):
+                    info.mutable_globals[target.id] = node.lineno
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name) and _is_mutable_literal(node.value):
+                info.mutable_globals[node.target.id] = node.lineno
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a plain dotted expression, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ProjectModel:
+    """All discovered files, with ``repro.*`` modules cross-indexed.
+
+    ``modules`` maps dotted module names to :class:`ModuleInfo` (package
+    ``__init__`` files under their package name); ``files`` holds every
+    parsed file, including scripts outside the package (tests,
+    benchmarks, examples) keyed by path.
+    """
+
+    def __init__(self) -> None:
+        self.files: Dict[str, ModuleInfo] = {}
+        self.modules: Dict[str, ModuleInfo] = {}
+
+    # -- construction ---------------------------------------------------
+    def add_source(self, path: str, source: str) -> Optional[ModuleInfo]:
+        """Parse and index one file; returns ``None`` on syntax errors
+        (the per-file runner reports those)."""
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            return None
+        module = module_name_for_path(path)
+        info = ModuleInfo(
+            path=path,
+            source=source,
+            tree=tree,
+            sha256=file_sha256(source),
+            module=module,
+            is_test=is_test_path(path),
+        )
+        is_package = path.replace("\\", "/").endswith("/__init__.py")
+        info.imports = extract_imports(tree, module, is_package)
+        _index_symbols(info)
+        self.files[path] = info
+        if module is not None:
+            self.modules[module] = info
+        return info
+
+    # -- queries --------------------------------------------------------
+    def import_graph(self, include_lazy: bool = False) -> Dict[str, Set[str]]:
+        """Module-level import edges between ``repro.*`` modules.
+
+        ``from pkg import name`` resolves to the submodule ``pkg.name``
+        when one exists, else to the package module ``pkg`` itself.
+        Lazy (function-local) imports are excluded unless requested —
+        they are deliberate deferred edges.
+        """
+        graph: Dict[str, Set[str]] = {name: set() for name in self.modules}
+        for name, info in self.modules.items():
+            for record in info.imports:
+                if record.lazy and not include_lazy:
+                    continue
+                target = self.resolve_module(record)
+                if target is not None and target != name:
+                    graph[name].add(target)
+        return graph
+
+    def resolve_module(self, record: ImportRecord) -> Optional[str]:
+        """Map an import record onto a known ``repro.*`` module name."""
+        if record.symbol is not None:
+            candidate = f"{record.target}.{record.symbol}"
+            if candidate in self.modules:
+                return candidate
+        if record.target in self.modules:
+            return record.target
+        # ``import repro.core.engine`` binds "repro"; the edge is still to
+        # the named module.  Packages without an indexed __init__ resolve
+        # to their longest known prefix.
+        parts = record.target.split(".")
+        while parts:
+            candidate = ".".join(parts)
+            if candidate in self.modules:
+                return candidate
+            parts.pop()
+        return None
+
+    def resolve_name(
+        self, module: str, name: str
+    ) -> Optional[Tuple[str, str]]:
+        """Resolve a bare name used in ``module`` to ``(module, symbol)``.
+
+        Follows the module's own top-level definitions first, then its
+        import bindings (including re-exports through package
+        ``__init__`` files, one hop).
+        """
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        if name in info.functions or name in info.classes:
+            return module, name
+        for record in info.imports:
+            if record.alias != name:
+                continue
+            if record.symbol is None:
+                return None  # a module object, not a callable symbol
+            target = record.target
+            resolved = self._resolve_symbol(target, record.symbol)
+            if resolved is not None:
+                return resolved
+        return None
+
+    def _resolve_symbol(
+        self, target_module: str, symbol: str, _depth: int = 4
+    ) -> Optional[Tuple[str, str]]:
+        if _depth <= 0:
+            return None
+        submodule = f"{target_module}.{symbol}"
+        if submodule in self.modules:
+            return None  # an imported module, not a function
+        info = self.modules.get(target_module)
+        if info is None:
+            return None
+        if symbol in info.functions or symbol in info.classes:
+            return target_module, symbol
+        # Re-export through the package __init__: follow one import hop.
+        for record in info.imports:
+            if record.alias == symbol and record.symbol is not None:
+                return self._resolve_symbol(
+                    record.target, record.symbol, _depth - 1
+                )
+        return None
+
+    def function(self, module: str, qualname: str) -> Optional[FunctionInfo]:
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        return info.functions.get(qualname)
+
+    def fingerprint(self) -> str:
+        """Content hash over every file in the model (order-independent)."""
+        digest = hashlib.sha256()
+        for path in sorted(self.files):
+            digest.update(path.encode("utf-8"))
+            digest.update(self.files[path].sha256.encode("ascii"))
+        return digest.hexdigest()
+
+
+def build_project(
+    paths: Sequence[Union[str, Path]],
+    sources: Optional[Dict[str, str]] = None,
+) -> ProjectModel:
+    """Build a :class:`ProjectModel` from files/directories.
+
+    ``sources`` maps extra in-memory files (``path -> source``) into the
+    model — the test-suite uses this to simulate project layouts without
+    touching disk.
+    """
+    from repro.devtools.runner import iter_python_files
+
+    model = ProjectModel()
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue
+        model.add_source(str(file_path), source)
+    if sources:
+        for path, source in sources.items():
+            model.add_source(path, source)
+    return model
+
+
+def strongly_connected_components(
+    graph: Dict[str, Set[str]]
+) -> List[List[str]]:
+    """Tarjan's SCC over the import graph (iterative, deterministic order)."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    result: List[List[str]] = []
+    counter = [0]
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work: List[Tuple[str, Iterable[str]]] = [(root, iter(sorted(graph.get(root, ()))))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in graph:
+                    continue
+                if child not in index:
+                    index[child] = lowlink[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(graph.get(child, ())))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(sorted(component))
+    return result

@@ -1,0 +1,139 @@
+"""SARIF 2.1.0 reporter.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: uploading a SARIF log annotates the offending lines
+directly in pull-request diffs.  This module emits the minimal valid
+subset — one run, one tool driver with per-rule metadata, one result
+per finding with a stable ``partialFingerprints`` entry so annotations
+track findings across pushes — plus the inverse mapping used by the
+round-trip tests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.devtools.findings import Finding, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+TOOL_NAME = "div-repro-lint"
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+_SEVERITIES = {level: severity for severity, level in _LEVELS.items()}
+
+
+def sarif_log(
+    findings: Sequence[Finding],
+    rule_docs: Optional[Dict[str, str]] = None,
+    tool_version: Optional[str] = None,
+    fingerprint_of: Optional[Callable[[Finding], str]] = None,
+) -> dict:
+    """Build the SARIF log as a plain dict (see :func:`render_sarif`)."""
+    findings = sorted(findings, key=Finding.sort_key)
+    rule_ids = sorted({f.rule_id for f in findings} | set(rule_docs or {}))
+    driver: dict = {
+        "name": TOOL_NAME,
+        "informationUri": "https://example.invalid/div-repro/docs/devtools",
+        "rules": [
+            {
+                "id": rule_id,
+                "shortDescription": {
+                    "text": (rule_docs or {}).get(rule_id, rule_id)
+                },
+            }
+            for rule_id in rule_ids
+        ],
+    }
+    if tool_version:
+        driver["version"] = tool_version
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results: List[dict] = []
+    for finding in findings:
+        result: dict = {
+            "ruleId": finding.rule_id,
+            "ruleIndex": rule_index[finding.rule_id],
+            "level": _LEVELS[finding.severity],
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.suggestion:
+            result["fixes"] = [
+                {"description": {"text": finding.suggestion}}
+            ]
+        if fingerprint_of is not None:
+            result["partialFingerprints"] = {
+                "divReproLint/v1": fingerprint_of(finding)
+            }
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{"tool": {"driver": driver}, "results": results}],
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    rule_docs: Optional[Dict[str, str]] = None,
+    tool_version: Optional[str] = None,
+    fingerprint_of: Optional[Callable[[Finding], str]] = None,
+) -> str:
+    return json.dumps(
+        sarif_log(findings, rule_docs, tool_version, fingerprint_of), indent=2
+    )
+
+
+def findings_from_sarif(log: dict) -> List[Finding]:
+    """Parse a SARIF log produced by :func:`sarif_log` back into findings.
+
+    Used by the round-trip tests; tolerant only of the subset this
+    module emits.
+    """
+    findings: List[Finding] = []
+    for run in log.get("runs", []):
+        for result in run.get("results", []):
+            location = result["locations"][0]["physicalLocation"]
+            region = location.get("region", {})
+            fixes = result.get("fixes")
+            findings.append(
+                Finding(
+                    rule_id=result["ruleId"],
+                    severity=_SEVERITIES[result.get("level", "error")],
+                    path=location["artifactLocation"]["uri"],
+                    line=int(region.get("startLine", 1)),
+                    col=int(region.get("startColumn", 1)) - 1,
+                    message=result["message"]["text"],
+                    suggestion=(
+                        fixes[0]["description"]["text"] if fixes else None
+                    ),
+                )
+            )
+    return findings
+
+
+__all__ = [
+    "SARIF_SCHEMA",
+    "SARIF_VERSION",
+    "TOOL_NAME",
+    "findings_from_sarif",
+    "render_sarif",
+    "sarif_log",
+]

@@ -37,13 +37,28 @@ class SuppressionIndex:
     by_line: Dict[int, Set[str]] = field(default_factory=dict)
     file_level: Set[str] = field(default_factory=set)
 
-    def is_suppressed(self, finding: Finding) -> bool:
-        if ALL in self.file_level or finding.rule_id in self.file_level:
+    def is_suppressed(
+        self,
+        finding: Finding,
+        aliases: Optional[Dict[str, Set[str]]] = None,
+    ) -> bool:
+        """True when the finding's rule — or any alias of it — is disabled.
+
+        ``aliases`` maps a rule id to alternate ids that also suppress it:
+        project analyzers that supersede per-file rules pass
+        ``{"DET002": {"RNG001"}, ...}`` so a ``# lint: disable=RNG001``
+        comment written against the old rule keeps working against its
+        flow-aware successor.
+        """
+        ids = {finding.rule_id}
+        if aliases:
+            ids |= aliases.get(finding.rule_id, set())
+        if ALL in self.file_level or ids & self.file_level:
             return True
         rules = self.by_line.get(finding.line)
         if rules is None:
             return False
-        return ALL in rules or finding.rule_id in rules
+        return ALL in rules or bool(ids & rules)
 
 
 def parse_suppressions(source: str) -> SuppressionIndex:
@@ -80,6 +95,8 @@ def _parse_rule_list(raw: Optional[str]) -> Set[str]:
 
 
 def apply_suppressions(
-    findings: List[Finding], index: SuppressionIndex
+    findings: List[Finding],
+    index: SuppressionIndex,
+    aliases: Optional[Dict[str, Set[str]]] = None,
 ) -> List[Finding]:
-    return [f for f in findings if not index.is_suppressed(f)]
+    return [f for f in findings if not index.is_suppressed(f, aliases)]

@@ -24,7 +24,7 @@ import pstats
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
 
-__all__ = ["SpanProfiler", "active_profiler", "profiling"]
+__all__ = ["SpanProfiler", "active_profiler", "profiling", "suspended"]
 
 
 class SpanProfiler:
@@ -93,3 +93,20 @@ def profiling(profiler: Optional[SpanProfiler] = None) -> Iterator[SpanProfiler]
         yield profiler
     finally:
         _ACTIVE.pop()
+
+
+@contextmanager
+def suspended() -> Iterator[None]:
+    """Hide any ambient profiler for the enclosed block.
+
+    Forked workers inherit a copy of the parent's profiler stack;
+    without suspension they aggregate span timings into a registry the
+    parent never reads.  The worker entry suspends profiling so
+    :func:`active_profiler` reports that profiling is off here.
+    """
+    saved = _ACTIVE[:]
+    _ACTIVE.clear()
+    try:
+        yield
+    finally:
+        _ACTIVE.extend(saved)

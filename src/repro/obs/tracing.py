@@ -59,6 +59,7 @@ __all__ = [
     "current_tracer",
     "load_trace_dir",
     "summarize_records",
+    "suspended",
 ]
 
 #: Mirrors ``repro.core.observers.ENDPOINTS_ONLY`` (obs sits *below*
@@ -181,6 +182,25 @@ def activate(tracer: Tracer) -> Iterator[Tracer]:
         yield tracer
     finally:
         _ACTIVE.pop()
+
+
+@contextmanager
+def suspended() -> Iterator[None]:
+    """Hide any ambient tracer for the enclosed block.
+
+    Worker processes need this: under ``fork`` a worker inherits a copy
+    of the parent's tracer stack, so instrumented code would buffer
+    spans into a Tracer whose ``close()`` the parent calls on *its*
+    copy — memory and CPU spent on records nobody can ever read.  The
+    worker entry suspends tracing so :func:`current_tracer` reports the
+    truth: no tracing is active in this process.
+    """
+    saved = _ACTIVE[:]
+    _ACTIVE.clear()
+    try:
+        yield
+    finally:
+        _ACTIVE.extend(saved)
 
 
 # ---------------------------------------------------------------------------

@@ -54,6 +54,8 @@ from repro.core.kernels import use_kernel
 from repro.errors import AnalysisError, ParallelExecutionError
 from repro.faults import FaultPlan
 from repro.obs.metrics import MetricsSnapshot, collecting
+from repro.obs.profile import suspended as profiling_suspended
+from repro.obs.tracing import suspended as tracing_suspended
 from repro.rng import make_rng
 
 #: Default number of retry rounds after a worker crash or chunk timeout.
@@ -257,7 +259,11 @@ def _run_task_chunk(
     """
     label = _worker_label()
     records = []
-    with use_kernel(kernel):
+    # Forked workers inherit copies of the parent's ambient tracer and
+    # profiler stacks; suspend both so instrumented code does not buffer
+    # spans that no one in this process will ever collect.  Metrics are
+    # handled below (per-trial shadow registry when collect_metrics).
+    with use_kernel(kernel), tracing_suspended(), profiling_suspended():
         for index, args, trial_seed in chunk:
             if fault_plan is not None:
                 fault_plan.worker_fault(index)

@@ -605,27 +605,41 @@ class TestCli:
     def test_cli_lint_reports_and_exits_nonzero(self, tmp_path, capsys):
         bad = tmp_path / "bad.py"
         bad.write_text("import numpy as np\nx = np.random.rand(2)\n")
-        assert cli_main(["lint", str(bad)]) == 1
+        # Project mode is the default, so the flow-aware DET002 (which
+        # supersedes the per-file RNG001) reports the global-state draw.
+        assert cli_main(["lint", "--no-cache", str(bad)]) == 1
         out = capsys.readouterr().out
-        assert "RNG001" in out
+        assert "DET002" in out
+
+    def test_cli_lint_no_project_restores_per_file_rules(
+        self, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nx = np.random.rand(2)\n")
+        assert cli_main(["lint", "--no-project", str(bad)]) == 1
+        assert "RNG001" in capsys.readouterr().out
 
     def test_cli_lint_clean_exits_zero(self, tmp_path, capsys):
         good = tmp_path / "good.py"
         good.write_text("x = 1\n")
-        assert cli_main(["lint", str(good)]) == 0
+        assert cli_main(["lint", "--no-cache", str(good)]) == 0
         assert "clean" in capsys.readouterr().out
 
     def test_cli_lint_json_format(self, tmp_path, capsys):
         bad = tmp_path / "bad.py"
         bad.write_text("def f(a=[]):\n    return a\n")
-        assert cli_main(["lint", "--format", "json", str(bad)]) == 1
+        assert cli_main(
+            ["lint", "--no-cache", "--format", "json", str(bad)]
+        ) == 1
         payload = json.loads(capsys.readouterr().out)
         assert payload["findings"][0]["rule"] == "COR001"
 
     def test_cli_rule_selection(self, tmp_path, capsys):
         bad = tmp_path / "bad.py"
         bad.write_text("import numpy as np\ndef f(a=[]):\n    return np.random.rand(2)\n")
-        assert cli_main(["lint", "--rules", "COR001", str(bad)]) == 1
+        assert cli_main(
+            ["lint", "--no-cache", "--rules", "COR001", str(bad)]
+        ) == 1
         payload_out = capsys.readouterr().out
         assert "COR001" in payload_out
         assert "RNG001" not in payload_out

@@ -1,0 +1,1111 @@
+"""Tests for the project-wide analysis tier (``repro.devtools``).
+
+Every analyzer family gets a seeded-violation fixture (must fire with
+the right rule id and location) and a clean twin (must stay silent).
+The fixtures are in-memory mini-projects fed through ``extra_sources``,
+so the tests pin analyzer *behaviour* without depending on the real
+tree.  The substrate (project model, import graph, symbol resolution),
+the layer-spec config parser (both TOML paths), the content-hash cache,
+the suppression baseline and the SARIF reporter each get their own
+sections.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.devtools import (
+    Finding,
+    LintConfig,
+    LintConfigError,
+    Severity,
+    build_project,
+    findings_from_sarif,
+    lint_project,
+    parse_config,
+    sarif_log,
+    split_rule_ids,
+    strongly_connected_components,
+    superseded_rule_ids,
+    suppression_aliases,
+)
+from repro.cli import main as cli_main
+
+PARALLEL = "src/repro/parallel.py"
+KERNELS_INIT = "src/repro/core/kernels/__init__.py"
+
+#: A minimal stand-in for the kernel facade so reader/installer calls
+#: resolve to their defining module.
+KERNELS_SOURCE = """\
+def active_kernel():
+    return None
+
+
+def resolve_kernel(spec):
+    return spec
+
+
+def use_kernel(kernel):
+    return kernel
+"""
+
+
+def project(sources, rules, config=None, **kwargs):
+    """Lint an in-memory project with a selected rule subset."""
+    run = lint_project(
+        [],
+        rule_ids=rules,
+        config=config if config is not None else LintConfig(),
+        use_cache=False,
+        extra_sources={
+            path: textwrap.dedent(source) for path, source in sources.items()
+        },
+        **kwargs,
+    )
+    return run.findings
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# PAR0xx: concurrency safety
+# ---------------------------------------------------------------------------
+
+
+class TestPAR001SharedStateMutation:
+    def test_worker_reachable_mutation_flagged(self):
+        findings = project(
+            {
+                PARALLEL: """\
+                SEEN = []
+
+
+                def _run_task_chunk(tasks):
+                    for task in tasks:
+                        _record(task)
+
+
+                def _record(task):
+                    SEEN.append(task)
+                """
+            },
+            ["PAR001"],
+        )
+        assert rule_ids(findings) == ["PAR001"]
+        assert findings[0].path == PARALLEL
+        assert "'SEEN'" in findings[0].message
+        assert "_record" in findings[0].message
+
+    def test_local_accumulator_is_fine(self):
+        findings = project(
+            {
+                PARALLEL: """\
+                def _run_task_chunk(tasks):
+                    out = []
+                    for task in tasks:
+                        out.append(task)
+                    return out
+                """
+            },
+            ["PAR001"],
+        )
+        assert findings == []
+
+    def test_global_statement_rebinding_flagged(self):
+        findings = project(
+            {
+                PARALLEL: """\
+                COUNT = 0
+
+
+                def _run_task_chunk(tasks):
+                    global COUNT
+                    COUNT = len(tasks)
+                    return tasks
+                """
+            },
+            ["PAR001"],
+        )
+        assert rule_ids(findings) == ["PAR001"]
+        assert "'COUNT'" in findings[0].message
+
+
+class TestPAR002AmbientContext:
+    def test_unreshipped_ambient_read_flagged(self):
+        findings = project(
+            {
+                KERNELS_INIT: KERNELS_SOURCE,
+                PARALLEL: """\
+                from repro.core.kernels import active_kernel
+
+
+                def _run_task_chunk(tasks):
+                    return [run_one(task) for task in tasks]
+
+
+                def run_one(task):
+                    kernel = active_kernel()
+                    return kernel, task
+                """,
+            },
+            ["PAR002"],
+        )
+        assert rule_ids(findings) == ["PAR002"]
+        assert "ambient kernel context" in findings[0].message
+        assert "active_kernel" in findings[0].message
+
+    def test_installer_in_entry_establishes_context(self):
+        findings = project(
+            {
+                KERNELS_INIT: KERNELS_SOURCE,
+                PARALLEL: """\
+                from repro.core.kernels import active_kernel, use_kernel
+
+
+                def _run_task_chunk(tasks, kernel):
+                    with use_kernel(kernel):
+                        return [run_one(task) for task in tasks]
+
+
+                def run_one(task):
+                    return active_kernel(), task
+                """,
+            },
+            ["PAR002"],
+        )
+        assert findings == []
+
+    def test_aliased_installer_import_recognised(self):
+        findings = project(
+            {
+                KERNELS_INIT: KERNELS_SOURCE,
+                PARALLEL: """\
+                from repro.core.kernels import active_kernel
+                from repro.core.kernels import use_kernel as _ship_kernel
+
+
+                def _run_task_chunk(tasks, kernel):
+                    with _ship_kernel(kernel):
+                        return [run_one(task) for task in tasks]
+
+
+                def run_one(task):
+                    return active_kernel(), task
+                """,
+            },
+            ["PAR002"],
+        )
+        assert findings == []
+
+
+class TestPAR003UnpicklableTrialArgument:
+    def test_lambda_trial_with_workers_flagged(self):
+        findings = project(
+            {
+                "examples/demo.py": """\
+                from repro.analysis import run_trials
+
+
+                def main():
+                    return run_trials(8, lambda i, rng: 0.0, workers=4)
+                """
+            },
+            ["PAR003"],
+        )
+        assert rule_ids(findings) == ["PAR003"]
+        assert "lambda" in findings[0].message
+
+    def test_serial_lambda_is_fine(self):
+        findings = project(
+            {
+                "examples/demo.py": """\
+                from repro.analysis import run_trials
+
+
+                def main():
+                    return run_trials(8, lambda i, rng: 0.0, workers=None)
+                """
+            },
+            ["PAR003"],
+        )
+        assert findings == []
+
+    def test_local_closure_forwarded_workers_flagged(self):
+        findings = project(
+            {
+                "examples/demo.py": """\
+                from repro.analysis import run_trials
+
+
+                def main(workers):
+                    def trial(i, rng):
+                        return 0.0
+
+                    return run_trials(8, trial, workers=workers)
+                """
+            },
+            ["PAR003"],
+        )
+        assert rule_ids(findings) == ["PAR003"]
+        assert "'trial'" in findings[0].message
+
+    def test_module_level_trial_is_fine(self):
+        findings = project(
+            {
+                "examples/demo.py": """\
+                from repro.analysis import run_trials
+
+
+                def trial(i, rng):
+                    return 0.0
+
+
+                def main(workers):
+                    return run_trials(8, trial, workers=workers)
+                """
+            },
+            ["PAR003"],
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# DETxxx: determinism flow
+# ---------------------------------------------------------------------------
+
+
+class TestDET001RngProvenance:
+    def test_unseeded_default_rng_flagged(self):
+        findings = project(
+            {
+                "src/repro/analysis/stats.py": """\
+                import numpy as np
+
+
+                def sample():
+                    rng = np.random.default_rng()
+                    return rng.random()
+                """
+            },
+            ["DET001"],
+        )
+        assert rule_ids(findings) == ["DET001"]
+        assert findings[0].line == 5
+        assert "OS entropy" in findings[0].message
+
+    def test_unseeded_bit_generator_flagged_even_in_tests(self):
+        findings = project(
+            {
+                "tests/test_stats.py": """\
+                from numpy.random import PCG64
+
+
+                def test_draw():
+                    assert PCG64() is not None
+                """
+            },
+            ["DET001"],
+        )
+        assert rule_ids(findings) == ["DET001"]
+
+    def test_seeded_construction_is_fine(self):
+        findings = project(
+            {
+                "src/repro/analysis/stats.py": """\
+                import numpy as np
+
+
+                def sample(seed):
+                    rng = np.random.default_rng(seed)
+                    return rng.random()
+                """
+            },
+            ["DET001"],
+        )
+        assert findings == []
+
+
+class TestDET002GlobalRandomnessFlow:
+    def test_supersedes_rng001_with_new_id(self):
+        findings = project(
+            {
+                "src/repro/analysis/draws.py": """\
+                import numpy as np
+
+
+                def draw():
+                    return np.random.rand(3)
+                """
+            },
+            ["DET002"],
+        )
+        assert rule_ids(findings) == ["DET002"]
+        assert findings[0].path == "src/repro/analysis/draws.py"
+        assert findings[0].line == 5
+
+    def test_alias_comment_against_rng001_suppresses_det002(self):
+        findings = project(
+            {
+                "src/repro/analysis/draws.py": """\
+                import numpy as np
+
+
+                def draw():
+                    return np.random.rand(3)  # lint: disable=RNG001
+                """
+            },
+            ["DET002"],
+        )
+        assert findings == []
+
+
+class TestDET003RngParameterDefaults:
+    def test_non_integer_seed_default_flagged(self):
+        findings = project(
+            {
+                "src/repro/analysis/sim.py": """\
+                def simulate(trials, seed=1.5):
+                    return trials
+                """
+            },
+            ["DET003"],
+        )
+        assert rule_ids(findings) == ["DET003"]
+        assert "non-None default 1.5" in findings[0].message
+
+    def test_expression_rng_default_flagged(self):
+        findings = project(
+            {
+                "src/repro/analysis/sim.py": """\
+                from repro.rng import make_rng
+
+
+                def simulate(trials, rng=make_rng(0)):
+                    return trials
+                """
+            },
+            ["DET003"],
+        )
+        assert rule_ids(findings) == ["DET003"]
+        assert "non-literal default expression" in findings[0].message
+
+    def test_sanctioned_defaults_are_fine(self):
+        findings = project(
+            {
+                "src/repro/analysis/sim.py": """\
+                def simulate(trials, seed=0, base_seed=-1, rng=None):
+                    return trials
+                """
+            },
+            ["DET003"],
+        )
+        assert findings == []
+
+    def test_tests_are_exempt(self):
+        findings = project(
+            {
+                "tests/test_sim.py": """\
+                def run(seed=1.5):
+                    return seed
+                """
+            },
+            ["DET003"],
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# KERxxx: kernel/dynamics contracts
+# ---------------------------------------------------------------------------
+
+
+class TestKER002BatchedWithoutSequential:
+    def test_step_block_without_step_flagged(self):
+        findings = project(
+            {
+                "src/repro/core/dynamics.py": """\
+                class BatchedOnly:
+                    def step_block(self, state, rng):
+                        return state
+                """
+            },
+            ["KER002"],
+        )
+        assert rule_ids(findings) == ["KER002"]
+        assert "BatchedOnly" in findings[0].message
+
+    def test_inherited_step_across_modules_is_fine(self):
+        findings = project(
+            {
+                "src/repro/core/dynamics.py": """\
+                class Base:
+                    def step(self, state, rng):
+                        return state
+                """,
+                "src/repro/core/fast.py": """\
+                from repro.core.dynamics import Base
+
+
+                class Fast(Base):
+                    def step_block(self, state, rng):
+                        return state
+                """,
+            },
+            ["KER002"],
+        )
+        assert findings == []
+
+
+class TestKER003StateInternalsAccess:
+    def test_private_cache_access_flagged(self):
+        findings = project(
+            {
+                "src/repro/analysis/peek.py": """\
+                def peek(state):
+                    return state._counts
+
+
+                def poke(state):
+                    state._sum = 0.0
+                """
+            },
+            ["KER003"],
+        )
+        assert rule_ids(findings) == ["KER003", "KER003"]
+        assert "reads" in findings[0].message
+        assert "mutates" in findings[1].message
+
+    def test_self_access_and_tests_exempt(self):
+        findings = project(
+            {
+                "src/repro/analysis/own.py": """\
+                class Tally:
+                    def __init__(self):
+                        self._counts = {}
+
+                    def bump(self, key):
+                        self._counts[key] = 1
+                """,
+                "tests/test_state.py": """\
+                def test_internals(state):
+                    assert state._counts is not None
+                """,
+            },
+            ["KER003"],
+        )
+        assert findings == []
+
+
+class TestKER004KernelAgnosticExperiments:
+    def test_backend_import_in_experiment_flagged(self):
+        findings = project(
+            {
+                "src/repro/core/kernels/block.py": """\
+                def apply_block(state, updates):
+                    return state
+                """,
+                "src/repro/experiments/e9.py": """\
+                from repro.core.kernels.block import apply_block
+
+
+                def run():
+                    return apply_block
+                """,
+            },
+            ["KER004"],
+        )
+        assert rule_ids(findings) == ["KER004"]
+        assert "repro.core.kernels.block" in findings[0].message
+        assert findings[0].severity is Severity.ERROR
+
+    def test_literal_backend_selection_flagged(self):
+        findings = project(
+            {
+                KERNELS_INIT: KERNELS_SOURCE,
+                "src/repro/baselines/mc.py": """\
+                from repro.core.kernels import use_kernel
+
+
+                def run():
+                    with use_kernel("block"):
+                        return 1
+                """,
+            },
+            ["KER004"],
+        )
+        assert rule_ids(findings) == ["KER004"]
+        assert "'block'" in findings[0].message
+
+    def test_facade_and_threaded_kernel_are_fine(self):
+        findings = project(
+            {
+                KERNELS_INIT: KERNELS_SOURCE,
+                "src/repro/experiments/e9.py": """\
+                from repro.core.kernels import use_kernel
+
+
+                def run(kernel=None):
+                    with use_kernel(kernel):
+                        return 1
+                """,
+            },
+            ["KER004"],
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# LAYxxx: declared layering
+# ---------------------------------------------------------------------------
+
+LAYER_SPEC = """\
+[[tool.div-repro.lint.layers]]
+name = "foundation"
+modules = ["repro.rng"]
+
+[[tool.div-repro.lint.layers]]
+name = "core"
+modules = ["repro.core"]
+may_import = ["foundation"]
+
+[[tool.div-repro.lint.layers]]
+name = "drivers"
+modules = ["repro.experiments.e*"]
+may_import = ["core", "foundation"]
+independent = true
+"""
+
+LAYERED_SOURCES = {
+    "src/repro/rng.py": "SEED = 1\n",
+    "src/repro/core/engine.py": (
+        "from repro.rng import SEED\n"
+        "from repro.experiments.e1 import f\n"
+    ),
+    "src/repro/experiments/e1.py": (
+        "from repro.experiments.e2 import g\n\n\ndef f():\n    return g()\n"
+    ),
+    "src/repro/experiments/e2.py": "def g():\n    return 1\n",
+}
+
+
+class TestLAY002DeclaredLayering:
+    def test_undeclared_edge_and_independent_sibling_flagged(self):
+        findings = project(
+            LAYERED_SOURCES, ["LAY002"], config=parse_config(LAYER_SPEC)
+        )
+        by_path = {f.path: f for f in findings}
+        assert rule_ids(findings) == ["LAY002", "LAY002"]
+        engine = by_path["src/repro/core/engine.py"]
+        assert engine.line == 2
+        assert "may_import" in engine.message
+        sibling = by_path["src/repro/experiments/e1.py"]
+        assert "independent layer 'drivers'" in sibling.message
+
+    def test_lazy_import_is_a_sanctioned_deferred_edge(self):
+        sources = dict(LAYERED_SOURCES)
+        sources["src/repro/core/engine.py"] = (
+            "from repro.rng import SEED\n"
+            "\n"
+            "\n"
+            "def run():\n"
+            "    from repro.experiments.e1 import f\n"
+            "    return f()\n"
+        )
+        sources["src/repro/experiments/e1.py"] = "def f():\n    return 1\n"
+        findings = project(
+            sources, ["LAY002"], config=parse_config(LAYER_SPEC)
+        )
+        assert findings == []
+
+    def test_unassigned_module_flagged(self):
+        sources = {"src/repro/stray.py": "X = 1\n", **LAYERED_SOURCES}
+        sources["src/repro/core/engine.py"] = "from repro.rng import SEED\n"
+        sources["src/repro/experiments/e1.py"] = "def f():\n    return 1\n"
+        findings = project(
+            sources, ["LAY002"], config=parse_config(LAYER_SPEC)
+        )
+        assert rule_ids(findings) == ["LAY002"]
+        assert findings[0].path == "src/repro/stray.py"
+        assert "not assigned to any declared layer" in findings[0].message
+
+    def test_silent_without_a_layer_spec(self):
+        findings = project(LAYERED_SOURCES, ["LAY002"], config=LintConfig())
+        assert findings == []
+
+
+class TestLAY003ImportCycles:
+    def test_cycle_reported_once(self):
+        findings = project(
+            {
+                "src/repro/a.py": "from repro.b import g\n\n\ndef f():\n    return g()\n",
+                "src/repro/b.py": "from repro.a import f\n\n\ndef g():\n    return f()\n",
+            },
+            ["LAY003"],
+        )
+        assert rule_ids(findings) == ["LAY003"]
+        assert (
+            "import cycle: repro.a -> repro.b -> repro.a"
+            in findings[0].message
+        )
+
+    def test_acyclic_graph_is_fine(self):
+        findings = project(
+            {
+                "src/repro/a.py": "from repro.b import g\n\n\ndef f():\n    return g()\n",
+                "src/repro/b.py": "def g():\n    return 1\n",
+            },
+            ["LAY003"],
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Substrate: project model, import graph, symbol table
+# ---------------------------------------------------------------------------
+
+
+class TestProjectModel:
+    def test_import_graph_eager_vs_lazy(self):
+        model = build_project(
+            [],
+            sources={
+                "src/repro/a.py": (
+                    "from repro.b import g\n"
+                    "\n"
+                    "\n"
+                    "def f():\n"
+                    "    from repro.c import h\n"
+                    "    return g() + h()\n"
+                ),
+                "src/repro/b.py": "def g():\n    return 1\n",
+                "src/repro/c.py": "def h():\n    return 2\n",
+            },
+        )
+        eager = model.import_graph()
+        assert eager["repro.a"] == {"repro.b"}
+        full = model.import_graph(include_lazy=True)
+        assert full["repro.a"] == {"repro.b", "repro.c"}
+
+    def test_resolve_name_follows_package_reexport(self):
+        model = build_project(
+            [],
+            sources={
+                "src/repro/core/__init__.py": (
+                    "from repro.core.engine import run\n"
+                ),
+                "src/repro/core/engine.py": "def run():\n    return 1\n",
+                "src/repro/user.py": "from repro.core import run\n",
+            },
+        )
+        assert model.resolve_name("repro.user", "run") == (
+            "repro.core.engine",
+            "run",
+        )
+
+    def test_symbol_table_indexes_methods_and_mutable_globals(self):
+        model = build_project(
+            [],
+            sources={
+                "src/repro/core/state.py": (
+                    "CACHE = {}\n"
+                    "\n"
+                    "\n"
+                    "class OpinionState:\n"
+                    "    def apply(self, update):\n"
+                    "        return update\n"
+                ),
+            },
+        )
+        info = model.modules["repro.core.state"]
+        assert "CACHE" in info.mutable_globals
+        assert "OpinionState.apply" in info.functions
+        fn = model.function("repro.core.state", "OpinionState.apply")
+        assert fn is not None and fn.ref == "repro.core.state:OpinionState.apply"
+
+    def test_fingerprint_tracks_content(self):
+        base = {"src/repro/a.py": "X = 1\n"}
+        model_a = build_project([], sources=base)
+        model_b = build_project([], sources=base)
+        assert model_a.fingerprint() == model_b.fingerprint()
+        model_c = build_project([], sources={"src/repro/a.py": "X = 2\n"})
+        assert model_c.fingerprint() != model_a.fingerprint()
+
+    def test_strongly_connected_components(self):
+        graph = {"a": {"b"}, "b": {"a"}, "c": {"a"}}
+        components = strongly_connected_components(graph)
+        assert {frozenset(c) for c in components if len(c) > 1} == {
+            frozenset({"a", "b"})
+        }
+
+
+# ---------------------------------------------------------------------------
+# Config: layer-spec parsing (both TOML paths)
+# ---------------------------------------------------------------------------
+
+
+class TestLayerConfig:
+    def test_parse_config_reads_layers(self):
+        config = parse_config(LAYER_SPEC)
+        assert [layer.name for layer in config.layers] == [
+            "foundation",
+            "core",
+            "drivers",
+        ]
+        assert config.layers[2].independent is True
+
+    def test_layer_of_first_match_wins(self):
+        config = parse_config(LAYER_SPEC)
+        assert config.layer_of("repro.experiments.e1").name == "drivers"
+        assert config.layer_of("repro.core.engine").name == "core"
+        assert config.layer_of("repro.unassigned") is None
+
+    def test_unknown_may_import_rejected(self):
+        bad = LAYER_SPEC.replace(
+            'may_import = ["foundation"]', 'may_import = ["nope"]'
+        )
+        with pytest.raises(LintConfigError):
+            parse_config(bad)
+
+    def test_fingerprint_tracks_spec_changes(self):
+        a = parse_config(LAYER_SPEC)
+        b = parse_config(LAYER_SPEC.replace("independent = true", ""))
+        assert a.fingerprint() != b.fingerprint()
+        assert a.fingerprint() == parse_config(LAYER_SPEC).fingerprint()
+
+    def test_minimal_toml_parser_reads_the_spec(self):
+        from repro.devtools.config import _parse_minimal_toml
+
+        data = _parse_minimal_toml(LAYER_SPEC)
+        layers = data["tool"]["div-repro"]["lint"]["layers"]
+        assert [entry["name"] for entry in layers] == [
+            "foundation",
+            "core",
+            "drivers",
+        ]
+        assert layers[1]["may_import"] == ["foundation"]
+        assert layers[2]["independent"] is True
+
+    def test_minimal_toml_parser_matches_tomllib(self):
+        tomllib = pytest.importorskip("tomllib")
+        from repro.devtools.config import _parse_minimal_toml
+
+        mine = _parse_minimal_toml(LAYER_SPEC)
+        theirs = tomllib.loads(LAYER_SPEC)
+        assert (
+            mine["tool"]["div-repro"]["lint"]
+            == theirs["tool"]["div-repro"]["lint"]
+        )
+
+
+# ---------------------------------------------------------------------------
+# Rule routing: supersession and suppression aliasing
+# ---------------------------------------------------------------------------
+
+
+class TestRuleRouting:
+    def test_superseded_rules_map_to_successors(self):
+        assert superseded_rule_ids() == {
+            "RNG001": "DET002",
+            "RNG002": "DET001",
+            "LAY001": "LAY002",
+        }
+
+    def test_default_split_excludes_superseded_per_file_rules(self):
+        file_ids, analyzer_ids = split_rule_ids(None)
+        assert not set(file_ids) & {"RNG001", "RNG002", "LAY001"}
+        for rule_id in ("PAR001", "DET001", "KER002", "LAY002", "LAY003"):
+            assert rule_id in analyzer_ids
+
+    def test_explicit_superseded_rule_still_runs(self):
+        file_ids, analyzer_ids = split_rule_ids(["RNG001", "PAR002"])
+        assert file_ids == ["RNG001"]
+        assert analyzer_ids == ["PAR002"]
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError):
+            split_rule_ids(["NOPE"])
+
+    def test_suppression_aliases_cover_active_analyzers(self):
+        assert suppression_aliases(["DET001", "DET002", "LAY002"]) == {
+            "DET001": {"RNG002"},
+            "DET002": {"RNG001"},
+            "LAY002": {"LAY001"},
+        }
+        assert suppression_aliases(["PAR001"]) == {}
+
+
+# ---------------------------------------------------------------------------
+# Incremental cache
+# ---------------------------------------------------------------------------
+
+
+class TestIncrementalCache:
+    @staticmethod
+    def _write_tree(tmp_path):
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        (tmp_path / "bad.py").write_text(
+            "def f(a=[]):\n    return a\n"
+        )
+
+    def test_warm_run_skips_unchanged_files(self, tmp_path):
+        self._write_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        kwargs = dict(
+            config=LintConfig(), cache_path=cache, rule_ids=["COR001"]
+        )
+        cold = lint_project([tmp_path], **kwargs)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 2)
+        warm = lint_project([tmp_path], **kwargs)
+        assert (warm.cache_hits, warm.cache_misses) == (2, 0)
+        assert [f.to_dict() for f in warm.findings] == [
+            f.to_dict() for f in cold.findings
+        ]
+
+    def test_changed_file_is_relinted(self, tmp_path):
+        self._write_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        kwargs = dict(
+            config=LintConfig(), cache_path=cache, rule_ids=["COR001"]
+        )
+        cold = lint_project([tmp_path], **kwargs)
+        assert rule_ids(cold.findings) == ["COR001"]
+        (tmp_path / "bad.py").write_text("def f(a=None):\n    return a\n")
+        warm = lint_project([tmp_path], **kwargs)
+        assert (warm.cache_hits, warm.cache_misses) == (1, 1)
+        assert warm.findings == []
+
+    def test_project_analyzers_cached_on_warm_run(self, tmp_path):
+        self._write_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        kwargs = dict(
+            config=LintConfig(), cache_path=cache, rule_ids=["DET002"]
+        )
+        cold = lint_project([tmp_path], **kwargs)
+        assert cold.analyzers_cached is False
+        warm = lint_project([tmp_path], **kwargs)
+        assert warm.analyzers_cached is True
+
+    def test_rule_selection_change_invalidates_cache(self, tmp_path):
+        self._write_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        lint_project(
+            [tmp_path],
+            config=LintConfig(),
+            cache_path=cache,
+            rule_ids=["COR001"],
+        )
+        rerun = lint_project(
+            [tmp_path],
+            config=LintConfig(),
+            cache_path=cache,
+            rule_ids=["COR001", "OBS001"],
+        )
+        assert rerun.cache_hits == 0
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        self._write_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json")
+        run = lint_project(
+            [tmp_path],
+            config=LintConfig(),
+            cache_path=cache,
+            rule_ids=["COR001"],
+        )
+        assert rule_ids(run.findings) == ["COR001"]
+        assert run.cache_hits == 0
+
+
+# ---------------------------------------------------------------------------
+# Suppression baseline
+# ---------------------------------------------------------------------------
+
+
+class TestBaselineWorkflow:
+    def test_update_then_filter(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(a=[]):\n    return a\n")
+        baseline = tmp_path / "lint-baseline.json"
+        kwargs = dict(
+            config=LintConfig(),
+            use_cache=False,
+            rule_ids=["COR001"],
+            baseline_path=baseline,
+        )
+        first = lint_project([bad], update_baseline=True, **kwargs)
+        assert first.findings == []
+        assert rule_ids(first.baselined) == ["COR001"]
+        entries = json.loads(baseline.read_text())["entries"]
+        assert len(entries) == 1
+
+        second = lint_project([bad], **kwargs)
+        assert second.findings == []
+        assert rule_ids(second.baselined) == ["COR001"]
+
+    def test_justifications_survive_updates(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(a=[]):\n    return a\n")
+        baseline = tmp_path / "lint-baseline.json"
+        kwargs = dict(
+            config=LintConfig(),
+            use_cache=False,
+            rule_ids=["COR001"],
+            baseline_path=baseline,
+        )
+        lint_project([bad], update_baseline=True, **kwargs)
+        data = json.loads(baseline.read_text())
+        data["entries"][0]["justification"] = "kept on purpose"
+        baseline.write_text(json.dumps(data))
+        lint_project([bad], update_baseline=True, **kwargs)
+        refreshed = json.loads(baseline.read_text())["entries"]
+        assert refreshed[0]["justification"] == "kept on purpose"
+
+    def test_fixed_finding_reappears_after_edit(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(a=[]):\n    return a\n")
+        baseline = tmp_path / "lint-baseline.json"
+        kwargs = dict(
+            config=LintConfig(),
+            use_cache=False,
+            rule_ids=["COR001"],
+            baseline_path=baseline,
+        )
+        lint_project([bad], update_baseline=True, **kwargs)
+        # A *different* violation must not hide behind the old entry.
+        bad.write_text("def f(b={}):\n    return b\n")
+        rerun = lint_project([bad], **kwargs)
+        assert rule_ids(rerun.findings) == ["COR001"]
+        assert rerun.baselined == []
+
+
+# ---------------------------------------------------------------------------
+# SARIF reporter
+# ---------------------------------------------------------------------------
+
+
+class TestSarif:
+    FINDINGS = [
+        Finding(
+            "DET002",
+            Severity.ERROR,
+            "src/repro/analysis/a.py",
+            5,
+            11,
+            "global-state randomness",
+            suggestion="thread a Generator through",
+        ),
+        Finding(
+            "PAR001",
+            Severity.WARNING,
+            "src/repro/parallel.py",
+            9,
+            4,
+            "worker mutates module state",
+        ),
+    ]
+
+    def test_log_structure(self):
+        log = sarif_log(
+            self.FINDINGS,
+            rule_docs={"DET002": "no global randomness"},
+            tool_version="1.0",
+            fingerprint_of=lambda f: f"fp-{f.rule_id}",
+        )
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "div-repro-lint"
+        assert {rule["id"] for rule in driver["rules"]} == {
+            "DET002",
+            "PAR001",
+        }
+        result = run["results"][0]
+        assert result["ruleId"] == "DET002"
+        assert result["level"] == "error"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert (region["startLine"], region["startColumn"]) == (5, 12)
+        assert result["partialFingerprints"]["divReproLint/v1"] == "fp-DET002"
+        assert driver["rules"][result["ruleIndex"]]["id"] == "DET002"
+
+    def test_round_trip(self):
+        log = sarif_log(self.FINDINGS)
+        recovered = findings_from_sarif(log)
+        assert recovered == sorted(self.FINDINGS, key=Finding.sort_key)
+
+    def test_round_trip_through_json(self):
+        log = json.loads(json.dumps(sarif_log(self.FINDINGS)))
+        assert findings_from_sarif(log) == sorted(
+            self.FINDINGS, key=Finding.sort_key
+        )
+
+
+# ---------------------------------------------------------------------------
+# CLI wiring for the project tier
+# ---------------------------------------------------------------------------
+
+
+class TestProjectCli:
+    def test_sarif_output(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nx = np.random.rand(2)\n")
+        code = cli_main(
+            ["lint", "--no-cache", "--format", "sarif", str(bad)]
+        )
+        assert code == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert {r["ruleId"] for r in log["runs"][0]["results"]} == {"DET002"}
+
+    def test_update_baseline_flow(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(a=[]):\n    return a\n")
+        baseline = tmp_path / "baseline.json"
+        assert (
+            cli_main(
+                [
+                    "lint",
+                    "--no-cache",
+                    "--baseline",
+                    str(baseline),
+                    "--update-baseline",
+                    str(bad),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert baseline.is_file()
+        # Second run: the baseline file now absorbs the finding.
+        assert (
+            cli_main(
+                ["lint", "--no-cache", "--baseline", str(baseline), str(bad)]
+            )
+            == 0
+        )
+
+    def test_cache_flag_round_trip(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        cache = tmp_path / "cache.json"
+        assert (
+            cli_main(["lint", "--cache", str(cache), str(good)]) == 0
+        )
+        assert cache.is_file()
+        capsys.readouterr()
+        assert (
+            cli_main(["lint", "--cache", str(cache), str(good)]) == 0
+        )
+        assert "clean" in capsys.readouterr().out
+
+    def test_list_rules_shows_analyzers_and_supersession(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("PAR001", "DET001", "KER002", "LAY002", "LAY003"):
+            assert rule_id in out
+        assert "superseded" in out

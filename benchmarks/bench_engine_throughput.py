@@ -47,6 +47,38 @@ def test_complete_graph_generic_engine(benchmark):
     benchmark.pedantic(lambda: _run_generic(graph, VertexScheduler), rounds=3, iterations=1)
 
 
+def test_million_node_engine_throughput(benchmark):
+    """Fixed-steps run at n = 10⁶ (ROADMAP: million-node runs).
+
+    Guards that paper-scale graphs fit the memory-frugal state/kernel
+    path end to end: one graph build, then fixed-step runs whose
+    per-window cost must stay independent of n (scratch reuse, no
+    per-step allocation).
+    """
+    graph = random_regular_graph(1_000_000, 10, rng=0)
+    opinions = uniform_random_opinions(graph.n, 5, rng=0)
+    benchmark.extra_info.update(
+        engine="generic", process="vertex", n=graph.n, d=10, steps=_STEPS,
+        kernel="block",
+    )
+
+    def run():
+        state = OpinionState(graph, opinions)
+        result = run_dynamics(
+            state,
+            VertexScheduler(graph),
+            IncrementalVoting(),
+            stop="never",
+            rng=1,
+            max_steps=_STEPS,
+            kernel="block",
+        )
+        assert result.steps == _STEPS
+        return result
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
 def test_count_engine_throughput(benchmark):
     def run():
         result = run_div_complete(

@@ -1,23 +1,30 @@
-"""Loop vs block execution-kernel throughput (steps per second).
+"""Execution-kernel throughput: loop vs block vs compiled (steps/s).
 
-The acceptance bar for the block kernel: at least 3× the sequential
+The acceptance bars: the block kernel at least 3× the sequential
 loop's single-run engine throughput on a random regular expander with
-n ≥ 10⁴ under DIV.  Both backends are bit-for-bit equivalent (see
-``tests/test_kernels.py`` and ``docs/kernels.md``), so this benchmark
-is purely about wall-clock; a run to consensus under each backend
-asserts equal step counts as a cheap sanity check.
+n ≥ 10⁴ under DIV, and the compiled kernel (where numba is installed)
+beating the block kernel on the same workload.  All backends are
+bit-for-bit equivalent (see ``tests/test_kernels.py`` and
+``docs/kernels.md``), so these benchmarks are purely about wall-clock;
+a run to consensus under each backend asserts equal step counts as a
+cheap sanity check.  The compiled benches skip without numba — the
+backend would silently resolve to ``block`` and measure nothing new.
 """
 
 import numpy as np
+import pytest
 
 from repro.analysis import uniform_random_opinions
 from repro.core import IncrementalVoting, OpinionState, run_dynamics
+from repro.core.kernels import NUMBA_AVAILABLE
 from repro.core.schedulers import EdgeScheduler, VertexScheduler
 from repro.graphs import random_regular_graph
 
 _N = 10_000
 _D = 10
 _STEPS = 2_000_000
+#: Paper-scale size for the large-n sweep (ROADMAP: million-node runs).
+_N_LARGE = 100_000
 
 
 def _run(graph, scheduler_cls, kernel, stop="never", max_steps=_STEPS):
@@ -36,13 +43,13 @@ def _run(graph, scheduler_cls, kernel, stop="never", max_steps=_STEPS):
     return result
 
 
-def _bench_kernel(benchmark, kernel, scheduler_cls, process):
-    graph = random_regular_graph(_N, _D, rng=0)
+def _bench_kernel(benchmark, kernel, scheduler_cls, process, n=_N):
+    graph = random_regular_graph(n, _D, rng=0)
     benchmark.extra_info.update(
         engine="generic",
         kernel=kernel,
         process=process,
-        n=_N,
+        n=n,
         d=_D,
         steps=_STEPS,
     )
@@ -65,6 +72,25 @@ def test_loop_kernel_edge_throughput(benchmark):
 
 def test_block_kernel_edge_throughput(benchmark):
     _bench_kernel(benchmark, "block", EdgeScheduler, "edge")
+
+
+def test_block_kernel_large_n_throughput(benchmark):
+    _bench_kernel(benchmark, "block", VertexScheduler, "vertex", n=_N_LARGE)
+
+
+@pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
+def test_compiled_kernel_vertex_throughput(benchmark):
+    _bench_kernel(benchmark, "compiled", VertexScheduler, "vertex")
+
+
+@pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
+def test_compiled_kernel_edge_throughput(benchmark):
+    _bench_kernel(benchmark, "compiled", EdgeScheduler, "edge")
+
+
+@pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
+def test_compiled_kernel_large_n_throughput(benchmark):
+    _bench_kernel(benchmark, "compiled", VertexScheduler, "vertex", n=_N_LARGE)
 
 
 def test_kernels_agree_to_consensus(benchmark):

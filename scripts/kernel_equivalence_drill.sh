@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Kernel-equivalence drill: the same experiment must produce
+# byte-identical reports under every execution kernel.
+#
+# Runs E1 (--quick) once per backend — loop, block, compiled — and
+# byte-compares the JSON reports pairwise against the loop reference.
+# The compiled leg only measures something when its jit runtime (numba)
+# is importable; without it the spec would silently resolve to block
+# and the comparison would be vacuous, so it is skipped with a notice
+# instead.
+#
+# Usage: scripts/kernel_equivalence_drill.sh [WORK_DIR]   (default: mktemp)
+set -euo pipefail
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+WORK=${1:-$(mktemp -d)}
+export PYTHONPATH="$ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+
+say() { echo "[kernel-drill] $*"; }
+
+KERNELS="loop block"
+if python -c "import sys; from repro.core.kernels import NUMBA_AVAILABLE; sys.exit(0 if NUMBA_AVAILABLE else 1)"; then
+    KERNELS="$KERNELS compiled"
+else
+    say "numba not installed - compiled leg skipped (would resolve to block)"
+fi
+
+for kernel in $KERNELS; do
+    say "running E1 --quick under kernel=$kernel"
+    python -m repro.cli run E1 --quick --seed 7 --kernel "$kernel" \
+        --json "$WORK/$kernel"
+done
+
+for kernel in $KERNELS; do
+    [ "$kernel" = loop ] && continue
+    cmp "$WORK/loop/e1.json" "$WORK/$kernel/e1.json"
+    say "loop and $kernel reports are byte-identical"
+done
+
+say "OK: kernels agree ($KERNELS)"

@@ -8,8 +8,8 @@ Commands
     Run experiments and print their reports (``all`` runs everything).
     ``--workers N`` parallelizes Monte-Carlo trials across N processes
     with outcomes bit-for-bit identical to the serial run.
-    ``--kernel loop|block|auto`` selects the engine execution backend
-    (also outcome-identical; see ``docs/kernels.md``).
+    ``--kernel loop|block|compiled|auto`` selects the engine execution
+    backend (also outcome-identical; see ``docs/kernels.md``).
     ``--checkpoint-dir DIR`` journals every completed trial so a killed
     campaign can continue with ``--resume``; ``--inject-faults SPEC``
     runs a deterministic chaos drill (see ``docs/robustness.md``).
@@ -74,12 +74,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--kernel",
-        choices=("auto", "loop", "block"),
+        choices=("auto", "block", "compiled", "loop"),
         default="auto",
         help="engine execution kernel: 'loop' (per-step reference), "
-        "'block' (vectorized conflict-free segments) or 'auto' "
-        "(default; block wherever the dynamics supports it). Reports "
-        "are bit-for-bit identical across kernels (docs/kernels.md)",
+        "'block' (vectorized conflict-free segments), 'compiled' "
+        "(numba machine-code loop; falls back to block without numba) "
+        "or 'auto' (default; block wherever the dynamics supports it). "
+        "Reports are bit-for-bit identical across kernels "
+        "(docs/kernels.md)",
     )
     run.add_argument(
         "--json",
@@ -225,7 +227,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument(
         "--kernel",
-        choices=("auto", "loop", "block"),
+        choices=("auto", "block", "compiled", "loop"),
         default="auto",
         help="engine execution kernel (bit-identical; see docs/kernels.md)",
     )

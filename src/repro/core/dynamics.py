@@ -77,6 +77,11 @@ class IncrementalVoting:
     """
 
     name = "div"
+    #: Dispatch code for the compiled kernel's machine-code pair loop
+    #: (see ``repro.core.kernels.compiled``): 0 = move one unit toward
+    #: the observed value. Only meaningful for RNG-free pairwise
+    #: dynamics whose update depends on ``(X_v, X_w)`` alone.
+    compiled_id = 0
 
     def step(
         self, state: OpinionState, v: int, w: int, rng: np.random.Generator
@@ -106,6 +111,8 @@ class PullVoting:
     """Classic pull voting: ``v`` adopts ``w``'s opinion wholesale."""
 
     name = "pull"
+    #: Compiled-kernel dispatch code: 1 = ``v`` adopts ``X_w``.
+    compiled_id = 1
 
     def step(
         self, state: OpinionState, v: int, w: int, rng: np.random.Generator
@@ -131,6 +138,8 @@ class PushVoting:
     """Push voting: ``v`` imposes its opinion on the sampled neighbour ``w``."""
 
     name = "push"
+    #: Compiled-kernel dispatch code: 2 = ``w`` adopts ``X_v``.
+    compiled_id = 2
 
     def step(
         self, state: OpinionState, v: int, w: int, rng: np.random.Generator

@@ -8,9 +8,10 @@ in without slowing down un-instrumented runs.
 
 The hot loop itself lives in :mod:`repro.core.kernels`: this module
 resolves specs into objects, picks an execution kernel (the per-step
-``"loop"`` reference or the vectorized ``"block"`` kernel — both
-bit-identical for any seed) and wraps the run in the observability
-layer (tracing span, metrics counters, profiler section).
+``"loop"`` reference, the vectorized ``"block"`` kernel, or the numba
+``"compiled"`` kernel — all bit-identical for any seed) and wraps the
+run in the observability layer (tracing span, metrics counters,
+profiler section).
 """
 
 from __future__ import annotations
@@ -53,8 +54,10 @@ class RunResult(BaseRunResult):
         The final :class:`OpinionState` (the same object that was passed
         in, mutated in place).
     kernel:
-        Name of the execution kernel that actually ran (``"loop"`` or
-        ``"block"`` — the resolved backend, never ``"auto"``).
+        Name of the execution kernel that actually ran (``"loop"``,
+        ``"block"`` or ``"compiled"`` — the resolved backend, never
+        ``"auto"``; a kernel that delegated the run mid-execution
+        reports the delegate, see :class:`KernelRun`).
     """
 
     steps: int
@@ -98,11 +101,12 @@ def run_dynamics(
         Interaction pairs drawn per RNG block (identical across kernels,
         which is what keeps their random streams in lockstep).
     kernel:
-        Execution backend: ``"loop"``, ``"block"`` or ``"auto"`` (the
-        default — honours the ambient :func:`repro.core.kernels.
-        use_kernel` override, then picks ``"block"`` whenever the
-        dynamics supports it). Kernels are bit-identical; see
-        ``docs/kernels.md``.
+        Execution backend: ``"loop"``, ``"block"``, ``"compiled"`` or
+        ``"auto"`` (the default — honours the ambient
+        :func:`repro.core.kernels.use_kernel` override, then picks
+        ``"block"`` whenever the dynamics supports it). Unsatisfiable
+        requests degrade ``compiled -> block -> loop``; kernels are
+        bit-identical; see ``docs/kernels.md``.
     """
     dynamics = make_dynamics(dynamics)
     stop_condition: StopCondition = make_stop_condition(stop)
@@ -156,10 +160,11 @@ def run_dynamics(
 
         run = engine_kernel.execute(ctx)
 
+        executed_kernel = run.kernel or engine_kernel.name
         if span is not None:
             span.set(
                 engine="generic",
-                kernel=engine_kernel.name,
+                kernel=executed_kernel,
                 steps=run.steps,
                 stop_reason=run.stop_reason,
                 opinion_changes=run.changes,
@@ -177,5 +182,5 @@ def run_dynamics(
         steps=run.steps,
         stop_reason=run.stop_reason,
         state=state,
-        kernel=engine_kernel.name,
+        kernel=executed_kernel,
     )

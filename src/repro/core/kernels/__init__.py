@@ -10,8 +10,14 @@
     Vectorized application of conflict-free scheduler segments. Only
     dynamics implementing :meth:`Dynamics.step_block` (DIV, pull, push)
     can use it; for the rest it transparently falls back to the loop.
+``"compiled"``
+    The per-pair recurrence as one numba ``@njit`` machine-code loop
+    over the state's flat int64 buffers. Needs numba (an optional
+    extra) and a dynamics publishing a ``compiled_id`` (DIV, pull,
+    push); otherwise it transparently falls back to the block kernel
+    (and through it to the loop).
 
-Both kernels consume the RNG identically and fire stopping conditions
+All kernels consume the RNG identically and fire stopping conditions
 and observers at the same steps, so results are bit-for-bit identical
 for any seed — ``tests/test_kernels.py`` sweeps that guarantee.
 
@@ -39,27 +45,40 @@ from repro.core.kernels.base import (
     supports_block,
 )
 from repro.core.kernels.block import BlockKernel, conflict_free_bounds
+from repro.core.kernels.compiled import (
+    NUMBA_AVAILABLE,
+    CompiledKernel,
+    compiled_runtime_available,
+    interpreted_compiled,
+    supports_compiled,
+)
 from repro.core.kernels.loop import LoopKernel
 from repro.errors import ProcessError
 
 __all__ = [
     "KERNEL_NAMES",
+    "NUMBA_AVAILABLE",
     "BlockKernel",
+    "CompiledKernel",
     "ExecutionKernel",
     "KernelContext",
     "KernelRun",
     "LoopKernel",
     "active_kernel",
+    "compiled_runtime_available",
     "conflict_free_bounds",
+    "interpreted_compiled",
     "make_kernel",
     "resolve_kernel",
     "supports_block",
+    "supports_compiled",
     "use_kernel",
 ]
 
 _KERNELS = {
     LoopKernel.name: LoopKernel,
     BlockKernel.name: BlockKernel,
+    CompiledKernel.name: CompiledKernel,
 }
 
 #: Kernel specs accepted by the engine entry points.
@@ -112,17 +131,26 @@ def resolve_kernel(spec: str, dynamics: Dynamics) -> ExecutionKernel:
     """Resolve a kernel spec against a concrete dynamics.
 
     ``"auto"`` consults the ambient :func:`use_kernel` override first and
-    otherwise picks the block kernel whenever the dynamics supports it.
-    A ``"block"`` request for a dynamics without :meth:`step_block`
+    otherwise picks the block kernel whenever the dynamics supports it
+    (``"compiled"`` is opt-in: its speed-up depends on numba being
+    installed, so ``"auto"`` stays dependency-free and predictable).
+    Unsatisfiable requests degrade transparently down the chain
+    ``compiled -> block -> loop``: ``"compiled"`` without an importable
+    numba or without a ``compiled_id`` on the dynamics becomes
+    ``"block"``; ``"block"`` for a dynamics without :meth:`step_block`
     (per-step RNG draws or whole-neighbourhood polls cannot be replayed
-    vectorized) transparently falls back to the loop kernel; check the
-    resolved name on the result when it matters.
+    vectorized) becomes ``"loop"``.  Check the resolved name on the
+    result (``RunResult.kernel``) when it matters.
     """
     name = spec
     if name == "auto":
         name = active_kernel() or "auto"
     if name == "auto":
         name = "block" if supports_block(dynamics) else "loop"
+    if name == "compiled" and not (
+        compiled_runtime_available() and supports_compiled(dynamics)
+    ):
+        name = "block"
     if name == "block" and not supports_block(dynamics):
         name = "loop"
     return make_kernel(name)

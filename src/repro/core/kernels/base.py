@@ -63,13 +63,18 @@ class KernelRun:
 
     ``steps`` and ``stop_reason`` become the :class:`RunResult`;
     ``blocks`` and ``changes`` feed the metrics/trace span so both
-    kernels stay comparable in the observability layer.
+    kernels stay comparable in the observability layer. ``kernel``,
+    when set, names the backend that actually executed the run — a
+    kernel that delegates mid-execution (the compiled kernel hands
+    opaque stop conditions and change observers to the block kernel)
+    reports the delegate here so ``RunResult.kernel`` never lies.
     """
 
     steps: int
     stop_reason: str
     blocks: int
     changes: int
+    kernel: Optional[str] = None
 
 
 class ExecutionKernel(Protocol):

@@ -170,10 +170,16 @@ class BlockKernel:
         next_due = list(intervals)
 
         # Fast-path scratch: first pair index that changed each vertex
-        # within the current lookahead (reset after every window), and a
-        # reusable pair-index ramp for the conflict comparison.
+        # within the current lookahead (reset after every window), a
+        # reusable pair-index ramp for the conflict comparison, and
+        # per-run gather/mask buffers so the conflict test allocates
+        # nothing per window.
         first_write = np.full(state.graph.n, _NEVER, dtype=np.int64)
         pair_index = np.arange(block_size, dtype=np.int64)
+        gather_v = np.empty(block_size, dtype=np.int64)
+        gather_w = np.empty(block_size, dtype=np.int64)
+        mask_v = np.empty(block_size, dtype=np.bool_)
+        mask_w = np.empty(block_size, dtype=np.bool_)
         lookahead = _MIN_LOOKAHEAD
         # Without sampled observers nothing can read the degree-weighted
         # aggregates mid-run, so their bookkeeping is deferred to the
@@ -246,15 +252,22 @@ class BlockKernel:
                     # assignment lets the first occurrence win.
                     first_write[targets[::-1]] = positions[::-1]
                     index = pair_index[:look]
-                    conflicts = np.flatnonzero(
-                        (first_write[seg_v] < index) | (first_write[seg_w] < index)
-                    )
+                    fw_v = gather_v[:look]
+                    fw_w = gather_w[:look]
+                    # mode="clip" skips the bounds check; seg_v/seg_w are
+                    # scheduler-drawn vertices, always < n.
+                    first_write.take(seg_v, out=fw_v, mode="clip")
+                    first_write.take(seg_w, out=fw_w, mode="clip")
+                    conflict = mask_v[:look]
+                    np.less(fw_v, index, out=conflict)
+                    np.less(fw_w, index, out=mask_w[:look])
+                    np.logical_or(conflict, mask_w[:look], out=conflict)
                     first_write[targets] = _NEVER
-                    if conflicts.size:
+                    if conflict.any():
                         # Proposals past the first conflict read state an
                         # earlier pair rewrote; drop them (recomputed
                         # from the true state next iteration).
-                        window = int(conflicts[0])
+                        window = int(conflict.argmax())
                         kept = int(np.searchsorted(positions, window))
                         positions = positions[:kept]
                         targets = targets[:kept]

@@ -15,7 +15,9 @@ Un-instrumented runs pay nothing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol, Tuple, Union, runtime_checkable
+from typing import Iterator, List, Optional, Protocol, Tuple, Union, runtime_checkable
+
+import numpy as np
 
 from repro.core.state import OpinionState
 from repro.errors import ProcessError
@@ -24,21 +26,117 @@ from repro.errors import ProcessError
 ENDPOINTS_ONLY = 1 << 62
 
 
-def resolve_interval(observer: object) -> int:
-    """The validated sample interval of ``observer`` (default 1).
+def validate_interval(interval: int, *, owner: str = "observer") -> int:
+    """Validate a sample interval (must be ``>= 1``); returns it as int.
 
     A non-positive interval would silently re-arm a sampled observer to
     a step in the past, making it fire on *every* step (or never
-    terminate in round-based engines), so both engines reject it loudly
-    here instead.
+    terminate in round-based engines).  The trace constructors and both
+    engines reject it loudly through this single path, so an interval
+    typo can never silently degrade a run to per-step sampling.
     """
-    interval = int(getattr(observer, "interval", 1))
+    interval = int(interval)
     if interval <= 0:
         raise ProcessError(
-            f"observer {type(observer).__name__} has non-positive sample "
+            f"observer {owner} has non-positive sample "
             f"interval {interval}; intervals must be >= 1"
         )
     return interval
+
+
+def resolve_interval(observer: object) -> int:
+    """The validated sample interval of ``observer`` (default 1)."""
+    return validate_interval(
+        getattr(observer, "interval", 1), owner=type(observer).__name__
+    )
+
+
+class TraceBuffer:
+    """Growable preallocated array the trace observers append into.
+
+    The engines call ``sample`` on every due step, so per-sample Python
+    list appends used to dominate trace memory at paper scale (a boxed
+    ``int``/``float`` plus list slot per sample).  A ``TraceBuffer``
+    stores samples unboxed in a preallocated numpy array that doubles
+    geometrically — O(log n) allocations for n samples, no per-sample
+    allocation once warm.
+
+    Reads are sequence-like: ``len``, indexing, iteration, equality
+    against any sequence, and ``np.asarray(buf)`` is a zero-copy view of
+    the filled prefix (so existing ``np.array([t.weights ...])``
+    consumers keep working).  Buffers pickle with their contents, which
+    the parallel trial layer relies on.
+    """
+
+    __slots__ = ("_buf", "_size")
+
+    def __init__(self, dtype=np.float64, capacity: int = 64) -> None:
+        self._buf = np.empty(max(int(capacity), 1), dtype=dtype)
+        self._size = 0
+
+    def append(self, value) -> None:
+        """Append one sample (amortized O(1), no allocation once warm)."""
+        if self._size == self._buf.size:
+            grown = np.empty(2 * self._buf.size, dtype=self._buf.dtype)
+            grown[: self._size] = self._buf
+            self._buf = grown
+        self._buf[self._size] = value
+        self._size += 1
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only zero-copy view of the filled prefix."""
+        view = self._buf[: self._size].view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def capacity(self) -> int:
+        """Current allocated slots (grows geometrically, never shrinks)."""
+        return int(self._buf.size)
+
+    def tolist(self) -> list:
+        return self._buf[: self._size].tolist()
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        arr = self._buf[: self._size]
+        if dtype is not None and arr.dtype != np.dtype(dtype):
+            return arr.astype(dtype)
+        return arr
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __getitem__(self, index):
+        return self._buf[: self._size][index]
+
+    def __iter__(self) -> Iterator:
+        return iter(self._buf[: self._size].tolist())
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, TraceBuffer):
+            return bool(np.array_equal(self.values, other.values))
+        if isinstance(other, np.ndarray):
+            return self.values.shape == other.shape and bool(
+                np.array_equal(self.values, other)
+            )
+        if isinstance(other, (list, tuple)):
+            # Python-level compare so pytest.approx members keep working.
+            return self.tolist() == list(other)
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]  # mutable container
+
+    def __getstate__(self) -> Tuple[np.ndarray, int]:
+        return (self._buf[: self._size].copy(), self._size)
+
+    def __setstate__(self, state: Tuple[np.ndarray, int]) -> None:
+        self._buf, self._size = state
+        if self._buf.size == 0:  # keep append()'s doubling well-defined
+            self._buf = np.empty(1, dtype=self._buf.dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TraceBuffer({self.tolist()!r})"
 
 
 @runtime_checkable
@@ -74,9 +172,9 @@ class WeightTrace:
 
     def __init__(self, process: str, interval: int = 1) -> None:
         self.process = process
-        self.interval = max(1, int(interval))
-        self.steps: List[int] = []
-        self.weights: List[float] = []
+        self.interval = validate_interval(interval, owner=type(self).__name__)
+        self.steps = TraceBuffer(dtype=np.int64)
+        self.weights = TraceBuffer(dtype=np.float64)
 
     def sample(self, step: int, state: OpinionState) -> None:
         self.steps.append(step)
@@ -87,11 +185,11 @@ class SupportTrace:
     """Records ``(support size, min, max)`` every ``interval`` steps."""
 
     def __init__(self, interval: int = 1) -> None:
-        self.interval = max(1, int(interval))
-        self.steps: List[int] = []
-        self.sizes: List[int] = []
-        self.mins: List[int] = []
-        self.maxs: List[int] = []
+        self.interval = validate_interval(interval, owner=type(self).__name__)
+        self.steps = TraceBuffer(dtype=np.int64)
+        self.sizes = TraceBuffer(dtype=np.int64)
+        self.mins = TraceBuffer(dtype=np.int64)
+        self.maxs = TraceBuffer(dtype=np.int64)
 
     def sample(self, step: int, state: OpinionState) -> None:
         self.steps.append(step)
@@ -104,8 +202,8 @@ class OpinionCountsTrace:
     """Records the full ``opinion -> count`` histogram every ``interval`` steps."""
 
     def __init__(self, interval: int = 1) -> None:
-        self.interval = max(1, int(interval))
-        self.steps: List[int] = []
+        self.interval = validate_interval(interval, owner=type(self).__name__)
+        self.steps = TraceBuffer(dtype=np.int64)
         self.histograms: List[dict] = []
 
     def sample(self, step: int, state: OpinionState) -> None:
@@ -123,12 +221,12 @@ class ExtremeMeasureTrace:
     """
 
     def __init__(self, interval: int = 1) -> None:
-        self.interval = max(1, int(interval))
-        self.steps: List[int] = []
-        self.pi_min_class: List[float] = []
-        self.pi_max_class: List[float] = []
-        self.products: List[float] = []
-        self.support_sizes: List[int] = []
+        self.interval = validate_interval(interval, owner=type(self).__name__)
+        self.steps = TraceBuffer(dtype=np.int64)
+        self.pi_min_class = TraceBuffer(dtype=np.float64)
+        self.pi_max_class = TraceBuffer(dtype=np.float64)
+        self.products = TraceBuffer(dtype=np.float64)
+        self.support_sizes = TraceBuffer(dtype=np.int64)
 
     def sample(self, step: int, state: OpinionState) -> None:
         pi_s = state.stationary_measure(state.min_opinion)

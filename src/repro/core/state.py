@@ -23,6 +23,10 @@ import numpy as np
 from repro.errors import InvalidOpinionsError
 from repro.graphs.graph import Graph
 
+#: Shared zero-length result for empty batched queries.
+_EMPTY_I64 = np.zeros(0, dtype=np.int64)
+_EMPTY_I64.setflags(write=False)
+
 
 def _exact_degree_counts(
     shifted: np.ndarray, degrees: np.ndarray, width: int
@@ -60,6 +64,7 @@ class OpinionState:
         "_min_idx",
         "_max_idx",
         "_weights_dirty",
+        "_scratch",
     )
 
     def __init__(self, graph: Graph, opinions: Sequence[int]) -> None:
@@ -85,6 +90,36 @@ class OpinionState:
         self._min_idx = 0
         self._max_idx = width - 1
         self._weights_dirty = False
+        # Reusable scratch buffers for the batched hot paths (apply_block,
+        # support_range_timeline): keyed by use, grown geometrically,
+        # never released — so a long run settles into zero per-window
+        # allocation.  Lazily populated; a fresh state owns none.
+        self._scratch: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Scratch management (batched hot paths)
+    # ------------------------------------------------------------------
+    def _scratch_buf(self, name: str, size: int, dtype=np.int64) -> np.ndarray:
+        """A reusable buffer of at least ``size`` elements for ``name``.
+
+        The returned array is a prefix view of a persistent buffer that
+        is only ever *grown* (geometric doubling), so steady-state calls
+        allocate nothing.  Contents are unspecified on entry.
+        """
+        buf = self._scratch.get(name)
+        if buf is None or buf.size < size:
+            capacity = max(size, 256 if buf is None else 2 * buf.size)
+            buf = np.empty(capacity, dtype=dtype)
+            self._scratch[name] = buf
+        return buf[:size]
+
+    def _scratch_ramp(self, size: int) -> np.ndarray:
+        """A reusable ``arange(size)`` (row indices for timeline scatter)."""
+        buf = self._scratch.get("ramp")
+        if buf is None or buf.size < size:
+            buf = np.arange(max(size, 256), dtype=np.int64)
+            self._scratch["ramp"] = buf
+        return buf[:size]
 
     # ------------------------------------------------------------------
     # Read access
@@ -241,6 +276,13 @@ class OpinionState:
         if self._counts[new_idx] == 0:
             self._support_size += 1
         self._counts[new_idx] += 1
+        # The extreme pointers advance inward lazily, but a legal value
+        # outside the currently occupied window (the dynamics here never
+        # produce one, external callers may) must widen it eagerly.
+        if new_idx < self._min_idx:
+            self._min_idx = new_idx
+        elif new_idx > self._max_idx:
+            self._max_idx = new_idx
         if self._weights_dirty:
             # Weight aggregates are stale anyway; the next read rebuilds
             # them from the opinion vector (see apply_block).
@@ -277,36 +319,62 @@ class OpinionState:
         read weights mid-run, halving the batched bookkeeping on its hot
         path without changing any observable value.
 
+        The returned previous-values array is a view into reusable
+        scratch (part of the zero-per-window-allocation contract of the
+        batched hot path) and is only valid until the next
+        ``apply_block`` call; copy it to keep it.
+
         Like :meth:`apply`, raises when any new value falls outside the
         initial opinion range.
         """
         vertices = np.asarray(vertices, dtype=np.int64)
         new_values = np.asarray(new_values, dtype=np.int64)
-        old_values = self._values[vertices]
-        if vertices.size == 0:
-            return old_values
-        new_idx = new_values - self._offset
-        if int(new_idx.min()) < 0 or int(new_idx.max()) >= self._counts.size:
+        size = vertices.size
+        if size == 0:
+            return _EMPTY_I64
+        # mode="clip" skips numpy's bounds check; scheduler-drawn
+        # vertices are always in range.
+        old_values = self._scratch_buf("block_old_values", size)
+        self._values.take(vertices, out=old_values, mode="clip")
+        new_idx = self._scratch_buf("block_new_idx", size)
+        np.subtract(new_values, self._offset, out=new_idx)
+        new_lo = int(new_idx.min())
+        new_hi = int(new_idx.max())
+        if new_lo < 0 or new_hi >= self._counts.size:
             raise InvalidOpinionsError(
                 f"value(s) outside the initial opinion range "
                 f"[{self._offset}, {self._offset + self._counts.size - 1}]"
             )
-        old_idx = old_values - self._offset
+        old_idx = self._scratch_buf("block_old_idx", size)
+        np.subtract(old_values, self._offset, out=old_idx)
 
         self._values[vertices] = new_values
         counts = self._counts
-        np.add.at(counts, old_idx, -1)
+        np.subtract.at(counts, old_idx, 1)
         np.add.at(counts, new_idx, 1)
         self._support_size = int(np.count_nonzero(counts))
+        # Widen the lazy extreme window for legal values outside it,
+        # mirroring the scalar apply path.
+        if new_lo < self._min_idx:
+            self._min_idx = new_lo
+        if new_hi > self._max_idx:
+            self._max_idx = new_hi
         if defer_weights or self._weights_dirty:
             self._weights_dirty = True
             return old_values
-        degrees = self.graph.degrees[vertices]
-        np.add.at(self._degree_counts, old_idx, -degrees)
+        degrees_all = self.graph.degrees
+        degrees = self._scratch_buf("block_degrees", size)
+        if degrees_all.dtype == np.int64:
+            degrees_all.take(vertices, out=degrees, mode="clip")
+        else:  # non-canonical graph stubs
+            degrees[:] = degrees_all[vertices]
+        np.subtract.at(self._degree_counts, old_idx, degrees)
         np.add.at(self._degree_counts, new_idx, degrees)
-        value_delta = new_values - old_values
+        value_delta = self._scratch_buf("block_delta", size)
+        np.subtract(new_values, old_values, out=value_delta)
         self._sum += int(value_delta.sum())
-        self._degree_sum += int((value_delta * degrees).sum())
+        np.multiply(value_delta, degrees, out=value_delta)
+        self._degree_sum += int(value_delta.sum())
         return old_values
 
     def support_range_timeline(
@@ -326,13 +394,20 @@ class OpinionState:
         Cost is O(changes × current range width): the per-change count
         deltas are scattered into a dense ``(changes, width)`` matrix
         over the currently populated window and cumulatively summed.
+        Every intermediate lives in reusable scratch (no per-window
+        allocation); the two returned arrays are scratch views valid
+        until the next ``support_range_timeline`` call.
         """
         self._advance_extremes()
-        old_idx = np.asarray(old_values, dtype=np.int64) - self._offset
-        new_idx = np.asarray(new_values, dtype=np.int64) - self._offset
-        changes = old_idx.size
+        old_values = np.asarray(old_values, dtype=np.int64)
+        new_values = np.asarray(new_values, dtype=np.int64)
+        changes = old_values.size
         if changes == 0:
-            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+            return _EMPTY_I64, _EMPTY_I64
+        old_idx = self._scratch_buf("tl_old_idx", changes)
+        np.subtract(old_values, self._offset, out=old_idx)
+        new_idx = self._scratch_buf("tl_new_idx", changes)
+        np.subtract(new_values, self._offset, out=new_idx)
         if int(new_idx.min()) < 0 or int(new_idx.max()) >= self._counts.size:
             raise InvalidOpinionsError(
                 f"value(s) outside the initial opinion range "
@@ -341,18 +416,33 @@ class OpinionState:
         lo = min(self._min_idx, int(old_idx.min()), int(new_idx.min()))
         hi = max(self._max_idx, int(old_idx.max()), int(new_idx.max()))
         width = hi - lo + 1
-        rows = np.arange(changes)
-        delta = np.zeros((changes, width), dtype=np.int64)
+        rows = self._scratch_ramp(changes)
+        delta = self._scratch_buf("tl_delta", changes * width).reshape(
+            changes, width
+        )
+        delta[:] = 0
+        np.subtract(old_idx, lo, out=old_idx)
+        np.subtract(new_idx, lo, out=new_idx)
         # Per row the two touched columns are distinct (old != new) and
         # rows are distinct, so fancy-indexed in-place adds never collide.
-        delta[rows, old_idx - lo] -= 1
-        delta[rows, new_idx - lo] += 1
-        counts_timeline = self._counts[lo : hi + 1][None, :] + delta.cumsum(axis=0)
-        present = counts_timeline > 0
-        support_sizes = present.sum(axis=1)
-        min_cols = present.argmax(axis=1)
-        max_cols = width - 1 - present[:, ::-1].argmax(axis=1)
-        return support_sizes, max_cols - min_cols
+        delta[rows, old_idx] -= 1
+        delta[rows, new_idx] += 1
+        np.cumsum(delta, axis=0, out=delta)
+        np.add(delta, self._counts[lo : hi + 1][None, :], out=delta)
+        present = self._scratch_buf(
+            "tl_present", changes * width, dtype=np.bool_
+        ).reshape(changes, width)
+        np.greater(delta, 0, out=present)
+        support_sizes = self._scratch_buf("tl_support", changes)
+        present.sum(axis=1, dtype=np.int64, out=support_sizes)
+        min_cols = self._scratch_buf("tl_min_cols", changes, dtype=np.intp)
+        np.argmax(present, axis=1, out=min_cols)
+        range_widths = self._scratch_buf("tl_widths", changes, dtype=np.intp)
+        np.argmax(present[:, ::-1], axis=1, out=range_widths)
+        # widths = (width - 1 - argmax(reversed)) - argmax(forward)
+        np.subtract(width - 1, range_widths, out=range_widths)
+        np.subtract(range_widths, min_cols, out=range_widths)
+        return support_sizes, range_widths
 
     def min_changes_to_support(self, target: int) -> int:
         """Lower bound on single-vertex changes before support can reach
@@ -376,8 +466,79 @@ class OpinionState:
         return int(np.partition(counts, excess - 1)[:excess].sum())
 
     def copy(self) -> "OpinionState":
-        """An independent copy sharing the (immutable) graph."""
-        return OpinionState(self.graph, self._values)
+        """An independent copy sharing the (immutable) graph.
+
+        Clones the internal caches field by field instead of rebuilding
+        through the constructor: re-deriving ``_offset`` and the counts
+        width from the *current* values would narrow the valid opinion
+        range once an evolved state's extreme classes have emptied, and
+        :meth:`apply` documents the whole *initial* range as legal.  The
+        copy therefore preserves the initial-range window, the deferred
+        weight flag and the lazy extreme pointers exactly.  Scratch
+        buffers are not shared — each copy lazily grows its own.
+        """
+        clone = object.__new__(OpinionState)
+        clone.graph = self.graph
+        clone._values = self._values.copy()
+        clone._offset = self._offset
+        clone._counts = self._counts.copy()
+        clone._degree_counts = self._degree_counts.copy()
+        clone._sum = self._sum
+        clone._degree_sum = self._degree_sum
+        clone._support_size = self._support_size
+        clone._min_idx = self._min_idx
+        clone._max_idx = self._max_idx
+        clone._weights_dirty = self._weights_dirty
+        clone._scratch = {}
+        return clone
+
+    # ------------------------------------------------------------------
+    # Flat-buffer interface for compiled execution kernels
+    # ------------------------------------------------------------------
+    def kernel_buffers(self) -> Tuple[np.ndarray, np.ndarray, int, int, int, int]:
+        """Live flat buffers for a compiled execution kernel.
+
+        Returns ``(values, counts, offset, min_idx, max_idx,
+        support_size)`` where ``values`` and ``counts`` are the state's
+        *own* int64 arrays (mutations are visible immediately) and the
+        three scalars describe the support bookkeeping with the extreme
+        pointers advanced past emptied classes.
+
+        This is the approved mutation channel for kernels that run the
+        update recurrence over flat arrays (see
+        :mod:`repro.core.kernels.compiled`): a kernel may update
+        ``values``/``counts`` in place provided it maintains the same
+        invariants :meth:`apply` does, and it MUST report the final
+        scalars back through :meth:`kernel_commit` before anything else
+        reads the state.  The degree-weighted aggregates are *not* part
+        of the contract — they are rebuilt exactly on the next read,
+        like the deferred path of :meth:`apply_block`.
+        """
+        self._advance_extremes()
+        return (
+            self._values,
+            self._counts,
+            self._offset,
+            self._min_idx,
+            self._max_idx,
+            self._support_size,
+        )
+
+    def kernel_commit(
+        self, support_size: int, min_idx: int, max_idx: int, mutated: bool
+    ) -> None:
+        """Re-sync scalar caches after a kernel mutated the flat buffers.
+
+        ``mutated=True`` marks the degree-weighted aggregates dirty so
+        the next read rebuilds them exactly from the opinion vector
+        (bit-identical to incremental maintenance, see
+        :meth:`_refresh_weights`); ``False`` leaves a clean state clean.
+        """
+        self._support_size = int(support_size)
+        self._min_idx = int(min_idx)
+        self._max_idx = int(max_idx)
+        if mutated:
+            self._weights_dirty = True
 
     # ------------------------------------------------------------------
     # Internals

@@ -51,11 +51,24 @@ class StopTerm:
         change removes at most one opinion class, a kernel may skip the
         timeline reconstruction entirely while
         ``current support - pending changes > support_ceiling``.
+    support_at_most / width_at_most:
+        The clause in *canonical conjunction form*: it fires exactly
+        when ``support <= support_at_most AND width <= width_at_most``
+        (``None`` meaning unbounded). Every built-in condition is such
+        a conjunction — note ``two_adjacent`` (``support == 1`` or
+        ``support == 2 and width == 1``) is equivalent to
+        ``support <= 2 and width <= 1`` because width 0 forces support
+        1. The compiled kernel checks these two integer thresholds
+        inside its machine-code loop; a term publishing neither field
+        leaves ``fires`` as the only contract and routes the run to the
+        block kernel's timeline reconstruction instead.
     """
 
     reason: str
     fires: Callable
     support_ceiling: Optional[int] = None
+    support_at_most: Optional[int] = None
+    width_at_most: Optional[int] = None
 
 
 def support_range_terms(condition: StopCondition) -> Optional[Tuple[StopTerm, ...]]:
@@ -81,6 +94,7 @@ consensus.support_range_terms = (
         reason="consensus",
         fires=lambda support, widths: support == 1,
         support_ceiling=1,
+        support_at_most=1,
     ),
 )
 
@@ -96,6 +110,8 @@ two_adjacent.support_range_terms = (
         fires=lambda support, widths: (support == 1)
         | ((support == 2) & (widths == 1)),
         support_ceiling=2,
+        support_at_most=2,
+        width_at_most=1,
     ),
 )
 
@@ -114,6 +130,7 @@ def range_at_most(width: int) -> StopCondition:
         StopTerm(
             reason=f"range<={width}",
             fires=lambda support, widths: widths <= width,
+            width_at_most=width,
         ),
     )
     return condition
@@ -134,6 +151,7 @@ def support_at_most(size: int) -> StopCondition:
             reason=f"support<={size}",
             fires=lambda support, widths: support <= size,
             support_ceiling=size,
+            support_at_most=size,
         ),
     )
     return condition

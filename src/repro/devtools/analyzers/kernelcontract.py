@@ -30,7 +30,11 @@ from repro.devtools.project import ClassInfo, ProjectModel
 STATE_MODULE = "repro.core.state"
 STATE_CLASS = "OpinionState"
 #: The only methods allowed to mutate OpinionState's incremental caches.
-APPROVED_MUTATORS: FrozenSet[str] = frozenset({"apply", "apply_block"})
+#: ``kernel_buffers``/``kernel_commit`` are the flat-buffer channel the
+#: compiled kernel mutates through (it never touches private attrs).
+APPROVED_MUTATORS: FrozenSet[str] = frozenset(
+    {"apply", "apply_block", "kernel_buffers", "kernel_commit"}
+)
 
 KERNELS_PACKAGE = "repro.core.kernels"
 #: Modules that must stay kernel-agnostic.

@@ -1,14 +1,18 @@
-"""Loop-vs-block execution kernel equivalence and unit tests.
+"""Execution-kernel equivalence and unit tests (loop / block / compiled).
 
-The block kernel's contract is *bit-for-bit* equivalence with the
+Every kernel's contract is *bit-for-bit* equivalence with the
 sequential reference loop: same final opinions, same step count, same
 stop reason, same observer sequences, for any seed.  The sweep below
 exercises that contract across graphs × dynamics × schedulers × stop
-conditions × observers; the unit tests pin down the conflict-free
-segment splitter and the batched state operations it relies on.
+conditions × observers for both the block and the compiled backend
+(the latter through its interpreted core, so the sweep runs without
+numba); the unit tests pin down the conflict-free segment splitter and
+the batched state operations the kernels rely on.
 """
 
 from __future__ import annotations
+
+import tracemalloc
 
 import numpy as np
 import pytest
@@ -25,16 +29,21 @@ from repro.core import (
 )
 from repro.core.kernels import (
     BlockKernel,
+    CompiledKernel,
     KERNEL_NAMES,
     LoopKernel,
+    NUMBA_AVAILABLE,
     active_kernel,
+    compiled_runtime_available,
     conflict_free_bounds,
+    interpreted_compiled,
     make_kernel,
     resolve_kernel,
     supports_block,
+    supports_compiled,
     use_kernel,
 )
-from repro.core.observers import ChangeLog, SupportTrace, WeightTrace
+from repro.core.observers import ChangeLog, SupportTrace, TraceBuffer, WeightTrace
 from repro.core.stopping import (
     first_of,
     never,
@@ -52,46 +61,55 @@ def initial_state(graph, seed, k=6):
     return OpinionState(graph, opinions)
 
 
+#: Non-reference kernels the sweep compares against "loop".  The
+#: compiled kernel runs through :func:`interpreted_compiled`, so its
+#: control flow is covered bit-for-bit even without numba (with numba
+#: installed the jitted core is the same function, machine-compiled).
+SWEEP_KERNELS = ("loop", "block", "compiled")
+
+
 def run_pair(graph, dynamics, scheduler_cls, *, stop, seed, observers=(), **kw):
-    """Run the same configuration under both kernels; return both results
-    plus the observer pairs for sequence comparison."""
+    """Run the same configuration under every kernel; return all results
+    plus the observer sets for sequence comparison."""
     results, observer_sets = [], []
-    for kernel in ("loop", "block"):
-        state = initial_state(graph, seed)
-        obs = [factory() for factory in observers]
-        result = run_dynamics(
-            state,
-            scheduler_cls(graph),
-            dynamics,
-            stop=stop,
-            rng=seed + 1,
-            observers=obs,
-            kernel=kernel,
-            **kw,
-        )
-        results.append(result)
-        observer_sets.append(obs)
+    with interpreted_compiled():
+        for kernel in SWEEP_KERNELS:
+            state = initial_state(graph, seed)
+            obs = [factory() for factory in observers]
+            result = run_dynamics(
+                state,
+                scheduler_cls(graph),
+                dynamics,
+                stop=stop,
+                rng=seed + 1,
+                observers=obs,
+                kernel=kernel,
+                **kw,
+            )
+            results.append(result)
+            observer_sets.append(obs)
     return results, observer_sets
 
 
+def _observable_state(observer):
+    return {
+        key: val
+        for key, val in vars(observer).items()
+        if isinstance(val, (list, TraceBuffer))
+    }
+
+
 def assert_equivalent(results, observer_sets):
-    loop, block = results
-    assert block.steps == loop.steps
-    assert block.stop_reason == loop.stop_reason
-    np.testing.assert_array_equal(block.state.values, loop.state.values)
-    block.state.check_consistency()
-    for obs_loop, obs_block in zip(*observer_sets):
-        state_loop = {
-            key: val
-            for key, val in vars(obs_loop).items()
-            if isinstance(val, list)
-        }
-        state_block = {
-            key: val
-            for key, val in vars(obs_block).items()
-            if isinstance(val, list)
-        }
-        assert state_block == state_loop
+    loop = results[0]
+    for other in results[1:]:
+        assert other.steps == loop.steps
+        assert other.stop_reason == loop.stop_reason
+        np.testing.assert_array_equal(other.state.values, loop.state.values)
+        other.state.check_consistency()
+    for observers in zip(*observer_sets):
+        reference = _observable_state(observers[0])
+        for other in observers[1:]:
+            assert _observable_state(other) == reference
 
 
 GRAPHS = [
@@ -297,11 +315,12 @@ class TestBatchedStateOps:
 
 class TestKernelSelection:
     def test_kernel_names(self):
-        assert KERNEL_NAMES == ("auto", "block", "loop")
+        assert KERNEL_NAMES == ("auto", "block", "compiled", "loop")
 
     def test_make_kernel(self):
         assert isinstance(make_kernel("loop"), LoopKernel)
         assert isinstance(make_kernel("block"), BlockKernel)
+        assert isinstance(make_kernel("compiled"), CompiledKernel)
         with pytest.raises(ProcessError):
             make_kernel("vectorised")
 
@@ -309,12 +328,42 @@ class TestKernelSelection:
         assert supports_block(IncrementalVoting())
         assert not supports_block(MedianVoting())
 
+    def test_supports_compiled(self):
+        assert supports_compiled(IncrementalVoting())
+        assert supports_compiled(PullVoting())
+        assert supports_compiled(PushVoting())
+        assert not supports_compiled(MedianVoting())
+
     def test_auto_resolves_by_dynamics(self):
         assert resolve_kernel("auto", IncrementalVoting()).name == "block"
         assert resolve_kernel("auto", MedianVoting()).name == "loop"
 
     def test_block_falls_back_without_step_block(self):
         assert resolve_kernel("block", MedianVoting()).name == "loop"
+
+    def test_compiled_falls_back_without_numba(self, monkeypatch):
+        # Without an importable numba the compiled backend must degrade
+        # to the block kernel (then the loop, for non-block dynamics)
+        # so dependency-free environments keep working.
+        monkeypatch.setattr(
+            "repro.core.kernels.compiled.NUMBA_AVAILABLE", False
+        )
+        assert not compiled_runtime_available()
+        assert resolve_kernel("compiled", IncrementalVoting()).name == "block"
+        assert resolve_kernel("compiled", MedianVoting()).name == "loop"
+
+    def test_interpreted_compiled_forces_backend(self):
+        with interpreted_compiled():
+            assert compiled_runtime_available()
+            assert (
+                resolve_kernel("compiled", IncrementalVoting()).name
+                == "compiled"
+            )
+        assert compiled_runtime_available() == NUMBA_AVAILABLE
+
+    def test_compiled_falls_back_without_compiled_id(self):
+        with interpreted_compiled():
+            assert resolve_kernel("compiled", MedianVoting()).name == "loop"
 
     def test_explicit_loop_wins_over_heuristic(self):
         assert resolve_kernel("loop", IncrementalVoting()).name == "loop"
@@ -364,3 +413,152 @@ class TestKernelSelection:
             kernel="block",
         )
         assert result.kernel == "loop"
+
+    def test_compiled_fallback_recorded_on_result(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.core.kernels.compiled.NUMBA_AVAILABLE", False
+        )
+        graph = complete_graph(10)
+        result = run_dynamics(
+            initial_state(graph, 1),
+            VertexScheduler(graph),
+            IncrementalVoting(),
+            rng=2,
+            kernel="compiled",
+        )
+        assert result.kernel == "block"
+
+
+class TestCompiledKernel:
+    def test_result_records_compiled(self):
+        graph = complete_graph(12)
+        with interpreted_compiled():
+            result = run_dynamics(
+                initial_state(graph, 3),
+                VertexScheduler(graph),
+                IncrementalVoting(),
+                rng=4,
+                kernel="compiled",
+            )
+        assert result.kernel == "compiled"
+
+    def test_change_observer_delegates_to_block(self):
+        # Change observers need the live state after every change; the
+        # compiled kernel hands such runs to the (exact) block kernel
+        # and the result must name the backend that actually ran.
+        graph = complete_graph(12)
+        log = ChangeLog()
+        with interpreted_compiled():
+            result = run_dynamics(
+                initial_state(graph, 3),
+                VertexScheduler(graph),
+                IncrementalVoting(),
+                rng=4,
+                kernel="compiled",
+                observers=[log],
+            )
+        assert result.kernel == "block"
+        assert log.entries
+
+    def test_opaque_stop_delegates_to_block(self):
+        graph = complete_graph(12)
+
+        def opaque(state):
+            return "shrunk" if state.support_size <= 2 else None
+
+        with interpreted_compiled():
+            result = run_dynamics(
+                initial_state(graph, 3),
+                VertexScheduler(graph),
+                IncrementalVoting(),
+                stop=opaque,
+                rng=4,
+                max_steps=10**6,
+                kernel="compiled",
+            )
+        assert result.kernel == "block"
+        assert result.stop_reason == "shrunk"
+
+    @pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
+    def test_jitted_core_matches_loop(self):
+        # With numba present the real machine-code core must still be
+        # bit-for-bit identical (the sweep above covers the interpreted
+        # twin everywhere).
+        graph = random_regular_graph(64, 6, rng=1)
+        reference = run_dynamics(
+            initial_state(graph, 5),
+            VertexScheduler(graph),
+            IncrementalVoting(),
+            rng=6,
+            kernel="loop",
+        )
+        compiled = run_dynamics(
+            initial_state(graph, 5),
+            VertexScheduler(graph),
+            IncrementalVoting(),
+            rng=6,
+            kernel="compiled",
+        )
+        assert compiled.kernel == "compiled"
+        assert compiled.steps == reference.steps
+        np.testing.assert_array_equal(
+            compiled.state.values, reference.state.values
+        )
+
+
+class TestAllocationRegression:
+    def test_batched_hot_path_reuses_scratch(self):
+        """apply_block / support_range_timeline settle into zero
+        per-window allocation: scratch buffers are identical objects
+        across calls and tracemalloc sees no growth once warm."""
+        graph = random_regular_graph(200, 6, rng=7)
+        state = initial_state(graph, 9)
+        rng = make_rng(31)
+
+        def one_window(size=64):
+            vertices = rng.permutation(state.graph.n)[:size]
+            new_values = np.clip(
+                state.values[vertices] + rng.integers(-1, 2, size=size),
+                state.values.min(),
+                state.values.max(),
+            )
+            changed = new_values != state.values[vertices]
+            vertices, new_values = vertices[changed], new_values[changed]
+            if vertices.size == 0:
+                return
+            state.support_range_timeline(state.values[vertices], new_values)
+            state.apply_block(vertices, new_values, defer_weights=True)
+
+        for _ in range(5):  # warm the scratch pool
+            one_window()
+        warm = {name: id(buf) for name, buf in state._scratch.items()}
+
+        tracemalloc.start()
+        before = tracemalloc.take_snapshot()
+        for _ in range(20):
+            one_window()
+        after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+
+        assert {name: id(buf) for name, buf in state._scratch.items()} == warm
+        state_py = __import__(
+            "repro.core.state", fromlist=["__file__"]
+        ).__file__
+        grown = [
+            diff
+            for diff in after.compare_to(before, "filename")
+            if diff.traceback[0].filename == state_py and diff.size_diff > 0
+        ]
+        assert sum(d.size_diff for d in grown) < 4096, grown
+
+    def test_trace_buffers_preallocate(self):
+        """A long sampled run must not grow one Python object per
+        sample: the trace arrays double geometrically instead."""
+        trace = SupportTrace(interval=1)
+        graph = complete_graph(20)
+        state = initial_state(graph, 2)
+        for step in range(10_000):
+            trace.sample(step, state)
+        assert len(trace.steps) == 10_000
+        assert trace.steps.capacity < 20_000  # geometric, not per-sample
+        assert trace.steps[-1] == 9_999

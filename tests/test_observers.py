@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import pickle
+
+import numpy as np
 import pytest
 
 from repro.core import OpinionState
@@ -13,8 +16,10 @@ from repro.core.observers import (
     Stage,
     StageRecorder,
     SupportTrace,
+    TraceBuffer,
     WeightTrace,
 )
+from repro.errors import ProcessError
 from repro.graphs import complete_graph
 
 
@@ -33,8 +38,19 @@ class TestWeightTrace:
         assert trace.steps == [0, 5]
         assert trace.weights == [12.0, 13.0]
 
-    def test_interval_floor(self):
-        assert WeightTrace("edge", interval=0).interval == 1
+    def test_non_positive_interval_rejected(self):
+        # Regression: constructors used to clamp max(1, interval), so a
+        # typo silently became per-step sampling while the engines
+        # rejected the same interval loudly.  One validation path now.
+        for bad in (0, -3):
+            for make in (
+                lambda i: WeightTrace("edge", interval=i),
+                lambda i: SupportTrace(interval=i),
+                lambda i: OpinionCountsTrace(interval=i),
+                lambda i: ExtremeMeasureTrace(interval=i),
+            ):
+                with pytest.raises(ProcessError, match="interval"):
+                    make(bad)
 
 
 class TestSupportAndCounts:
@@ -130,6 +146,56 @@ class TestExtremeMeasureTrace:
         trace = ExtremeMeasureTrace()
         trace.sample(0, state)
         assert trace.products == [0.0]
+
+
+class TestTraceBuffer:
+    def test_sequence_protocol(self):
+        buf = TraceBuffer(dtype=np.int64, capacity=2)
+        for v in (3, 1, 4, 1, 5):
+            buf.append(v)
+        assert len(buf) == 5
+        assert buf[0] == 3 and buf[-1] == 5
+        assert list(buf) == [3, 1, 4, 1, 5]
+        assert buf.tolist() == [3, 1, 4, 1, 5]
+        assert buf == [3, 1, 4, 1, 5]
+        assert buf == np.array([3, 1, 4, 1, 5])
+        assert not (buf == [3, 1, 4])
+
+    def test_growth_is_geometric(self):
+        buf = TraceBuffer(dtype=np.float64, capacity=4)
+        assert buf.capacity == 4
+        for v in range(5):
+            buf.append(float(v))
+        assert buf.capacity == 8
+        for v in range(20):
+            buf.append(float(v))
+        assert buf.capacity == 32
+
+    def test_array_view_is_zero_copy(self):
+        buf = TraceBuffer(dtype=np.int64)
+        buf.append(7)
+        buf.append(8)
+        arr = np.asarray(buf)
+        assert arr.dtype == np.int64
+        assert arr.tolist() == [7, 8]
+        assert arr.base is not None  # a view, not a copy
+        with pytest.raises(ValueError):
+            buf.values[0] = 0  # read-only
+
+    def test_pickle_roundtrip(self):
+        buf = TraceBuffer(dtype=np.float64)
+        buf.append(1.5)
+        buf.append(2.5)
+        clone = pickle.loads(pickle.dumps(buf))
+        assert clone == buf
+        clone.append(3.5)  # appendable after unpickling
+        assert clone.tolist() == [1.5, 2.5, 3.5]
+        assert buf.tolist() == [1.5, 2.5]
+
+    def test_approx_equality(self):
+        buf = TraceBuffer(dtype=np.float64)
+        buf.append(1 / 3)
+        assert buf == [pytest.approx(1 / 3)]
 
 
 class TestChangeLog:

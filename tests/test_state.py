@@ -142,6 +142,37 @@ class TestApply:
         state.check_consistency()
         clone.check_consistency()
 
+    def test_copy_preserves_initial_opinion_range(self, small_complete):
+        """Regression: copy() used to rebuild through the constructor,
+        re-deriving the offset and counts width from the *current*
+        values — so once an evolved state's extreme classes emptied, a
+        copy rejected values apply() documents as legal (the whole
+        initial range)."""
+        state = OpinionState(small_complete, [1, 1, 2, 2, 3, 3, 5, 5])
+        # Evolve until the occupied range shrinks to [2, 3].
+        for v, value in ((0, 2), (1, 2), (6, 3), (7, 3)):
+            state.apply(v, value)
+        assert state.min_opinion == 2 and state.max_opinion == 3
+        clone = state.copy()
+        # Values from the original initial range must stay legal.
+        clone.apply(0, 1)
+        clone.apply(1, 5)
+        assert clone.min_opinion == 1 and clone.max_opinion == 5
+        clone.check_consistency()
+        # ... and the source state is untouched.
+        assert state.min_opinion == 2 and state.max_opinion == 3
+        state.check_consistency()
+
+    def test_copy_preserves_deferred_weights(self, small_complete):
+        state = OpinionState(small_complete, [1, 1, 2, 2, 3, 3, 5, 5])
+        state.apply_block(
+            np.array([0, 6]), np.array([2, 3]), defer_weights=True
+        )
+        clone = state.copy()
+        assert clone.total_sum == state.total_sum
+        clone.check_consistency()
+        state.check_consistency()
+
 
 class TestConsistencyUnderRandomUpdates:
     def test_random_walk_of_applies(self, rng):

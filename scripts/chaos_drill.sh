@@ -10,7 +10,11 @@
 #      injected worker crashes and chunk timeouts (crash@I:1 / hang@I:1);
 #   3. corruption drill — a corrupted checkpoint record aborts the resume
 #      with a one-line error (exit 2), and --discard-corrupt recovers to
-#      the identical report.
+#      the identical report;
+#   4. journal-executor drill — two concurrent launchers with injected
+#      lease faults (steal/abort on one, stale/partial on the other)
+#      cooperatively drain one campaign to a journal bit-identical to
+#      the serial reference, and `campaign status` reads the directory.
 #
 # Usage: scripts/chaos_drill.sh   (override the CLI with DIV_REPRO=...)
 set -euo pipefail
@@ -63,7 +67,7 @@ say "OK: resumed journal is bit-identical to the uninterrupted journal"
 say "fault drill: workers=2 with injected crash + hang faults"
 $RUN run "$EXPERIMENT" --quick --seed "$SEED" --workers 2 \
     --checkpoint-dir "$WORK/ckpt-faults" --json "$WORK/out-faults" \
-    --inject-faults 'crash@3:1;hang@17:1' --trial-timeout 2 --max-retries 2 \
+    --inject-faults 'crash@3:1;hang@17:1' --trial-timeout 4 --max-retries 2 \
     > /dev/null 2>&1
 $RUN checkpoint diff "$WORK/ckpt-ref/$EXPERIMENT_LOWER" "$WORK/ckpt-faults/$EXPERIMENT_LOWER" > /dev/null
 say "OK: faulted parallel journal is bit-identical to the serial journal"
@@ -102,5 +106,46 @@ $RUN run "$EXPERIMENT" --quick --seed "$SEED" \
     --json "$WORK/out-corrupt" > /dev/null
 cmp "$WORK/ref/$EXPERIMENT_LOWER.json" "$WORK/out-corrupt/$EXPERIMENT_LOWER.json"
 say "OK: --discard-corrupt re-ran the damaged trial to an identical report"
+
+# ------------------------------------------------ journal-executor drill
+say "journal drill: two concurrent launchers with injected lease faults"
+# Launcher A aborts after a forced steal; its leftover lease goes stale
+# and launcher B (or a resumed A) reclaims the chunk. B also exercises
+# the stale-heartbeat and torn-write paths. Either launcher alone can
+# drain the campaign, so the drill tolerates A dying by design.
+$RUN run "$EXPERIMENT" --quick --seed "$SEED" --workers 2 \
+    --checkpoint-dir "$WORK/ckpt-journal" --resume \
+    --executor journal --lease-ttl 2 \
+    --inject-faults 'lease-steal@5;lease-abort@5' \
+    > /dev/null 2>&1 &
+LAUNCHER_A=$!
+$RUN run "$EXPERIMENT" --quick --seed "$SEED" --workers 2 \
+    --checkpoint-dir "$WORK/ckpt-journal" --resume \
+    --executor journal --lease-ttl 2 \
+    --inject-faults 'lease-stale@95;lease-partial@185' \
+    --json "$WORK/out-journal" > /dev/null 2>&1 &
+LAUNCHER_B=$!
+wait "$LAUNCHER_A" || say "launcher A died from its injected abort (expected)"
+wait "$LAUNCHER_B"
+$RUN checkpoint diff "$WORK/ckpt-ref/$EXPERIMENT_LOWER" "$WORK/ckpt-journal/$EXPERIMENT_LOWER" > /dev/null
+say "OK: cooperatively drained journal is bit-identical to the serial journal"
+python - "$WORK/ref/$EXPERIMENT_LOWER.json" "$WORK/out-journal/$EXPERIMENT_LOWER.json" <<'EOF'
+import json, sys
+
+def load(path):
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    for table in report["tables"]:
+        table["notes"] = [
+            n for n in table["notes"] if not n.startswith("trial execution:")
+        ]
+    return report
+
+left, right = load(sys.argv[1]), load(sys.argv[2])
+assert left == right, "journal-executor report diverged from serial report"
+EOF
+say "OK: journal-executor report matches the serial report"
+$RUN campaign status "$WORK/ckpt-journal" > /dev/null
+say "OK: campaign status reads the shared checkpoint directory"
 
 say "all drills passed"

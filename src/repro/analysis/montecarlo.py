@@ -65,6 +65,11 @@ class TrialSet(Generic[T]):
     outcomes: List[T]
     timings: Optional[TrialTimings] = None
     metrics: Optional[MetricsSnapshot] = None
+    #: Resolved executor backend the batch ran through, including any
+    #: degradation path (``"serial"``, ``"pool"``, ``"pool->serial"``,
+    #: ``"journal"``, ``"journal->serial"`` …). Mirrors
+    #: ``RunResult.kernel``: what actually executed, not what was asked.
+    executor: Optional[str] = None
 
     @property
     def count(self) -> int:
@@ -96,6 +101,7 @@ def run_trials(
     max_retries: Optional[int] = None,
     fault_plan: Optional[FaultPlan] = None,
     kernel: Optional[str] = None,
+    executor: Optional[str] = None,
 ) -> TrialSet:
     """Run ``trial(index, rng)`` for ``trials`` independent generators.
 
@@ -113,13 +119,21 @@ def run_trials(
     trials and shipped to every worker on the parallel path, so engine
     calls that leave ``kernel="auto"`` pick it up. Outcomes are
     identical across kernels; this is a wall-clock knob only.
+
+    ``executor`` selects the execution backend (``"auto"``, ``"serial"``,
+    ``"pool"``, ``"journal"``; see :mod:`repro.parallel.executors`);
+    unset, it falls back to the ambient campaign session's choice and
+    then to ``"auto"``. Any explicit backend routes the batch through
+    :func:`repro.parallel.execute_tasks` even with ``workers=None``
+    (the ``journal`` backend parallelizes across peer *launchers*, not
+    local workers). Outcomes never depend on the backend.
     """
     if trials < 1:
         raise AnalysisError(f"trials must be >= 1, got {trials}")
     session = current_session()
     batch, cached = _open_batch(session, "trials", trials)
-    fault_plan, timeout, max_retries = _session_overrides(
-        session, fault_plan, timeout, max_retries
+    fault_plan, timeout, max_retries, executor = _session_overrides(
+        session, fault_plan, timeout, max_retries, executor
     )
     tracer = current_tracer()
     parent_metrics = active_metrics()
@@ -133,7 +147,7 @@ def run_trials(
                 workers=0 if workers is None else workers,
                 cached=len(cached),
             )
-        if workers is None:
+        if workers is None and executor in (None, "auto"):
             rngs = spawn_rngs(seed, trials)
             outcomes: List[T] = []
             snapshots: List[MetricsSnapshot] = []
@@ -152,6 +166,7 @@ def run_trials(
             return TrialSet(
                 outcomes=outcomes,
                 metrics=_merged_metrics(snapshots, parent_metrics),
+                executor="serial",
             )
         trial_seeds = spawn_seed_sequences(seed, trials)
         tasks = [
@@ -160,11 +175,13 @@ def run_trials(
         records, timings = execute_tasks(
             trial,
             tasks,
-            workers,
+            workers if workers is not None else 1,
             fault_plan=fault_plan,
             on_record=_recorder(session, batch),
             collect_metrics=parent_metrics is not None,
             kernel=active_kernel(),
+            executor=executor,
+            **_journal_kwargs(session, batch, executor),
             **_parallel_kwargs(chunk_size, timeout, max_retries),
         )
         _trace_records(tracer, records)
@@ -176,6 +193,7 @@ def run_trials(
             metrics=_merged_metrics(
                 [r.metrics for r in records], parent_metrics
             ),
+            executor=timings.executor,
         )
 
 
@@ -191,6 +209,7 @@ def run_trials_over(
     max_retries: Optional[int] = None,
     fault_plan: Optional[FaultPlan] = None,
     kernel: Optional[str] = None,
+    executor: Optional[str] = None,
 ) -> List[tuple]:
     """Run a trial batch per parameter value.
 
@@ -208,15 +227,16 @@ def run_trials_over(
     campaign interrupted under one worker count resumes correctly under
     any other.
 
-    ``kernel`` behaves as in :func:`run_trials`: ambient around serial
-    trials, shipped to workers on the parallel path, outcome-neutral.
+    ``kernel`` and ``executor`` behave as in :func:`run_trials`:
+    ambient/session-resolved, shipped to wherever trials execute,
+    outcome-neutral.
     """
     if trials < 1:
         raise AnalysisError(f"trials must be >= 1, got {trials}")
     session = current_session()
     grid_key, cached = _open_batch(session, "grid", len(parameters) * trials)
-    fault_plan, timeout, max_retries = _session_overrides(
-        session, fault_plan, timeout, max_retries
+    fault_plan, timeout, max_retries, executor = _session_overrides(
+        session, fault_plan, timeout, max_retries, executor
     )
     tracer = current_tracer()
     parent_metrics = active_metrics()
@@ -232,7 +252,7 @@ def run_trials_over(
                 workers=0 if workers is None else workers,
                 cached=len(cached),
             )
-        if workers is None:
+        if workers is None and executor in (None, "auto"):
             results = []
             for p_index, (parameter, batch_seed) in enumerate(
                 zip(parameters, batch_seeds)
@@ -259,6 +279,7 @@ def run_trials_over(
                         TrialSet(
                             outcomes=outcomes,
                             metrics=_merged_metrics(snapshots, parent_metrics),
+                            executor="serial",
                         ),
                     )
                 )
@@ -278,11 +299,13 @@ def run_trials_over(
         records, timings = execute_tasks(
             trial,
             tasks,
-            workers,
+            workers if workers is not None else 1,
             fault_plan=fault_plan,
             on_record=_recorder(session, grid_key),
             collect_metrics=parent_metrics is not None,
             kernel=active_kernel(),
+            executor=executor,
+            **_journal_kwargs(session, grid_key, executor),
             **_parallel_kwargs(chunk_size, timeout, max_retries),
         )
         _trace_records(tracer, records)
@@ -300,6 +323,7 @@ def run_trials_over(
                 total_seconds=timings.total_seconds,
                 retries=timings.retries,
                 fallback_trials=timings.fallback_trials,
+                executor=timings.executor,
             )
             results.append(
                 (
@@ -310,6 +334,7 @@ def run_trials_over(
                         metrics=_merged_metrics(
                             [r.metrics for r in slice_records], parent_metrics
                         ),
+                        executor=timings.executor,
                     ),
                 )
             )
@@ -398,6 +423,7 @@ def _session_overrides(
     fault_plan: Optional[FaultPlan],
     timeout: Optional[float],
     max_retries: Optional[int],
+    executor: Optional[str],
 ) -> tuple:
     """Fill unset per-call knobs from the ambient campaign session."""
     if session is not None:
@@ -406,7 +432,47 @@ def _session_overrides(
         max_retries = (
             max_retries if max_retries is not None else session.max_retries
         )
-    return fault_plan, timeout, max_retries
+        executor = executor if executor is not None else session.executor
+    return fault_plan, timeout, max_retries, executor
+
+
+class _JournalStore:
+    """Adapt the campaign journal to the parallel layer's ``OutcomeStore``.
+
+    The parallel layer may not import the checkpoint layer (it sits
+    below it), so the journal executor sees peer-journaled outcomes
+    only through this two-method shim bound to one batch.
+    """
+
+    def __init__(self, journal, batch: str):
+        self._journal = journal
+        self._batch = batch
+
+    def has(self, index: int) -> bool:
+        return self._journal.has_record(self._batch, index)
+
+    def load(self, index: int) -> object:
+        return self._journal.load_record(self._batch, index)
+
+
+def _journal_kwargs(
+    session: Optional[CampaignSession],
+    batch: Optional[str],
+    executor: Optional[str],
+) -> dict:
+    """Journal-executor wiring for ``execute_tasks``.
+
+    Empty unless the ``journal`` backend was requested *and* a campaign
+    journal is active; without a journal, ``execute_tasks`` warns and
+    degrades to local execution on its own.
+    """
+    if executor != "journal" or session is None or session.journal is None:
+        return {}
+    return {
+        "store": _JournalStore(session.journal, batch),
+        "lease_dir": session.journal.lease_dir(batch),
+        "lease_config": session.lease_config,
+    }
 
 
 def _recorder(session: Optional[CampaignSession], batch: Optional[str]):

@@ -13,6 +13,12 @@ Commands
     ``--checkpoint-dir DIR`` journals every completed trial so a killed
     campaign can continue with ``--resume``; ``--inject-faults SPEC``
     runs a deterministic chaos drill (see ``docs/robustness.md``).
+    ``--executor journal`` lets several launcher processes pointed at
+    the same ``--checkpoint-dir`` drain one campaign cooperatively via
+    lease files (``--lease-ttl`` tunes dead-launcher reclaim).
+``campaign status DIR``
+    Per-batch progress and live/stale lease ownership of a campaign
+    being drained by journal-executor launchers.
 ``demo``
     A 30-second tour: one DIV run with a stage trace on a small graph.
 ``lint [--format text|json|sarif] [--rules R1,R2] [paths]``
@@ -121,7 +127,27 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         metavar="SECONDS",
-        help="per-chunk timeout for parallel trial dispatch",
+        help="wall-clock budget for each parallel dispatch round "
+        "(enforced as one per-round deadline across its chunks)",
+    )
+    run.add_argument(
+        "--executor",
+        choices=("auto", "serial", "pool", "journal"),
+        default="auto",
+        help="trial execution backend: 'serial' (in-process), 'pool' "
+        "(local process pool), 'journal' (several launchers sharing "
+        "--checkpoint-dir drain the campaign cooperatively via lease "
+        "files) or 'auto' (default; serial/pool from --workers). "
+        "Outcomes are bit-for-bit identical across executors "
+        "(docs/robustness.md)",
+    )
+    run.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="journal executor only: heartbeat TTL after which a dead "
+        "launcher's chunk claims are reclaimed by peers",
     )
     run.add_argument(
         "--max-retries",
@@ -243,6 +269,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     summarize.add_argument("path", help="trace .jsonl file or a directory of them")
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="inspect live multi-launcher campaigns (journal executor)",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+    status = campaign_sub.add_parser(
+        "status",
+        help="per-batch progress and lease ownership of a campaign "
+        "directory being drained by journal-executor launchers",
+    )
+    status.add_argument("directory", help="campaign dir (or a parent of several)")
+
     checkpoint = sub.add_parser(
         "checkpoint", help="inspect or compare campaign checkpoint directories"
     )
@@ -283,6 +321,13 @@ def _cmd_run(args) -> int:
         from repro.errors import CheckpointError
 
         raise CheckpointError("--resume requires --checkpoint-dir")
+    if args.executor == "journal" and args.checkpoint_dir is None:
+        from repro.errors import CheckpointError
+
+        raise CheckpointError(
+            "--executor journal coordinates launchers through the "
+            "campaign journal; it requires --checkpoint-dir"
+        )
     campaign_options = dict(
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
@@ -291,6 +336,8 @@ def _cmd_run(args) -> int:
         trial_timeout=args.trial_timeout,
         max_retries=args.max_retries,
         kernel=None if args.kernel == "auto" else args.kernel,
+        executor=None if args.executor == "auto" else args.executor,
+        lease_ttl=args.lease_ttl,
     )
     if any(e.lower() == "all" for e in ids):
         specs = all_experiments()
@@ -538,6 +585,45 @@ def _cmd_trace_summarize(path: str) -> int:
     return 0
 
 
+def _cmd_campaign_status(directory: str) -> int:
+    from repro.checkpoint import LEASES_DIRNAME, CheckpointJournal
+    from repro.parallel import scan_leases, summarize_leases
+
+    for campaign_dir in _campaign_dirs(directory):
+        journal = CheckpointJournal(campaign_dir)
+        manifest = journal.read_manifest()
+        per_batch = {}
+        for batch, _, _ in journal.iter_records():
+            per_batch[batch] = per_batch.get(batch, 0) + 1
+        leases = scan_leases(campaign_dir / LEASES_DIRNAME)
+        split = summarize_leases(leases)
+        print(
+            f"{campaign_dir}: {manifest.get('experiment_id', '?')} "
+            f"[{manifest.get('scale', '?')}] seed={manifest.get('seed', '?')} "
+            f"— {sum(per_batch.values())} journaled trial(s) in "
+            f"{len(per_batch)} batch(es); {split['live']} live / "
+            f"{split['stale']} stale lease(s)"
+        )
+        by_batch = {}
+        for lease in leases:
+            by_batch.setdefault(lease.path.parent.name, []).append(lease)
+        for batch in sorted(set(per_batch) | set(by_batch)):
+            line = f"  {batch}: {per_batch.get(batch, 0)} trial(s)"
+            print(line)
+            for lease in by_batch.get(batch, ()):
+                state = "stale" if lease.is_stale() else "live"
+                indices = lease.chunk
+                span = (
+                    f"t{indices[0]}..t{indices[-1]}" if indices else "empty"
+                )
+                print(
+                    f"    {lease.path.name}: {state}, owner {lease.owner}, "
+                    f"{span}, heartbeat {lease.age():.1f}s ago "
+                    f"(ttl {lease.ttl:.0f}s)"
+                )
+    return 0
+
+
 def _cmd_checkpoint_show(directory: str) -> int:
     from repro.checkpoint import CheckpointJournal
 
@@ -621,6 +707,8 @@ def _dispatch(args) -> int:
         )
     if args.command == "trace":
         return _cmd_trace_summarize(args.path)
+    if args.command == "campaign":
+        return _cmd_campaign_status(args.directory)
     if args.command == "checkpoint":
         if args.checkpoint_command == "show":
             return _cmd_checkpoint_show(args.directory)

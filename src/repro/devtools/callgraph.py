@@ -2,7 +2,7 @@
 
 The concurrency analyzers need to know which functions can execute
 inside a worker process.  Workers run
-:func:`repro.parallel._run_task_chunk`, which invokes the *trial*
+:func:`repro.parallel.base._run_task_chunk`, which invokes the *trial*
 callable shipped to it — so the reachable set is everything callable
 from the worker entry points plus every function the project passes as
 a trial to the dispatch APIs (``run_trials``/``run_trials_over``/
@@ -36,7 +36,7 @@ TRIAL_DISPATCHERS: Dict[str, int] = {
 
 #: Functions that are executed inside worker processes by construction.
 WORKER_ENTRY_POINTS: Tuple[str, ...] = (
-    "repro.parallel:_run_task_chunk",
+    "repro.parallel.base:_run_task_chunk",
     "repro.faults:FaultPlan.worker_fault",
 )
 

@@ -17,6 +17,7 @@ from repro.core.kernels import use_kernel
 from repro.errors import ExperimentError
 from repro.faults import FaultPlan
 from repro.obs.tracing import current_tracer
+from repro.parallel import LeaseConfig
 from repro.experiments import (
     e01_winning_distribution,
     e02_graph_classes,
@@ -95,6 +96,8 @@ class ExperimentSpec:
         trial_timeout: Optional[float] = None,
         max_retries: Optional[int] = None,
         kernel: Optional[str] = None,
+        executor: Optional[str] = None,
+        lease_ttl: Optional[float] = None,
     ) -> ExperimentReport:
         """Run one scale ("full"/"quick") as a crash-safe campaign.
 
@@ -115,9 +118,33 @@ class ExperimentSpec:
         it, including inside worker processes. Reports are identical
         across kernels (the backends are bit-for-bit equivalent), which
         is exactly what the CI kernel-equivalence drill asserts.
+
+        ``executor`` selects the trial execution backend for every
+        Monte-Carlo batch of the campaign (``"auto"``, ``"serial"``,
+        ``"pool"``, ``"journal"``; see :mod:`repro.parallel.executors`).
+        The ``journal`` backend requires a ``checkpoint_dir`` — several
+        launchers pointed at the same directory then drain the campaign
+        cooperatively via lease files; ``lease_ttl`` tunes how quickly
+        a dead launcher's claims are reclaimed (see
+        :class:`repro.parallel.LeaseConfig`). Reports are identical
+        across executors, like kernels.
         """
         if scale not in ("full", "quick"):
             raise ExperimentError(f"unknown campaign scale {scale!r}")
+        if executor == "journal" and checkpoint_dir is None:
+            raise ExperimentError(
+                "the journal executor coordinates launchers through the "
+                "campaign checkpoint directory; pass checkpoint_dir "
+                "(CLI: --checkpoint-dir) or pick another --executor"
+            )
+        if lease_ttl is not None and executor != "journal":
+            raise ExperimentError(
+                "lease_ttl only applies to the journal executor "
+                f"(got executor={executor!r})"
+            )
+        lease_config = (
+            LeaseConfig.from_ttl(lease_ttl) if lease_ttl is not None else None
+        )
         config = self.config_cls() if scale == "full" else self.config_cls.quick()
         journal = None
         if checkpoint_dir is not None:
@@ -156,6 +183,7 @@ class ExperimentSpec:
                 and fault_plan is None
                 and trial_timeout is None
                 and max_retries is None
+                and executor is None
             ):
                 # No campaign machinery requested: plain direct run.
                 return self.run(config, seed=seed, **self._run_kwargs(workers))
@@ -164,6 +192,8 @@ class ExperimentSpec:
                 fault_plan,
                 timeout=trial_timeout,
                 max_retries=max_retries,
+                executor=executor,
+                lease_config=lease_config,
             ):
                 return self.run(config, seed=seed, **self._run_kwargs(workers))
 

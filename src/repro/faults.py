@@ -19,19 +19,32 @@ The plan is consulted in two places:
   :meth:`FaultPlan.maybe_abort` raises :class:`InjectedAbort` after a
   trial is recorded (``abort``), simulating process death mid-campaign
   deterministically.
+* **launcher side** — :meth:`FaultPlan.lease_faults` reports the lease
+  faults scripted for a chunk of trial indices. The journal executor
+  (:mod:`repro.parallel.executors.journal`) applies them when it claims
+  the chunk: ``lease-stale`` backdates the heartbeat so peers reclaim a
+  live chunk, ``lease-steal`` force-claims over a live peer lease
+  (double-claim), ``lease-partial`` tears the lease file mid-write, and
+  ``lease-abort`` kills the launcher right after the claim. Unlike
+  worker faults these fire *in the launcher process* — that process is
+  the failure domain under test.
 
 SPEC grammar (``div-repro run --inject-faults SPEC``)::
 
     SPEC   := clause (";" clause)*
     clause := KIND "@" INDEX [":" ARG]
     KIND   := crash | hang | slow | corrupt | truncate | abort
+            | lease-stale | lease-steal | lease-partial | lease-abort
 
 ``crash@I[:N]`` kills the worker executing trial ``I`` (first ``N``
 attempts only, default every attempt); ``hang@I[:N]`` stalls it for
 ``hang_seconds``; ``slow@I[:S]`` sleeps ``S`` seconds (default 0.05)
 then runs normally; ``corrupt@I`` / ``truncate@I`` damage trial ``I``'s
 checkpoint record after it is written; ``abort@I`` aborts the campaign
-in the parent right after trial ``I`` is recorded.
+in the parent right after trial ``I`` is recorded; the ``lease-*``
+kinds fire when the journal executor claims the chunk containing trial
+``I`` (they take no argument). Duplicate ``(KIND, INDEX)`` clauses are
+rejected — a doubled clause is always a typo, never a feature.
 """
 
 from __future__ import annotations
@@ -40,7 +53,7 @@ import os
 import tempfile
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.errors import FaultSpecError
 
@@ -50,8 +63,11 @@ WORKER_KINDS = ("crash", "hang", "slow")
 #: Fault kinds that damage a checkpoint record after it is written.
 RECORD_KINDS = ("corrupt", "truncate")
 
+#: Fault kinds applied by the journal executor when claiming a chunk.
+LEASE_KINDS = ("lease-stale", "lease-steal", "lease-partial", "lease-abort")
+
 #: All valid clause kinds.
-ALL_KINDS = WORKER_KINDS + RECORD_KINDS + ("abort",)
+ALL_KINDS = WORKER_KINDS + RECORD_KINDS + ("abort",) + LEASE_KINDS
 
 #: Exit code of a worker killed by a ``crash`` fault.
 CRASH_EXIT_CODE = 23
@@ -148,13 +164,22 @@ class FaultPlan:
                     raise FaultSpecError(
                         f"clause {raw!r}: argument must be positive"
                     )
-            if kind in RECORD_KINDS + ("abort",) and arg is not None:
+            if kind in RECORD_KINDS + ("abort",) + LEASE_KINDS and arg is not None:
                 raise FaultSpecError(
                     f"clause {raw!r}: {kind} takes no argument"
                 )
             clauses.append(FaultClause(kind=kind, index=index, arg=arg))
         if not clauses:
             raise FaultSpecError(f"empty fault spec {spec!r}")
+        seen = set()
+        for clause in clauses:
+            key = (clause.kind, clause.index)
+            if key in seen:
+                raise FaultSpecError(
+                    f"duplicate clause {clause.render()!r} in spec "
+                    f"{spec!r}: each (kind, index) pair may appear once"
+                )
+            seen.add(key)
         if scratch is None and any(
             c.kind in ("crash", "hang") and c.arg is not None for c in clauses
         ):
@@ -251,6 +276,27 @@ class FaultPlan:
                 f"injected abort after trial {index} (fault plan "
                 f"{self.render()!r})"
             )
+
+    # -- launcher side ----------------------------------------------------
+
+    def lease_faults(self, indices: Sequence[int]) -> Tuple[str, ...]:
+        """Lease fault kinds scripted for a chunk of trial indices.
+
+        Consulted by the journal executor right before it claims the
+        chunk. Unlike :meth:`worker_fault` there is **no** parent-pid
+        check: lease faults target the launcher process itself (the
+        claim/heartbeat machinery runs nowhere else).
+        """
+        wanted = set(indices)
+        return tuple(
+            sorted(
+                {
+                    clause.kind
+                    for clause in self.clauses
+                    if clause.kind in LEASE_KINDS and clause.index in wanted
+                }
+            )
+        )
 
     #: Indices with worker-side faults, for tests and diagnostics.
     def worker_fault_indices(self) -> Tuple[int, ...]:

@@ -1,39 +1,13 @@
-"""Parallel Monte-Carlo trial execution with deterministic seeding.
+"""Shared types and worker-side helpers of the executor backends.
 
-The Monte-Carlo drivers in :mod:`repro.analysis.montecarlo` already pay
-for per-trial :class:`~numpy.random.SeedSequence` independence; this
-module turns that independence into wall-clock speedup by dispatching
-trials across a :class:`concurrent.futures.ProcessPoolExecutor`.
-
-Determinism contract
---------------------
-The parent process spawns the per-trial seed sequences exactly as the
-serial path does (:func:`repro.rng.spawn_seed_sequences`) and ships
-``(index, args, SeedSequence)`` tasks to the workers; a worker only
-constructs ``make_rng(trial_seed)`` — the very generator the serial path
-would have built — and runs the trial. Outcomes are reassembled by task
-index, so for the same master seed a parallel run returns **bit-for-bit
-identical outcomes** to the serial run, for any worker count, chunking,
-or scheduling order.
-
-Robustness
-----------
-* A trial function (and its task arguments) must be picklable; an
-  unpicklable trial raises a clear :class:`~repro.errors.AnalysisError`
-  before any worker starts. Module-level functions with parameters bound
-  via :func:`functools.partial` are the supported idiom.
-* A worker crash (``BrokenProcessPool``) or a per-chunk timeout triggers
-  a bounded retry on a fresh pool; chunks that still fail after
-  ``max_retries`` rounds are executed transparently in-process, with a
-  :class:`RuntimeWarning`. Exceptions raised *by the trial itself*
-  propagate unchanged, exactly as on the serial path.
-
-Observability
--------------
-Every trial's wall-time and executing worker are recorded; the
-aggregated :class:`TrialTimings` (per-trial seconds, per-worker
-throughput, execution mode, retry/fallback counters) is attached to the
-resulting ``TrialSet`` and surfaced by ``div-repro run --workers N``.
+Everything an executor backend (:mod:`repro.parallel.executors`) needs
+lives here: the task/record/timings dataclasses, the picklability and
+chunking helpers, and :func:`_run_task_chunk` — the single function
+that ever executes trials, whether inside a pool worker, inside a
+journal-executor launcher, or on the in-process fallback path. Keeping
+one execution function is what makes the serial-equivalence guarantee
+backend-independent: every backend runs ``trial(*args, make_rng(seed))``
+on the very seed sequence the parent spawned.
 """
 
 from __future__ import annotations
@@ -41,24 +15,22 @@ from __future__ import annotations
 import os
 import pickle
 import time
-import warnings
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.kernels import use_kernel
-from repro.errors import AnalysisError, ParallelExecutionError
+from repro.errors import AnalysisError
 from repro.faults import FaultPlan
 from repro.obs.metrics import MetricsSnapshot, collecting
 from repro.obs.profile import suspended as profiling_suspended
 from repro.obs.tracing import suspended as tracing_suspended
+from repro.parallel.leases import LeaseConfig
 from repro.rng import make_rng
 
-#: Default number of retry rounds after a worker crash or chunk timeout.
+#: Default number of retry rounds after a worker crash or round timeout.
 DEFAULT_MAX_RETRIES = 2
 
 #: Chunks dispatched per worker (smaller chunks balance load, larger ones
@@ -68,6 +40,10 @@ DEFAULT_CHUNKS_PER_WORKER = 4
 
 #: One unit of work: ``trial(*args, make_rng(trial_seed))``.
 TrialTask = Tuple[int, tuple, np.random.SeedSequence]
+
+#: Worker label of a trial whose outcome was journaled by a peer
+#: launcher and merely loaded by this one (journal executor).
+PEER_WORKER = "peer"
 
 
 @dataclass(frozen=True)
@@ -112,6 +88,12 @@ class TrialTimings:
     mode:
         ``"serial"`` (no pool was used), ``"parallel"`` (all trials ran in
         workers) or ``"fallback"`` (some trials fell back in-process).
+    executor:
+        The resolved executor backend, including any degradation path —
+        ``"pool"``, ``"serial"``, ``"journal"``, ``"pool->serial"``
+        (retry budget exhausted), ``"journal->serial"`` (filesystem
+        misbehaved), ``"journal->pool"`` (no campaign journal to
+        coordinate through). Mirrors ``RunResult.kernel``.
     requested_workers:
         The ``workers`` argument the batch was run with.
     total_seconds:
@@ -134,6 +116,7 @@ class TrialTimings:
     worker_stats: List[WorkerStats] = field(default_factory=list)
     retries: int = 0
     fallback_trials: int = 0
+    executor: Optional[str] = None
 
     @classmethod
     def from_records(
@@ -145,6 +128,7 @@ class TrialTimings:
         total_seconds: float,
         retries: int = 0,
         fallback_trials: int = 0,
+        executor: Optional[str] = None,
     ) -> "TrialTimings":
         """Aggregate executed-trial records into a timings object."""
         per_worker: Dict[str, List[float]] = {}
@@ -162,6 +146,7 @@ class TrialTimings:
             worker_stats=stats,
             retries=retries,
             fallback_trials=fallback_trials,
+            executor=executor,
         )
 
     @property
@@ -182,6 +167,8 @@ class TrialTimings:
             f"workers={self.requested_workers}",
             f"mean trial {1e3 * self.mean_trial_seconds:.2f}ms",
         ]
+        if self.executor:
+            parts.insert(2, f"executor={self.executor}")
         if self.retries:
             parts.append(f"retries={self.retries}")
         if self.fallback_trials:
@@ -212,6 +199,10 @@ def summarize_timings(
             trials, busy = per_worker.get(stat.worker, (0, 0.0))
             per_worker[stat.worker] = (stat.trials + trials, stat.busy_seconds + busy)
     mode = "fallback" if any(t.mode == "fallback" for t in present) else present[0].mode
+    executors = []
+    for t in present:
+        if t.executor and t.executor not in executors:
+            executors.append(t.executor)
     merged = TrialTimings(
         mode=mode,
         requested_workers=present[0].requested_workers,
@@ -225,6 +216,7 @@ def summarize_timings(
         # avoids double-counting them without losing multi-batch signals.
         retries=max(t.retries for t in present),
         fallback_trials=max(t.fallback_trials for t in present),
+        executor="+".join(executors) if executors else None,
     )
     return merged.summary()
 
@@ -323,184 +315,63 @@ def _chunk_tasks(
     ]
 
 
-def _run_round(
-    trial: Callable,
-    chunks: Sequence[Sequence[TrialTask]],
-    workers: int,
-    timeout: Optional[float],
-    fault_plan: Optional[FaultPlan],
-    collect_metrics: bool,
-    kernel: Optional[str],
-) -> Tuple[List[TrialRecord], List[Sequence[TrialTask]]]:
-    """Run one pool round; returns (records, chunks that must be retried).
+class OutcomeStore:
+    """Read access to trial outcomes another launcher already journaled.
 
-    Only infrastructure failures (worker crash, timeout, pool breakage)
-    are converted into retryable chunks — an exception raised by the
-    trial itself propagates to the caller, as on the serial path.
+    The journal executor consults a store to (a) skip trials a peer has
+    completed and (b) load their outcomes for the returned ``TrialSet``.
+    The checkpoint layer provides the concrete implementation (the
+    parallel layer deliberately knows nothing about journals — only
+    about this two-method protocol).
     """
-    records: List[TrialRecord] = []
-    failed: List[Sequence[TrialTask]] = []
-    pool = ProcessPoolExecutor(max_workers=workers)
-    try:
-        futures = [
-            (
-                pool.submit(
-                    _run_task_chunk,
-                    trial,
-                    chunk,
-                    fault_plan,
-                    collect_metrics,
-                    kernel,
-                ),
-                chunk,
-            )
-            for chunk in chunks
-        ]
-        broken = False
-        for future, chunk in futures:
-            if broken:
-                future.cancel()
-                failed.append(chunk)
-                continue
-            try:
-                records.extend(future.result(timeout=timeout))
-            except FutureTimeoutError:
-                future.cancel()
-                failed.append(chunk)
-            except (BrokenProcessPool, OSError):
-                failed.append(chunk)
-                broken = True
-    finally:
-        # Don't block on stragglers from a timed-out or broken round;
-        # leftover worker processes exit once their queue drains.
-        pool.shutdown(wait=not failed, cancel_futures=True)
-    return records, failed
+
+    def has(self, index: int) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def load(self, index: int) -> object:  # pragma: no cover - interface
+        """Outcome of trial ``index``; raises ``KeyError`` when absent
+        (including a corrupt record the store's policy discards)."""
+        raise NotImplementedError
 
 
-def execute_tasks(
-    trial: Callable,
-    tasks: Sequence[TrialTask],
-    workers: int,
-    *,
-    chunk_size: Optional[int] = None,
-    timeout: Optional[float] = None,
-    max_retries: int = DEFAULT_MAX_RETRIES,
-    fault_plan: Optional[FaultPlan] = None,
-    on_record: Optional[Callable[[TrialRecord], None]] = None,
-    collect_metrics: bool = False,
-    kernel: Optional[str] = None,
-) -> Tuple[List[TrialRecord], TrialTimings]:
-    """Execute ``tasks`` on ``workers`` processes; deterministic outcomes.
+@dataclass
+class ExecutionRequest:
+    """Everything a backend needs to execute one batch of tasks."""
 
-    Returns the records sorted by task index together with the batch's
-    :class:`TrialTimings`. ``workers <= 1`` runs in-process (mode
-    ``"serial"``) but still collects timings.
+    trial: Callable
+    tasks: Sequence[TrialTask]
+    workers: int
+    chunk_size: Optional[int] = None
+    timeout: Optional[float] = None
+    max_retries: int = DEFAULT_MAX_RETRIES
+    fault_plan: Optional[FaultPlan] = None
+    on_record: Optional[Callable[[TrialRecord], None]] = None
+    collect_metrics: bool = False
+    kernel: Optional[str] = None
+    #: Journal-executor wiring (ignored by the other backends).
+    store: Optional[OutcomeStore] = None
+    lease_dir: Optional[Path] = None
+    lease_config: Optional[LeaseConfig] = None
 
-    Parameters
-    ----------
-    trial:
-        Picklable callable invoked as ``trial(*args, rng)`` per task.
-    tasks:
-        ``(index, args, SeedSequence)`` triples; indices must be unique.
-    workers:
-        Worker process count.
-    chunk_size:
-        Tasks per dispatched chunk (default: an even split into
-        ``workers * 4`` chunks).
-    timeout:
-        Optional per-chunk timeout in seconds; a timed-out chunk is
-        retried and eventually falls back in-process.
-    max_retries:
-        Pool rounds to attempt after the first before falling back.
-    fault_plan:
-        Optional scripted faults (see :mod:`repro.faults`), applied by
-        trial index inside the workers.
-    on_record:
-        Optional parent-side callback invoked for each record as soon as
-        its chunk completes (the checkpoint layer journals trials here,
-        so a killed campaign keeps everything that finished).
-    collect_metrics:
-        When true, each trial runs under a fresh worker-local metrics
-        registry and its snapshot rides back on the
-        :class:`TrialRecord` for the parent to aggregate.
-    kernel:
-        Optional execution-kernel name installed ambiently in every
-        worker (and on the in-process fallback path) while the trials
-        run; ``None`` leaves the engine default. Outcomes are identical
-        either way — kernels are bit-for-bit equivalent.
-    """
-    if workers < 1:
-        raise AnalysisError(f"workers must be >= 1 (or None), got {workers}")
-    if max_retries < 0:
-        raise AnalysisError(f"max_retries must be >= 0, got {max_retries}")
-    started = time.perf_counter()
-    if workers == 1:
-        # Task-at-a-time so on_record checkpoints progress incrementally.
-        records = []
-        for task in tasks:
-            records.extend(
-                _run_task_chunk(
-                    trial, [task], fault_plan, collect_metrics, kernel
-                )
-            )
-            if on_record is not None:
-                on_record(records[-1])
-        return records, TrialTimings.from_records(
-            records,
-            mode="serial",
-            requested_workers=workers,
-            total_seconds=time.perf_counter() - started,
-        )
 
-    _validate_picklable(trial, tasks)
-    pending = _chunk_tasks(tasks, workers, chunk_size)
-    records: List[TrialRecord] = []
-    retries = 0
-    for round_index in range(1 + max_retries):
-        if not pending:
-            break
-        if round_index:
-            retries += 1
-        round_records, pending = _run_round(
-            trial, pending, workers, timeout, fault_plan, collect_metrics, kernel
-        )
-        records.extend(round_records)
-        if on_record is not None:
-            for record in round_records:
-                on_record(record)
+@dataclass
+class ExecutionResult:
+    """What a backend hands back to :func:`repro.parallel.execute_tasks`."""
 
-    fallback_trials = 0
-    if pending:
-        fallback_trials = sum(len(chunk) for chunk in pending)
-        warnings.warn(
-            f"parallel trial execution failed for {fallback_trials} trial(s) "
-            f"after {max_retries} retr{'y' if max_retries == 1 else 'ies'} "
-            "(worker crash or timeout); falling back to in-process "
-            "execution. Outcomes are unaffected — the same per-trial seed "
-            "sequences are used.",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        for chunk in pending:
-            chunk_records = _run_task_chunk(
-                trial, chunk, fault_plan, collect_metrics, kernel
-            )
-            records.extend(chunk_records)
-            if on_record is not None:
-                for record in chunk_records:
-                    on_record(record)
+    records: List[TrialRecord]
+    mode: str
+    resolved: str
+    retries: int = 0
+    fallback_trials: int = 0
 
-    records.sort(key=lambda record: record.index)
-    if len(records) != len(tasks):  # pragma: no cover - defensive
-        raise ParallelExecutionError(
-            f"parallel execution returned {len(records)} records for "
-            f"{len(tasks)} tasks"
-        )
-    return records, TrialTimings.from_records(
-        records,
-        mode="fallback" if fallback_trials else "parallel",
-        requested_workers=workers,
-        total_seconds=time.perf_counter() - started,
-        retries=retries,
-        fallback_trials=fallback_trials,
-    )
+
+class ExecutorBackend:
+    """One pluggable execution strategy (see :mod:`repro.parallel.executors`)."""
+
+    #: Registry key; also the ``--executor`` CLI value.
+    name: str = "?"
+
+    def execute(
+        self, request: ExecutionRequest
+    ) -> ExecutionResult:  # pragma: no cover - interface
+        raise NotImplementedError

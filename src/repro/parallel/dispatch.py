@@ -1,0 +1,166 @@
+"""`execute_tasks`: resolve an executor backend and run a trial batch.
+
+This is the single entry point every Monte-Carlo driver dispatches
+through. It validates the request, resolves the ``executor`` name
+(``"auto"`` picks ``serial`` or ``pool`` from the worker count, and a
+``journal`` request without a campaign journal degrades with a
+warning), delegates to the backend, and post-conditions the result:
+records sorted by trial index, one record per task, and a
+:class:`~repro.parallel.base.TrialTimings` carrying the **resolved**
+executor path (``"pool"``, ``"journal->serial"``, …) so callers can
+assert which machinery actually ran.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError, ParallelExecutionError
+from repro.faults import FaultPlan
+from repro.parallel.base import (
+    DEFAULT_MAX_RETRIES,
+    ExecutionRequest,
+    OutcomeStore,
+    TrialRecord,
+    TrialTask,
+    TrialTimings,
+    _validate_picklable,
+)
+from repro.parallel.executors import resolve_executor
+from repro.parallel.leases import LeaseConfig
+
+
+def execute_tasks(
+    trial: Callable,
+    tasks: Sequence[TrialTask],
+    workers: int,
+    *,
+    chunk_size: Optional[int] = None,
+    timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    fault_plan: Optional[FaultPlan] = None,
+    on_record: Optional[Callable[[TrialRecord], None]] = None,
+    collect_metrics: bool = False,
+    kernel: Optional[str] = None,
+    executor: Optional[str] = None,
+    store: Optional[OutcomeStore] = None,
+    lease_dir: Optional[Path] = None,
+    lease_config: Optional[LeaseConfig] = None,
+) -> Tuple[List[TrialRecord], TrialTimings]:
+    """Execute ``tasks`` through an executor backend; deterministic outcomes.
+
+    Returns the records sorted by task index together with the batch's
+    :class:`TrialTimings` (whose ``executor`` field records the resolved
+    backend, including any degradation path).
+
+    Parameters
+    ----------
+    trial:
+        Callable invoked as ``trial(*args, rng)`` per task (picklable
+        when the ``pool`` backend is involved).
+    tasks:
+        ``(index, args, SeedSequence)`` triples; indices must be unique.
+    workers:
+        Worker process count (``1`` resolves ``"auto"`` to ``serial``).
+        The ``journal`` backend treats it as a chunking hint only —
+        execution is in-process, parallelism comes from peer launchers.
+    chunk_size:
+        Tasks per dispatched chunk (default: an even split into
+        ``workers * 4`` chunks).
+    timeout:
+        Optional wall-clock budget for each ``pool`` round, enforced as
+        a single per-round deadline (a slow early chunk cannot extend
+        the budget of later ones); timed-out chunks retry and
+        eventually fall back in-process.
+    max_retries:
+        Pool rounds to attempt after the first before falling back.
+    fault_plan:
+        Optional scripted faults (see :mod:`repro.faults`): worker
+        faults fire inside pool workers, lease faults fire when the
+        journal executor claims a chunk.
+    on_record:
+        Optional parent-side callback invoked for each record as soon
+        as it is available (the checkpoint layer journals trials here,
+        so a killed campaign keeps everything that finished). Peer
+        records loaded by the journal executor are *not* replayed
+        through it — the peer already journaled them.
+    collect_metrics:
+        When true, each trial runs under a fresh worker-local metrics
+        registry and its snapshot rides back on the
+        :class:`~repro.parallel.base.TrialRecord`.
+    kernel:
+        Optional execution-kernel name installed ambiently wherever the
+        trials run. Outcomes are identical either way — kernels are
+        bit-for-bit equivalent.
+    executor:
+        Backend name: ``"auto"``/``None`` (resolve from ``workers``),
+        ``"serial"``, ``"pool"``, or ``"journal"``. An unknown name
+        raises :class:`~repro.errors.AnalysisError`.
+    store / lease_dir / lease_config:
+        Journal-backend wiring, normally supplied by the Monte-Carlo
+        driver from the active campaign. Requesting ``"journal"``
+        without them degrades (with a :class:`RuntimeWarning`) to the
+        ``auto`` resolution, recorded as ``"journal->serial"`` or
+        ``"journal->pool"``.
+    """
+    if workers < 1:
+        raise AnalysisError(f"workers must be >= 1 (or None), got {workers}")
+    if max_retries < 0:
+        raise AnalysisError(f"max_retries must be >= 0, got {max_retries}")
+
+    resolved_prefix = ""
+    name = executor if executor not in (None, "auto") else None
+    if name == "journal" and (store is None or lease_dir is None):
+        warnings.warn(
+            "the journal executor needs a campaign checkpoint journal to "
+            "coordinate through (run with a checkpoint directory); "
+            "degrading to local execution. Outcomes are unaffected.",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        resolved_prefix = "journal->"
+        name = None
+    if name is None:
+        name = "serial" if workers == 1 else "pool"
+    backend = resolve_executor(name)
+
+    if backend.name == "pool":
+        _validate_picklable(trial, tasks)
+
+    started = time.perf_counter()
+    result = backend.execute(
+        ExecutionRequest(
+            trial=trial,
+            tasks=tasks,
+            workers=workers,
+            chunk_size=chunk_size,
+            timeout=timeout,
+            max_retries=max_retries,
+            fault_plan=fault_plan,
+            on_record=on_record,
+            collect_metrics=collect_metrics,
+            kernel=kernel,
+            store=store,
+            lease_dir=lease_dir,
+            lease_config=lease_config,
+        )
+    )
+    records = sorted(result.records, key=lambda record: record.index)
+    if len(records) != len(tasks):  # pragma: no cover - defensive
+        raise ParallelExecutionError(
+            f"executor {backend.name!r} returned {len(records)} records "
+            f"for {len(tasks)} tasks"
+        )
+    timings = TrialTimings.from_records(
+        records,
+        mode=result.mode,
+        requested_workers=workers,
+        total_seconds=time.perf_counter() - started,
+        retries=result.retries,
+        fallback_trials=result.fallback_trials,
+        executor=resolved_prefix + result.resolved,
+    )
+    return records, timings

@@ -1,0 +1,62 @@
+"""Executor backend registry.
+
+Three backends ship with the engine:
+
+``serial``
+    In-process, task-at-a-time (:class:`SerialExecutor`). What
+    ``workers=1`` resolves to.
+``pool``
+    Local :class:`~concurrent.futures.ProcessPoolExecutor` with bounded
+    retries and in-process fallback (:class:`PoolExecutor`). What
+    ``workers=N`` resolves to.
+``journal``
+    Multi-launcher cooperative drain over a shared checkpoint
+    directory, coordinated through lease files
+    (:class:`JournalExecutor`).
+
+``"auto"`` (or ``None``) is not a backend — :func:`repro.parallel.execute_tasks`
+resolves it to ``serial`` or ``pool`` from the worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from repro.errors import AnalysisError
+from repro.parallel.base import ExecutorBackend
+from repro.parallel.executors.journal import JournalExecutor
+from repro.parallel.executors.pool import PoolExecutor
+from repro.parallel.executors.serial import SerialExecutor
+
+_BACKENDS: Dict[str, Type[ExecutorBackend]] = {
+    SerialExecutor.name: SerialExecutor,
+    PoolExecutor.name: PoolExecutor,
+    JournalExecutor.name: JournalExecutor,
+}
+
+
+def available_executors() -> Tuple[str, ...]:
+    """Registered backend names, sorted (plus the ``"auto"`` pseudo-name)."""
+    return tuple(sorted(_BACKENDS))
+
+
+def resolve_executor(name: str) -> ExecutorBackend:
+    """Instantiate the backend registered under ``name``."""
+    try:
+        backend = _BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(_BACKENDS) + ["auto"])
+        raise AnalysisError(
+            f"unknown executor {name!r} (known: {known})"
+        ) from None
+    return backend()
+
+
+__all__ = [
+    "ExecutorBackend",
+    "JournalExecutor",
+    "PoolExecutor",
+    "SerialExecutor",
+    "available_executors",
+    "resolve_executor",
+]

@@ -1,0 +1,311 @@
+"""The ``journal`` executor: multi-launcher cooperative campaign drain.
+
+Several independent launcher processes — separate shells, cron jobs, or
+hosts sharing the campaign's checkpoint directory — run the *same*
+command and drain one campaign together. They coordinate only through
+the filesystem:
+
+* completed trials are visible as the journal's atomic record files
+  (exposed to this backend through the :class:`OutcomeStore` protocol);
+* in-flight chunks are advertised through heartbeat-renewed lease files
+  (:mod:`repro.parallel.leases`).
+
+Each launcher walks the deterministic chunk list, claims unowned (or
+stale-leased) chunks, executes them **in-process** with the same
+``_run_task_chunk`` every other backend uses, and journals each trial
+as it completes. Chunks owned by live peers are skipped and their
+outcomes loaded from the journal once the records appear. The full
+seed tree is spawned by the parent exactly as on the serial path, so
+leases only ever gate *who* runs a trial, never *what* it computes —
+double execution after a lease theft, a stale reclaim, or an injected
+fault produces bit-identical records.
+
+Failure handling:
+
+* a launcher that dies (SIGKILL, injected ``lease-abort``) stops
+  heartbeating; peers reclaim its leases after the TTL and re-run the
+  unjournaled remainder of its chunks;
+* a peer that heartbeats but never journals trips the
+  ``takeover_after`` stall guard — the next chunk is force-claimed so
+  the campaign always terminates;
+* filesystem errors from the lease machinery degrade the launcher to
+  plain in-process execution (``"journal->serial"``) with a warning,
+  preserving outcomes at the cost of coordination.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from typing import Dict, List, Sequence
+
+from repro.errors import AnalysisError
+from repro.faults import InjectedAbort
+from repro.obs.tracing import current_tracer
+from repro.parallel.base import (
+    PEER_WORKER,
+    ExecutionRequest,
+    ExecutionResult,
+    ExecutorBackend,
+    OutcomeStore,
+    TrialRecord,
+    TrialTask,
+    _chunk_tasks,
+    _run_task_chunk,
+)
+from repro.parallel.leases import LeaseConfig, LeaseManager
+
+
+class JournalExecutor(ExecutorBackend):
+    name = "journal"
+
+    def execute(self, request: ExecutionRequest) -> ExecutionResult:
+        if request.store is None or request.lease_dir is None:
+            raise AnalysisError(
+                "the journal executor needs a checkpoint journal to "
+                "coordinate through; run inside a campaign with a "
+                "--checkpoint-dir (execute_tasks degrades automatically "
+                "when none is available)"
+            )
+        store = request.store
+        config = (
+            request.lease_config
+            if request.lease_config is not None
+            else LeaseConfig()
+        )
+        manager = LeaseManager(request.lease_dir, config)
+        chunks = _chunk_tasks(
+            request.tasks, max(1, request.workers), request.chunk_size
+        )
+        pending: Dict[int, List[TrialTask]] = {
+            chunk[0][0]: list(chunk) for chunk in chunks
+        }
+        records: Dict[int, TrialRecord] = {}
+        peer_trials = 0
+        wait_attempt = 0
+        last_progress = time.monotonic()
+        try:
+            while pending:
+                progressed = False
+                stalled = (
+                    time.monotonic() - last_progress > config.takeover_after
+                )
+                force_key = min(pending) if stalled else None
+                for key in sorted(pending):
+                    if key not in pending:  # pragma: no cover - defensive
+                        continue
+                    chunk = pending[key]
+                    done = self._collect_done(
+                        key, chunk, records, store, manager
+                    )
+                    if done is not None:
+                        peer_trials += done
+                        del pending[key]
+                        progressed = True
+                        continue
+                    indices = [task[0] for task in chunk]
+                    faults = (
+                        request.fault_plan.lease_faults(indices)
+                        if request.fault_plan is not None
+                        else ()
+                    )
+                    force = "lease-steal" in faults or key == force_key
+                    kind = manager.claim(key, indices, force=force)
+                    if kind is None:
+                        continue  # live peer lease; try the next chunk
+                    self._trace("lease." + kind, chunk=key, size=len(chunk))
+                    if "lease-partial" in faults:
+                        manager.vandalize(key)
+                    if "lease-abort" in faults:
+                        raise InjectedAbort(
+                            f"injected launcher abort after claiming chunk "
+                            f"c{key} (fault plan "
+                            f"{request.fault_plan.render()!r})"
+                        )
+                    self._run_chunk(
+                        request,
+                        key,
+                        chunk,
+                        records,
+                        store,
+                        manager,
+                        suppress_heartbeat="lease-stale" in faults,
+                    )
+                    done = self._collect_done(
+                        key, chunk, records, store, manager
+                    )
+                    if done is not None:
+                        peer_trials += done
+                        del pending[key]
+                    progressed = True
+                if pending and not progressed:
+                    wait_attempt += 1
+                    time.sleep(manager.backoff_seconds(wait_attempt))
+                elif progressed:
+                    wait_attempt = 0
+                    last_progress = time.monotonic()
+        except InjectedAbort:
+            raise
+        except OSError as exc:
+            # The shared filesystem is misbehaving: stop coordinating and
+            # finish the remaining work in-process. Outcomes are
+            # unaffected — peers that re-run the same trials journal the
+            # same bytes.
+            warnings.warn(
+                f"journal executor lost its lease directory ({exc}); "
+                f"finishing {sum(len(c) for c in pending.values())} "
+                "remaining trial(s) in-process without coordination. "
+                "Outcomes are unaffected.",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            fallback = self._degrade(request, pending, records, store)
+            return ExecutionResult(
+                records=sorted(records.values(), key=lambda r: r.index),
+                mode="fallback",
+                resolved="journal->serial",
+                fallback_trials=fallback,
+            )
+        return ExecutionResult(
+            records=sorted(records.values(), key=lambda r: r.index),
+            mode="parallel",
+            resolved="journal",
+        )
+
+    # -- pieces -----------------------------------------------------------
+
+    def _collect_done(
+        self,
+        key: int,
+        chunk: Sequence[TrialTask],
+        records: Dict[int, TrialRecord],
+        store: OutcomeStore,
+        manager: LeaseManager,
+    ):
+        """If every trial of the chunk is available, absorb it.
+
+        Loads peer-journaled outcomes for the indices this launcher did
+        not execute, releases the chunk's lease (whoever wrote it — the
+        chunk is finished), and returns the number of peer trials
+        absorbed; returns ``None`` while any trial is still missing.
+        """
+        missing = [
+            task
+            for task in chunk
+            if task[0] not in records and not store.has(task[0])
+        ]
+        if missing:
+            return None
+        peer_loaded = 0
+        loaded: List[TrialRecord] = []
+        for task in chunk:
+            index = task[0]
+            if index in records:
+                continue
+            try:
+                outcome = store.load(index)
+            except KeyError:
+                # The record vanished between has() and load() (e.g. a
+                # corrupt record the store's policy discarded): the
+                # chunk is not done after all.
+                return None
+            loaded.append(
+                TrialRecord(
+                    index=index,
+                    outcome=outcome,
+                    seconds=0.0,
+                    worker=PEER_WORKER,
+                )
+            )
+        for record in loaded:
+            records[record.index] = record
+        peer_loaded = len(loaded)
+        if peer_loaded:
+            manager._count("parallel.lease.peer_trials")
+            self._trace("lease.peer_done", chunk=key, trials=peer_loaded)
+        manager.release(key)
+        return peer_loaded
+
+    def _run_chunk(
+        self,
+        request: ExecutionRequest,
+        key: int,
+        chunk: Sequence[TrialTask],
+        records: Dict[int, TrialRecord],
+        store: OutcomeStore,
+        manager: LeaseManager,
+        *,
+        suppress_heartbeat: bool,
+    ) -> None:
+        """Execute the chunk's unjournaled trials, heartbeating between them."""
+        indices = [task[0] for task in chunk]
+        if suppress_heartbeat:
+            manager.backdate(key, indices)
+        last_beat = time.monotonic()
+        for task in chunk:
+            if task[0] in records or store.has(task[0]):
+                continue  # a peer (or an earlier claim) got there first
+            chunk_records = _run_task_chunk(
+                request.trial,
+                [task],
+                request.fault_plan,
+                request.collect_metrics,
+                request.kernel,
+            )
+            record = chunk_records[0]
+            records[record.index] = record
+            if request.on_record is not None:
+                request.on_record(record)
+            if (
+                not suppress_heartbeat
+                and time.monotonic() - last_beat
+                >= manager.config.heartbeat_interval
+            ):
+                # A False return means a peer reclaimed or stole the
+                # lease mid-run; keep executing (duplicate work is
+                # bit-identical) but stop advertising ownership.
+                manager.renew(key, indices)
+                last_beat = time.monotonic()
+
+    def _degrade(
+        self,
+        request: ExecutionRequest,
+        pending: Dict[int, List[TrialTask]],
+        records: Dict[int, TrialRecord],
+        store: OutcomeStore,
+    ) -> int:
+        """Finish every remaining trial in-process, ignoring leases."""
+        fallback = 0
+        for key in sorted(pending):
+            for task in pending[key]:
+                index = task[0]
+                if index in records:
+                    continue
+                try:
+                    if store.has(index):
+                        records[index] = TrialRecord(
+                            index=index,
+                            outcome=store.load(index),
+                            seconds=0.0,
+                            worker=PEER_WORKER,
+                        )
+                        continue
+                except (KeyError, OSError):
+                    pass  # unreadable store: just re-run the trial
+                chunk_records = _run_task_chunk(
+                    request.trial,
+                    [task],
+                    request.fault_plan,
+                    request.collect_metrics,
+                    request.kernel,
+                )
+                records[index] = chunk_records[0]
+                fallback += 1
+                if request.on_record is not None:
+                    request.on_record(chunk_records[0])
+        return fallback
+
+    def _trace(self, event: str, **fields) -> None:
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.event(event, **fields)

@@ -1,0 +1,164 @@
+"""The ``pool`` executor: a local ``ProcessPoolExecutor`` with retries.
+
+This is the classic ``workers=N`` backend: chunks are dispatched across
+a process pool, infrastructure failures (worker crash, round timeout,
+pool breakage) are retried on a fresh pool for ``max_retries`` rounds,
+and chunks that still fail run transparently in-process — with a
+``RuntimeWarning`` and a ``"pool->serial"`` resolved-executor path.
+
+Timeout semantics
+-----------------
+``timeout`` is a **wall-clock budget for each pool round**, enforced
+through a single deadline computed when the round starts. Every future
+is waited on with the *remaining* time to that deadline, so a slow
+early chunk can never silently extend the budget of the chunks drained
+after it (each ``future.result(timeout=...)`` used to get the full
+budget back). Chunks that miss the round deadline are cancelled and
+retried on the next round.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.faults import FaultPlan
+from repro.parallel.base import (
+    ExecutionRequest,
+    ExecutionResult,
+    ExecutorBackend,
+    TrialRecord,
+    TrialTask,
+    _chunk_tasks,
+    _run_task_chunk,
+)
+
+
+def _run_round(
+    trial: Callable,
+    chunks: Sequence[Sequence[TrialTask]],
+    workers: int,
+    timeout: Optional[float],
+    fault_plan: Optional[FaultPlan],
+    collect_metrics: bool,
+    kernel: Optional[str],
+) -> Tuple[List[TrialRecord], List[Sequence[TrialTask]]]:
+    """Run one pool round; returns (records, chunks that must be retried).
+
+    Only infrastructure failures (worker crash, timeout, pool breakage)
+    are converted into retryable chunks — an exception raised by the
+    trial itself propagates to the caller, as on the serial path.
+    """
+    records: List[TrialRecord] = []
+    failed: List[Sequence[TrialTask]] = []
+    pool = ProcessPoolExecutor(max_workers=workers)
+    # One deadline for the whole round: every wait below receives only
+    # the budget that is still left, so draining a slow future first
+    # cannot grant the later ones extra time.
+    deadline = None if timeout is None else time.monotonic() + timeout
+    try:
+        futures = [
+            (
+                pool.submit(
+                    _run_task_chunk,
+                    trial,
+                    chunk,
+                    fault_plan,
+                    collect_metrics,
+                    kernel,
+                ),
+                chunk,
+            )
+            for chunk in chunks
+        ]
+        broken = False
+        for future, chunk in futures:
+            if broken:
+                future.cancel()
+                failed.append(chunk)
+                continue
+            try:
+                if deadline is None:
+                    records.extend(future.result())
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0.0 and not future.done():
+                        raise FutureTimeoutError()
+                    records.extend(future.result(timeout=max(remaining, 0.0)))
+            except FutureTimeoutError:
+                future.cancel()
+                failed.append(chunk)
+            except (BrokenProcessPool, OSError):
+                failed.append(chunk)
+                broken = True
+    finally:
+        # Don't block on stragglers from a timed-out or broken round;
+        # leftover worker processes exit once their queue drains.
+        pool.shutdown(wait=not failed, cancel_futures=True)
+    return records, failed
+
+
+class PoolExecutor(ExecutorBackend):
+    name = "pool"
+
+    def execute(self, request: ExecutionRequest) -> ExecutionResult:
+        pending = _chunk_tasks(request.tasks, request.workers, request.chunk_size)
+        records: List[TrialRecord] = []
+        retries = 0
+        for round_index in range(1 + request.max_retries):
+            if not pending:
+                break
+            if round_index:
+                retries += 1
+            round_records, pending = _run_round(
+                request.trial,
+                pending,
+                request.workers,
+                request.timeout,
+                request.fault_plan,
+                request.collect_metrics,
+                request.kernel,
+            )
+            records.extend(round_records)
+            if request.on_record is not None:
+                for record in round_records:
+                    request.on_record(record)
+
+        fallback_trials = 0
+        if pending:
+            fallback_trials = sum(len(chunk) for chunk in pending)
+            max_retries = request.max_retries
+            warnings.warn(
+                f"parallel trial execution failed for {fallback_trials} "
+                f"trial(s) after {max_retries} "
+                f"retr{'y' if max_retries == 1 else 'ies'} "
+                "(worker crash or timeout); falling back to in-process "
+                "execution. Outcomes are unaffected — the same per-trial "
+                "seed sequences are used.",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            for chunk in pending:
+                chunk_records = _run_task_chunk(
+                    request.trial,
+                    chunk,
+                    request.fault_plan,
+                    request.collect_metrics,
+                    request.kernel,
+                )
+                records.extend(chunk_records)
+                if request.on_record is not None:
+                    for record in chunk_records:
+                        request.on_record(record)
+
+        return ExecutionResult(
+            records=records,
+            mode="fallback" if fallback_trials else "parallel",
+            resolved="pool->serial" if fallback_trials else "pool",
+            retries=retries,
+            fallback_trials=fallback_trials,
+        )

@@ -1,0 +1,37 @@
+"""The ``serial`` executor: instrumented in-process execution.
+
+Runs the tasks one at a time in the calling process — the behavior
+``workers=1`` has always had. Still collects full per-trial timings and
+streams every record through ``on_record`` immediately, so checkpoint
+journaling keeps its crash-safety even without any parallelism.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.base import (
+    ExecutionRequest,
+    ExecutionResult,
+    ExecutorBackend,
+    _run_task_chunk,
+)
+
+
+class SerialExecutor(ExecutorBackend):
+    name = "serial"
+
+    def execute(self, request: ExecutionRequest) -> ExecutionResult:
+        # Task-at-a-time so on_record checkpoints progress incrementally.
+        records = []
+        for task in request.tasks:
+            records.extend(
+                _run_task_chunk(
+                    request.trial,
+                    [task],
+                    request.fault_plan,
+                    request.collect_metrics,
+                    request.kernel,
+                )
+            )
+            if request.on_record is not None:
+                request.on_record(records[-1])
+        return ExecutionResult(records=records, mode="serial", resolved="serial")

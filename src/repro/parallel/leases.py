@@ -1,0 +1,378 @@
+"""Lease files: cooperative work claiming over a shared directory.
+
+The ``journal`` executor (:mod:`repro.parallel.executors.journal`) lets
+several independent launcher processes — possibly on different hosts
+that share the checkpoint directory — drain one campaign together.
+They coordinate exclusively through small **lease files**, one per task
+chunk, living next to the campaign's trial journal::
+
+    <campaign>/leases/<batch>/c<first flat index>.lease
+
+A lease is *advisory*: it decides who **should** run a chunk, never
+what a trial computes. Trials are pure functions of their shipped
+``SeedSequence``, and journal records are written atomically with
+pinned pickle bytes, so even a double-claimed chunk (two launchers
+racing, a stolen lease, an injected ``lease-steal`` fault) produces
+bit-identical records — the protocol only has to be *mostly* exclusive
+to avoid wasted work, which is what keeps it simple and crash-safe.
+
+Claiming protocol
+-----------------
+* **Claim** — the payload is written to a temp file in the lease
+  directory and *linked* into place (``os.link``), which is atomic and
+  exclusive on POSIX filesystems: exactly one of two racing launchers
+  wins a fresh chunk. Filesystems without hard links fall back to
+  ``os.replace`` (write-then-rename), trading exclusivity for the
+  advisory guarantee above.
+* **Heartbeat** — the holder periodically rewrites the lease
+  (atomic replace) with a fresh ``heartbeat`` timestamp.
+* **Reclaim** — a lease whose heartbeat is older than its ``ttl`` is
+  considered abandoned (SIGKILLed or wedged launcher) and may be
+  atomically replaced by a new owner. A heartbeat *in the future*
+  (clock skew between hosts) counts as fresh, never stale, so skew can
+  only delay a reclaim, not cause a spurious one.
+* **Release** — the holder unlinks the lease once every trial of the
+  chunk is journaled. A malformed or truncated lease file (torn write
+  from a dying launcher) parses to ``None`` and is treated as stale.
+
+Claim contention backs off exponentially with **deterministic jitter**:
+the jitter is a hash of ``(owner, attempt)``, not a random draw, so a
+contention storm de-synchronizes reproducibly and the determinism
+linter stays quiet.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import socket
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.io import atomic_write_bytes
+from repro.obs.metrics import active_metrics
+
+PathLike = Union[str, Path]
+
+#: Format tag stored in every lease payload.
+LEASE_FORMAT = "div-repro-lease"
+
+#: Lease payload format version.
+LEASE_VERSION = 1
+
+#: Lease files are ``c<first flat index>.lease``.
+LEASE_SUFFIX = ".lease"
+
+#: Process-local counter so one process can host several managers with
+#: distinct owner ids (mutated only in launcher processes, never in
+#: trial workers).
+_OWNER_SEQUENCE = itertools.count()
+
+
+@dataclass(frozen=True)
+class LeaseConfig:
+    """Tuning knobs of the lease protocol.
+
+    Attributes
+    ----------
+    ttl:
+        Seconds after the last heartbeat before a lease counts as
+        abandoned and may be reclaimed. Should comfortably exceed the
+        longest single trial, or live chunks get stolen mid-run (safe,
+        but wasted duplicate work).
+    heartbeat_interval:
+        Seconds between heartbeat renewals while running a chunk
+        (renewal happens between trials, so the effective interval is
+        at least one trial duration).
+    backoff_base / backoff_cap:
+        First-attempt and maximum sleep of the exponential
+        claim-contention backoff.
+    takeover_after:
+        Stall guard: if no chunk makes progress for this long (a peer
+        heartbeats forever without journaling — wedged but alive), the
+        executor force-claims the next chunk anyway. Double execution
+        is bit-identical, so this trades wasted work for liveness.
+    """
+
+    ttl: float = 15.0
+    heartbeat_interval: float = 3.0
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+    takeover_after: float = 120.0
+
+    @classmethod
+    def from_ttl(cls, ttl: float) -> "LeaseConfig":
+        """Derive a consistent config from a single TTL knob."""
+        ttl = float(ttl)
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be > 0, got {ttl}")
+        return cls(
+            ttl=ttl,
+            heartbeat_interval=max(ttl / 5.0, 0.02),
+            backoff_cap=min(1.0, max(ttl / 10.0, 0.1)),
+            takeover_after=max(8.0 * ttl, 10.0),
+        )
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One parsed lease file."""
+
+    path: Path
+    owner: str
+    chunk: Tuple[int, ...]
+    claimed_at: float
+    heartbeat: float
+    ttl: float
+
+    def age(self, now: Optional[float] = None) -> float:
+        """Seconds since the last heartbeat (negative under clock skew)."""
+        return (time.time() if now is None else now) - self.heartbeat
+
+    def is_stale(self, now: Optional[float] = None) -> bool:
+        """True once the heartbeat is older than the lease's TTL.
+
+        A future heartbeat (skewed fast clock on the holder's host)
+        yields a negative age, which is *fresh* — skew can delay a
+        reclaim but never trigger one early.
+        """
+        return self.age(now) > self.ttl
+
+
+def lease_name(first_index: int) -> str:
+    """Lease filename for the chunk whose first flat trial index is given."""
+    return f"c{first_index:08d}{LEASE_SUFFIX}"
+
+
+def read_lease(path: PathLike) -> Optional[Lease]:
+    """Parse a lease file; ``None`` when missing or unreadable.
+
+    A torn/partial write (launcher died mid-scribble, or an injected
+    ``lease-partial`` fault) must never wedge the campaign, so *any*
+    parse failure — bad JSON, wrong format tag, missing fields — makes
+    the lease claimable, exactly like a stale one.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("format") != LEASE_FORMAT:
+            return None
+        return Lease(
+            path=path,
+            owner=str(payload["owner"]),
+            chunk=tuple(int(i) for i in payload["chunk"]),
+            claimed_at=float(payload["claimed_at"]),
+            heartbeat=float(payload["heartbeat"]),
+            ttl=float(payload["ttl"]),
+        )
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def scan_leases(directory: PathLike) -> List[Lease]:
+    """Every parsable lease under ``directory`` (recursing one level).
+
+    Used by ``div-repro campaign status``; unreadable files are skipped
+    (they are claimable, not reportable state).
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        return []
+    leases = []
+    for path in sorted(root.rglob(f"*{LEASE_SUFFIX}")):
+        lease = read_lease(path)
+        if lease is not None:
+            leases.append(lease)
+    return leases
+
+
+def default_owner() -> str:
+    """A process-unique launcher identity (host, pid, per-process seq)."""
+    return (
+        f"{socket.gethostname()}-pid{os.getpid()}-L{next(_OWNER_SEQUENCE)}"
+    )
+
+
+class LeaseManager:
+    """Claim, renew, and release the leases of one batch directory.
+
+    One manager serves one ``execute_tasks`` call in one launcher; the
+    owner id distinguishes it from every other launcher (and from other
+    batches of the same launcher) sharing the directory.
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        config: Optional[LeaseConfig] = None,
+        owner: Optional[str] = None,
+    ):
+        self.directory = Path(directory)
+        self.config = config if config is not None else LeaseConfig()
+        self.owner = owner if owner is not None else default_owner()
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # -- payload ----------------------------------------------------------
+
+    def _path(self, first_index: int) -> Path:
+        return self.directory / lease_name(first_index)
+
+    def _payload(self, chunk: Sequence[int], claimed_at: float) -> bytes:
+        record = {
+            "format": LEASE_FORMAT,
+            "version": LEASE_VERSION,
+            "owner": self.owner,
+            "chunk": [int(i) for i in chunk],
+            "claimed_at": claimed_at,
+            "heartbeat": time.time(),
+            "ttl": self.config.ttl,
+        }
+        return (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+
+    # -- lifecycle --------------------------------------------------------
+
+    def claim(
+        self,
+        first_index: int,
+        chunk: Sequence[int],
+        *,
+        force: bool = False,
+    ) -> Optional[str]:
+        """Try to take the chunk's lease; how, or ``None`` if lost.
+
+        Returns ``"claim"`` (fresh exclusive claim), ``"reclaim"``
+        (replaced a stale/invalid lease) or ``"steal"`` (``force=True``
+        replaced a live one — the injected double-claim fault). ``None``
+        means another launcher holds a live lease.
+        """
+        path = self._path(first_index)
+        existing = read_lease(path)
+        now = time.time()
+        if (
+            not force
+            and existing is not None
+            and existing.owner != self.owner
+            and not existing.is_stale(now)
+        ):
+            self._count("parallel.lease.contention")
+            return None
+        blob = self._payload(chunk, now)
+        if existing is None and not path.exists() and not force:
+            # Fresh chunk: exclusive create via hard link so exactly one
+            # of two racing launchers wins.
+            tmp = path.with_name(f".{path.name}.{self.owner}.tmp")
+            try:
+                tmp.write_bytes(blob)
+                try:
+                    os.link(tmp, path)
+                    kind = "claim"
+                except FileExistsError:
+                    self._count("parallel.lease.contention")
+                    return None
+                except OSError:
+                    # Filesystem without hard links: degrade to
+                    # write-then-rename (advisory, still atomic).
+                    os.replace(tmp, path)
+                    return "claim"
+            finally:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+        else:
+            # Stale, invalid, our own, or forced: atomic replacement.
+            atomic_write_bytes(path, blob)
+            if force and existing is not None and existing.owner != self.owner:
+                kind = "steal"
+            elif existing is not None and existing.owner != self.owner:
+                kind = "reclaim"
+            else:
+                kind = "claim"
+        self._count(f"parallel.lease.{kind}s")
+        return kind
+
+    def renew(self, first_index: int, chunk: Sequence[int]) -> bool:
+        """Heartbeat a held lease; ``False`` when it was lost.
+
+        The reclaim-while-renewing race resolves safely: renewal
+        re-reads the lease first and refuses to clobber a file that is
+        no longer ours (a peer reclaimed or stole it). The caller keeps
+        executing — duplicate execution is bit-identical — but stops
+        advertising ownership.
+        """
+        path = self._path(first_index)
+        current = read_lease(path)
+        if current is None or current.owner != self.owner:
+            self._count("parallel.lease.lost")
+            return False
+        atomic_write_bytes(path, self._payload(chunk, current.claimed_at))
+        self._count("parallel.lease.heartbeats")
+        return True
+
+    def release(self, first_index: int) -> None:
+        """Drop the chunk's lease file (any owner's — the chunk is done).
+
+        Called only once every trial of the chunk is journaled, at
+        which point the lease is dead weight no matter who wrote it
+        (e.g. a thief's payload left behind after an injected
+        ``lease-steal``).
+        """
+        try:
+            os.unlink(self._path(first_index))
+        except OSError:
+            pass
+
+    # -- fault-injection helpers (chaos drills only) ----------------------
+
+    def vandalize(self, first_index: int) -> None:
+        """Overwrite the lease with a torn partial write (lease-partial)."""
+        path = self._path(first_index)
+        with open(path, "wb") as handle:
+            handle.write(b'{"format": "div-repro-lease", "owner": "torn')
+
+    def backdate(self, first_index: int, chunk: Sequence[int]) -> None:
+        """Rewrite the lease with an ancient heartbeat (lease-stale)."""
+        path = self._path(first_index)
+        record = json.loads(self._payload(chunk, time.time()))
+        record["heartbeat"] = record["heartbeat"] - 1000.0 * self.config.ttl
+        atomic_write_bytes(
+            path, (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        )
+
+    # -- contention backoff -----------------------------------------------
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Exponential backoff with deterministic per-owner jitter.
+
+        The jitter derives from a hash of ``(owner, attempt)`` — no RNG
+        is consumed, so trial streams are untouched and the same
+        launcher contends with the same (de-synchronized) schedule on
+        every run.
+        """
+        base = min(
+            self.config.backoff_cap,
+            self.config.backoff_base * (2 ** max(0, attempt - 1)),
+        )
+        digest = hashlib.sha256(
+            f"{self.owner}:{attempt}".encode("utf-8")
+        ).digest()
+        jitter = int.from_bytes(digest[:4], "big") / 2**32
+        return base * (0.5 + 0.5 * jitter)
+
+    def _count(self, name: str) -> None:
+        metrics = active_metrics()
+        if metrics is not None:
+            metrics.inc(name)
+
+
+def summarize_leases(
+    leases: Sequence[Lease], now: Optional[float] = None
+) -> Dict[str, int]:
+    """``{"live": n, "stale": m}`` split of a lease scan (CLI status)."""
+    now = time.time() if now is None else now
+    live = sum(1 for lease in leases if not lease.is_stale(now))
+    return {"live": live, "stale": len(leases) - live}

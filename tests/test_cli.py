@@ -169,6 +169,116 @@ class TestCheckpointCommands:
         assert "no campaign" in capsys.readouterr().err
 
 
+class TestExecutorFlags:
+    def test_journal_executor_requires_checkpoint_dir(self, capsys):
+        assert main(["run", "E1", "--executor", "journal"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("div-repro: error:")
+        assert "--checkpoint-dir" in err
+
+    def test_lease_ttl_requires_journal_executor(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "E1",
+                    "--quick",
+                    "--executor",
+                    "pool",
+                    "--lease-ttl",
+                    "2",
+                    "--checkpoint-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 2
+        )
+        assert "lease_ttl only applies" in capsys.readouterr().err
+
+    def test_unknown_executor_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "E1", "--executor", "warp"])
+
+    def test_journal_executor_run_and_status(self, tmp_path, capsys, monkeypatch):
+        _shrink_e10(monkeypatch)
+        ckpt = str(tmp_path / "ckpt")
+        base = ["run", "E10", "--quick", "--seed", "5", "--checkpoint-dir", ckpt]
+        assert main(base) == 0
+        reference = capsys.readouterr().out
+        journal_args = [
+            "run",
+            "E10",
+            "--quick",
+            "--seed",
+            "5",
+            "--checkpoint-dir",
+            str(tmp_path / "journal"),
+            "--executor",
+            "journal",
+            "--lease-ttl",
+            "5",
+        ]
+        assert main(journal_args) == 0
+        journaled = capsys.readouterr().out
+        strip = lambda text: [
+            line
+            for line in text.splitlines()
+            if "finished in" not in line and "trial execution" not in line
+        ]
+        assert strip(journaled) == strip(reference)
+        assert (
+            main(
+                [
+                    "checkpoint",
+                    "diff",
+                    str(tmp_path / "ckpt" / "e10"),
+                    str(tmp_path / "journal" / "e10"),
+                ]
+            )
+            == 0
+        )
+        assert "identical" in capsys.readouterr().out
+
+
+class TestCampaignStatus:
+    def test_status_reports_batches_and_leases(self, tmp_path, capsys, monkeypatch):
+        _shrink_e10(monkeypatch)
+        ckpt = tmp_path / "ckpt"
+        assert (
+            main(
+                ["run", "E10", "--quick", "--seed", "5", "--checkpoint-dir", str(ckpt)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["campaign", "status", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "journaled trial(s)" in out
+        assert "0 live / 0 stale lease(s)" in out
+
+        # Plant a live lease as a concurrent launcher would and make
+        # sure status surfaces its owner and claimed trial range.
+        from repro.checkpoint import CheckpointJournal
+        from repro.parallel import LeaseConfig, LeaseManager
+
+        journal = CheckpointJournal(ckpt / "e10")
+        batch = next(iter(journal.iter_records()))[0]
+        manager = LeaseManager(
+            journal.lease_dir(batch),
+            LeaseConfig(ttl=60.0),
+            owner="peer-pid99-L0",
+        )
+        assert manager.claim(0, [0, 1, 2]) == "claim"
+        assert main(["campaign", "status", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "1 live / 0 stale lease(s)" in out
+        assert "c00000000.lease: live, owner peer-pid99-L0, t0..t2" in out
+
+    def test_status_of_non_campaign_exits_2(self, tmp_path, capsys):
+        assert main(["campaign", "status", str(tmp_path)]) == 2
+        assert "no campaign" in capsys.readouterr().err
+
+
 class TestReport:
     def test_combined_report(self, tmp_path, capsys, monkeypatch):
         # Limit the registry to one cheap experiment for the test.

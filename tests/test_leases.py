@@ -1,0 +1,199 @@
+"""Tests for the lease-file protocol (repro.parallel.leases).
+
+Lifecycle, contention, reclaim races, clock skew, torn writes, and the
+CLI surfaces that inspect live leases.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.parallel.leases import (
+    Lease,
+    LeaseConfig,
+    LeaseManager,
+    default_owner,
+    lease_name,
+    read_lease,
+    scan_leases,
+    summarize_leases,
+)
+
+
+class TestLeaseConfig:
+    def test_from_ttl_derives_consistent_knobs(self):
+        config = LeaseConfig.from_ttl(2.0)
+        assert config.ttl == pytest.approx(2.0)
+        assert config.heartbeat_interval == pytest.approx(0.4)
+        assert config.heartbeat_interval < config.ttl
+        assert config.takeover_after >= 8 * config.ttl
+
+    def test_from_ttl_rejects_non_positive(self):
+        with pytest.raises(ValueError, match="ttl must be > 0"):
+            LeaseConfig.from_ttl(0.0)
+
+
+class TestLeaseLifecycle:
+    def test_claim_heartbeat_release(self, tmp_path):
+        manager = LeaseManager(tmp_path, LeaseConfig(ttl=5.0))
+        assert manager.claim(0, [0, 1, 2]) == "claim"
+        lease = read_lease(tmp_path / lease_name(0))
+        assert lease is not None
+        assert lease.owner == manager.owner
+        assert lease.chunk == (0, 1, 2)
+        assert not lease.is_stale()
+        assert manager.renew(0, [0, 1, 2]) is True
+        manager.release(0)
+        assert read_lease(tmp_path / lease_name(0)) is None
+        manager.release(0)  # releasing a released lease is a no-op
+
+    def test_fresh_claim_is_exclusive(self, tmp_path):
+        first = LeaseManager(tmp_path, LeaseConfig(ttl=60.0))
+        second = LeaseManager(tmp_path, LeaseConfig(ttl=60.0))
+        assert first.owner != second.owner
+        assert first.claim(0, [0, 1]) == "claim"
+        assert second.claim(0, [0, 1]) is None  # live foreign lease
+
+    def test_reclaiming_own_lease_is_a_claim(self, tmp_path):
+        manager = LeaseManager(tmp_path, LeaseConfig(ttl=60.0))
+        assert manager.claim(0, [0]) == "claim"
+        assert manager.claim(0, [0]) == "claim"
+
+
+class TestStaleReclaim:
+    def test_sigkilled_launcher_leftover_is_reclaimed(self, tmp_path):
+        # A launcher that was SIGKILLed leaves a lease that never
+        # heartbeats again; once past the TTL a peer takes it over.
+        dead = LeaseManager(tmp_path, LeaseConfig(ttl=0.05), owner="dead-pid1-L0")
+        assert dead.claim(0, [0, 1]) == "claim"
+        survivor = LeaseManager(tmp_path, LeaseConfig(ttl=0.05))
+        time.sleep(0.1)
+        assert survivor.claim(0, [0, 1]) == "reclaim"
+        lease = read_lease(tmp_path / lease_name(0))
+        assert lease.owner == survivor.owner
+
+    def test_backdated_lease_counts_as_stale(self, tmp_path):
+        manager = LeaseManager(tmp_path, LeaseConfig(ttl=100.0))
+        manager.claim(0, [0])
+        manager.backdate(0, [0])
+        lease = read_lease(tmp_path / lease_name(0))
+        assert lease.is_stale()
+        peer = LeaseManager(tmp_path, LeaseConfig(ttl=100.0))
+        assert peer.claim(0, [0]) == "reclaim"
+
+    def test_reclaim_while_renewing_race(self, tmp_path):
+        # Holder claims; a peer (believing it stale) steals; the
+        # holder's next renewal must refuse to clobber the foreign
+        # lease and report the loss instead.
+        holder = LeaseManager(tmp_path, LeaseConfig(ttl=60.0))
+        thief = LeaseManager(tmp_path, LeaseConfig(ttl=60.0))
+        assert holder.claim(0, [0, 1]) == "claim"
+        assert thief.claim(0, [0, 1], force=True) == "steal"
+        assert holder.renew(0, [0, 1]) is False
+        lease = read_lease(tmp_path / lease_name(0))
+        assert lease.owner == thief.owner  # renewal did not overwrite
+
+
+class TestClockSkew:
+    def test_future_heartbeat_is_fresh_not_stale(self, tmp_path):
+        # A holder on a fast-clock host writes heartbeats from the
+        # future; skew may delay a reclaim but never cause one.
+        path = tmp_path / lease_name(0)
+        lease = Lease(
+            path=path,
+            owner="skewed",
+            chunk=(0,),
+            claimed_at=time.time(),
+            heartbeat=time.time() + 3600.0,
+            ttl=0.01,
+        )
+        assert lease.age() < 0
+        assert not lease.is_stale()
+        manager = LeaseManager(tmp_path, LeaseConfig(ttl=0.01))
+        payload = {
+            "format": "div-repro-lease",
+            "version": 1,
+            "owner": "skewed",
+            "chunk": [0],
+            "claimed_at": time.time(),
+            "heartbeat": time.time() + 3600.0,
+            "ttl": 0.01,
+        }
+        path.write_text(json.dumps(payload))
+        assert manager.claim(0, [0]) is None
+
+
+class TestTornWrites:
+    def test_malformed_lease_parses_to_none(self, tmp_path):
+        path = tmp_path / lease_name(0)
+        path.write_text('{"format": "div-repro-lease", "owner": "torn')
+        assert read_lease(path) is None
+
+    def test_wrong_format_tag_parses_to_none(self, tmp_path):
+        path = tmp_path / lease_name(0)
+        path.write_text('{"format": "something-else", "owner": "x"}')
+        assert read_lease(path) is None
+
+    def test_missing_file_parses_to_none(self, tmp_path):
+        assert read_lease(tmp_path / "absent.lease") is None
+
+    def test_vandalized_lease_is_claimable(self, tmp_path):
+        manager = LeaseManager(tmp_path, LeaseConfig(ttl=60.0))
+        manager.claim(0, [0])
+        manager.vandalize(0)
+        assert read_lease(tmp_path / lease_name(0)) is None
+        peer = LeaseManager(tmp_path, LeaseConfig(ttl=60.0))
+        # An unparsable lease carries no ownership, so replacing it is
+        # a plain (atomic-replace) claim, not a reclaim.
+        assert peer.claim(0, [0]) == "claim"
+        assert read_lease(tmp_path / lease_name(0)).owner == peer.owner
+
+
+class TestBackoff:
+    def test_backoff_is_deterministic_and_bounded(self):
+        manager = LeaseManager.__new__(LeaseManager)
+        manager.owner = "host-pid7-L0"
+        manager.config = LeaseConfig(backoff_base=0.05, backoff_cap=1.0)
+        series = [manager.backoff_seconds(attempt) for attempt in (1, 2, 3, 8)]
+        again = [manager.backoff_seconds(attempt) for attempt in (1, 2, 3, 8)]
+        assert series == again  # no RNG anywhere
+        assert all(0.0 < s <= 1.0 for s in series)
+        assert series[0] <= 0.05  # base * jitter in [0.5, 1.0]
+
+    def test_backoff_differs_between_owners(self):
+        a = LeaseManager.__new__(LeaseManager)
+        a.owner, a.config = "host-pid7-L0", LeaseConfig()
+        b = LeaseManager.__new__(LeaseManager)
+        b.owner, b.config = "host-pid8-L0", LeaseConfig()
+        assert a.backoff_seconds(3) != b.backoff_seconds(3)
+
+
+class TestScanAndSummarize:
+    def test_scan_skips_unreadable_and_recurses(self, tmp_path):
+        batch = tmp_path / "b0000-trials-8"
+        manager = LeaseManager(batch, LeaseConfig(ttl=60.0))
+        manager.claim(0, [0, 1])
+        manager.claim(4, [4, 5])
+        (batch / "junk.lease").write_text("not json")
+        leases = scan_leases(tmp_path)
+        assert [lease.path.name for lease in leases] == [
+            lease_name(0),
+            lease_name(4),
+        ]
+        assert summarize_leases(leases) == {"live": 2, "stale": 0}
+
+    def test_summarize_splits_live_and_stale(self, tmp_path):
+        manager = LeaseManager(tmp_path, LeaseConfig(ttl=60.0))
+        manager.claim(0, [0])
+        manager.claim(1, [1])
+        manager.backdate(1, [1])
+        assert summarize_leases(scan_leases(tmp_path)) == {"live": 1, "stale": 1}
+
+    def test_scan_of_missing_directory_is_empty(self, tmp_path):
+        assert scan_leases(tmp_path / "nope") == []
+
+    def test_default_owner_is_process_unique(self):
+        assert default_owner() != default_owner()

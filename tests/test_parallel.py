@@ -92,6 +92,9 @@ class TestSerialParallelEquivalence:
         assert instrumented.outcomes == serial.outcomes
         assert instrumented.timings is not None
         assert instrumented.timings.mode == "serial"
+        assert instrumented.timings.executor == "serial"
+        assert instrumented.executor == "serial"
+        assert serial.executor == "serial"
 
 
 class TestObservability:
@@ -104,6 +107,9 @@ class TestObservability:
         assert all(seconds >= 0.0 for seconds in timings.trial_seconds)
         assert sum(stat.trials for stat in timings.worker_stats) == 8
         assert "workers=2" in timings.summary()
+        assert timings.executor == "pool"
+        assert "executor=pool" in timings.summary()
+        assert batch.executor == "pool"
 
     def test_serial_path_has_no_timings(self):
         assert run_trials(3, draw_trial, seed=1).timings is None
@@ -152,6 +158,10 @@ class TestRobustness:
         assert batch.timings.mode == "fallback"
         assert batch.timings.retries == 1
         assert batch.timings.fallback_trials == 6
+        # The resolved executor records the degradation path itself,
+        # not just its side effects.
+        assert batch.timings.executor == "pool->serial"
+        assert batch.executor == "pool->serial"
         assert any(
             issubclass(w.category, RuntimeWarning)
             and "falling back to in-process" in str(w.message)
@@ -167,7 +177,33 @@ class TestRobustness:
             )
         assert batch.outcomes == [0, 1]
         assert batch.timings.mode == "fallback"
+        assert batch.timings.executor == "pool->serial"
         assert caught
+
+    def test_round_timeout_is_a_shared_deadline(self):
+        # Six one-task chunks of 5s sleepers on two workers with a 0.5s
+        # round budget: the round must give up ~0.5s after it starts
+        # (the in-process fallback is instant — sleepy_trial only
+        # sleeps in workers). The old per-future semantics handed every
+        # wait the full 0.5s budget again, so draining the six futures
+        # took ~3s before the fallback even began.
+        trial = functools.partial(sleepy_trial, os.getpid())
+        started = time.perf_counter()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            batch = run_trials(
+                6,
+                trial,
+                seed=0,
+                workers=2,
+                chunk_size=1,
+                timeout=0.5,
+                max_retries=0,
+            )
+        elapsed = time.perf_counter() - started
+        assert batch.outcomes == list(range(6))
+        assert batch.timings.mode == "fallback"
+        assert elapsed < 2.5  # one shared 0.5s deadline + pool startup
 
 
 class TestRecordStreaming:

@@ -34,7 +34,7 @@ from repro.devtools import (
 )
 from repro.cli import main as cli_main
 
-PARALLEL = "src/repro/parallel.py"
+PARALLEL = "src/repro/parallel/base.py"
 KERNELS_INIT = "src/repro/core/kernels/__init__.py"
 
 #: A minimal stand-in for the kernel facade so reader/installer calls

@@ -8,14 +8,23 @@ must stay within noise (budget: <= 2% — see docs/observability.md for
 recorded numbers). The instrumented rounds price what `--metrics-out`
 and `--trace-dir` actually cost.
 
+The trial-level rounds price campaign telemetry the same way: a
+``run_trials`` batch bare versus streaming a live telemetry feed
+(``--telemetry``), so the committed snapshots catch both an engine-level
+and a feed-level regression.
+
 Compare rounds with ``pytest benchmarks/bench_obs_overhead.py``.
 """
 
+import tempfile
+from pathlib import Path
+
 from repro.analysis import uniform_random_opinions
+from repro.analysis.montecarlo import run_trials
 from repro.core import IncrementalVoting, OpinionState, run_div_complete, run_dynamics
 from repro.core.schedulers import VertexScheduler
 from repro.graphs import random_regular_graph
-from repro.obs import Tracer, activate, collecting
+from repro.obs import Tracer, TelemetryFeed, activate, collecting, telemetering
 
 _STEPS = 100_000
 _N = 1000
@@ -84,5 +93,35 @@ def test_complete_engine_with_tracing(benchmark):
     def run():
         with activate(Tracer()):
             return _run_complete()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+_TRIALS = 64
+
+
+def _telemetry_trial(index, rng):
+    return int(rng.integers(0, 1 << 30))
+
+
+def _run_batch():
+    batch = run_trials(_TRIALS, _telemetry_trial, seed=11)
+    assert len(batch.outcomes) == _TRIALS
+    return batch
+
+
+def test_trials_bare(benchmark):
+    benchmark.extra_info.update(layer="trials", obs="off", trials=_TRIALS)
+    benchmark.pedantic(_run_batch, rounds=3, iterations=1)
+
+
+def test_trials_with_telemetry(benchmark):
+    benchmark.extra_info.update(layer="trials", obs="telemetry", trials=_TRIALS)
+
+    def run():
+        with tempfile.TemporaryDirectory() as scratch:
+            feed = TelemetryFeed(Path(scratch) / "telemetry")
+            with collecting(), telemetering(feed):
+                return _run_batch()
 
     benchmark.pedantic(run, rounds=3, iterations=1)

@@ -10,12 +10,18 @@
 #   3. the trace's phase-transition counts are consistent with the final
 #      E10 report: support-*size* transitions are a subset of the
 #      support-*set* changes the report counts as stages, so
-#      mean(transitions) + 1 <= mean(#stages).
+#      mean(transitions) + 1 <= mean(#stages);
+#   4. two concurrent --telemetry journal launchers leave feeds whose
+#      merged timeline reconciles exactly with the checkpoint journal,
+#      and `campaign watch --once` / `timeline report` render them;
+#   5. `bench compare` passes on a snapshot against itself and catches a
+#      seeded >=50% regression with a nonzero exit (the CI perf gate).
 #
 # Usage: scripts/trace_drill.sh [OUT_DIR]   (override the CLI with DIV_REPRO=...)
 set -euo pipefail
 
 RUN=${DIV_REPRO:-div-repro}
+ROOT_SNAPSHOTS=$(cd "$(dirname "$0")/.." && pwd)
 WORK=$(mktemp -d)
 OUT=${1:-$WORK/obs}
 trap 'rm -rf "$WORK"' EXIT
@@ -62,5 +68,75 @@ print(f"[trace-drill] OK: {summary.engine_spans} engine spans, "
       f"{summary.total_steps} steps, mean transitions {mean_transitions:.2f} "
       f"<= mean stages {mean_stages:.2f}")
 EOF
+
+# ------------------------------------------------------- telemetry drill
+say "telemetry drill: two concurrent --telemetry launchers on one campaign"
+$RUN run E10 --quick --seed 0 --workers 2 \
+    --checkpoint-dir "$WORK/ckpt" --resume \
+    --executor journal --lease-ttl 2 --telemetry \
+    > /dev/null 2>&1 &
+LAUNCHER_A=$!
+$RUN run E10 --quick --seed 0 --workers 2 \
+    --checkpoint-dir "$WORK/ckpt" --resume \
+    --executor journal --lease-ttl 2 --telemetry \
+    > /dev/null 2>&1 &
+LAUNCHER_B=$!
+wait "$LAUNCHER_A"
+wait "$LAUNCHER_B"
+
+say "rendering the live view and the post-hoc report"
+$RUN campaign watch "$WORK/ckpt" --once
+$RUN timeline report "$WORK/ckpt/e10" --bin 1 > /dev/null
+
+say "reconciling the merged timeline against the checkpoint journal"
+python - "$WORK/ckpt/e10" <<'EOF'
+import sys
+from pathlib import Path
+
+from repro.checkpoint import CheckpointJournal
+from repro.obs import load_timeline
+
+campaign_dir = Path(sys.argv[1])
+timeline = load_timeline(campaign_dir)
+journaled = sum(1 for _ in CheckpointJournal(campaign_dir).iter_records())
+
+assert len(timeline.launchers) == 2, sorted(timeline.launchers)
+assert all(l.closed for l in timeline.launchers.values()), "unclosed feed"
+assert journaled == 80, journaled  # E10 --quick trials
+# Journal truth and telemetry truth must agree exactly: every journaled
+# trial appears exactly once as timeline progress; steal/peer double
+# work only ever shows up as contention, never as progress.
+assert timeline.completed == journaled, (timeline.completed, journaled)
+assert timeline.total == journaled, (timeline.total, journaled)
+assert timeline.executed >= timeline.completed - timeline.duplicates
+
+print(f"[trace-drill] OK: {len(timeline.launchers)} launchers, "
+      f"{timeline.completed}/{timeline.total} trials reconciled, "
+      f"{timeline.duplicates} duplicate(s), {timeline.torn_lines} torn line(s)")
+EOF
+
+# ------------------------------------------------------ bench-compare gate
+say "bench-compare self-test: identity must pass, seeded regression must fail"
+SNAPSHOT=$(ls "$ROOT_SNAPSHOTS"/BENCH_*.json 2>/dev/null | head -1 || true)
+if [ -z "$SNAPSHOT" ]; then
+    say "FAIL: no committed BENCH_*.json snapshot to gate against"
+    exit 1
+fi
+$RUN bench compare "$SNAPSHOT" "$SNAPSHOT" > /dev/null
+say "OK: snapshot compares clean against itself"
+python - "$SNAPSHOT" "$WORK/regressed.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1], encoding="utf-8") as handle:
+    snapshot = json.load(handle)
+snapshot["benchmarks"][0]["mean_seconds"] *= 1.5  # seeded 50% regression
+with open(sys.argv[2], "w", encoding="utf-8") as handle:
+    json.dump(snapshot, handle)
+EOF
+if $RUN bench compare "$SNAPSHOT" "$WORK/regressed.json" > /dev/null; then
+    say "FAIL: bench compare accepted a seeded 50% regression"
+    exit 1
+fi
+say "OK: seeded regression caught with a nonzero exit"
 
 say "all checks passed (trace kept in $OUT)"

@@ -22,6 +22,7 @@ uninterrupted run.
 
 from __future__ import annotations
 
+import time
 from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import Callable, Dict, Generic, List, Optional, Sequence, TypeVar
@@ -39,6 +40,7 @@ from repro.obs.metrics import (
     collecting,
     merge_snapshots,
 )
+from repro.obs.telemetry import TelemetryFeed, active_telemetry
 from repro.obs.tracing import Tracer, current_tracer
 from repro.parallel import TrialRecord, TrialTimings, execute_tasks
 from repro.rng import RngLike, make_rng, spawn_rngs, spawn_seed_sequences
@@ -137,6 +139,8 @@ def run_trials(
     )
     tracer = current_tracer()
     parent_metrics = active_metrics()
+    feed, tel_batch = _telemetry_begin(batch, "trials", trials, len(cached))
+    batch_started = time.perf_counter()
     with ExitStack() as stack:
         stack.enter_context(use_kernel(kernel))
         if tracer is not None:
@@ -155,14 +159,25 @@ def run_trials(
                 if i in cached:
                     outcomes.append(cached[i])
                     continue
+                trial_started = time.perf_counter()
                 outcome, snapshot = _run_local_trial(
                     trial, (i,), rngs[i], i, tracer, parent_metrics
                 )
+                if feed is not None:
+                    feed.trial(
+                        i,
+                        time.perf_counter() - trial_started,
+                        "local",
+                        batch=tel_batch,
+                    )
                 if snapshot is not None:
                     snapshots.append(snapshot)
                 if session is not None:
                     session.record(batch, i, outcome)
                 outcomes.append(outcome)
+            _telemetry_end(
+                feed, tel_batch, "serial", batch_started, trials - len(cached)
+            )
             return TrialSet(
                 outcomes=outcomes,
                 metrics=_merged_metrics(snapshots, parent_metrics),
@@ -185,6 +200,9 @@ def run_trials(
             **_parallel_kwargs(chunk_size, timeout, max_retries),
         )
         _trace_records(tracer, records)
+        _telemetry_end(
+            feed, tel_batch, timings.executor, batch_started, len(records)
+        )
         merged: Dict[int, object] = dict(cached)
         merged.update((r.index, r.outcome) for r in records)
         return TrialSet(
@@ -240,6 +258,10 @@ def run_trials_over(
     )
     tracer = current_tracer()
     parent_metrics = active_metrics()
+    feed, tel_batch = _telemetry_begin(
+        grid_key, "grid", len(parameters) * trials, len(cached)
+    )
+    batch_started = time.perf_counter()
     batch_seeds = spawn_seed_sequences(seed, len(parameters))
     with ExitStack() as stack:
         stack.enter_context(use_kernel(kernel))
@@ -265,9 +287,17 @@ def run_trials_over(
                     if flat in cached:
                         outcomes.append(cached[flat])
                         continue
+                    trial_started = time.perf_counter()
                     outcome, snapshot = _run_local_trial(
                         trial, (parameter, i), rngs[i], flat, tracer, parent_metrics
                     )
+                    if feed is not None:
+                        feed.trial(
+                            flat,
+                            time.perf_counter() - trial_started,
+                            "local",
+                            batch=tel_batch,
+                        )
                     if snapshot is not None:
                         snapshots.append(snapshot)
                     if session is not None:
@@ -283,6 +313,13 @@ def run_trials_over(
                         ),
                     )
                 )
+            _telemetry_end(
+                feed,
+                tel_batch,
+                "serial",
+                batch_started,
+                len(parameters) * trials - len(cached),
+            )
             return results
 
         tasks = []
@@ -309,6 +346,9 @@ def run_trials_over(
             **_parallel_kwargs(chunk_size, timeout, max_retries),
         )
         _trace_records(tracer, records)
+        _telemetry_end(
+            feed, tel_batch, timings.executor, batch_started, len(records)
+        )
         merged: Dict[int, object] = dict(cached)
         merged.update((r.index, r.outcome) for r in records)
         executed = {r.index: r for r in records}
@@ -405,6 +445,37 @@ def _trace_records(
             index=record.index,
             seconds=record.seconds,
             worker=record.worker,
+        )
+
+
+def _telemetry_begin(
+    batch: Optional[str], kind: str, size: int, cached: int
+) -> tuple:
+    """Announce the batch on the ambient telemetry feed, if any.
+
+    Returns ``(feed, batch_key)``; the key is the campaign batch key
+    when a session named one, or a feed-local anonymous key otherwise,
+    so even sessionless ``run_trials`` calls show up in the timeline.
+    """
+    feed = active_telemetry()
+    if feed is None:
+        return None, None
+    return feed, feed.batch_begin(batch, kind, size, cached=cached)
+
+
+def _telemetry_end(
+    feed: Optional[TelemetryFeed],
+    tel_batch: Optional[str],
+    executor: Optional[str],
+    batch_started: float,
+    executed: int,
+) -> None:
+    if feed is not None:
+        feed.batch_end(
+            tel_batch,
+            executor,
+            time.perf_counter() - batch_started,
+            executed,
         )
 
 

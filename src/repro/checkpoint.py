@@ -58,6 +58,7 @@ from repro.errors import (
 from repro.faults import FaultPlan
 from repro.io import atomic_write_bytes, atomic_write_text
 from repro.obs.metrics import active_metrics
+from repro.obs.telemetry import active_telemetry
 from repro.obs.tracing import current_tracer
 
 PathLike = Union[str, Path]
@@ -416,6 +417,11 @@ class CampaignSession:
             tracer = current_tracer()
             if tracer is not None:
                 tracer.event("checkpoint.resume", batch=batch, cached=len(outcomes))
+            feed = active_telemetry()
+            if feed is not None:
+                feed.event(
+                    "checkpoint.resume", batch=batch, cached=len(outcomes)
+                )
         return outcomes
 
     def record(self, batch: str, index: int, outcome: object) -> None:

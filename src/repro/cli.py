@@ -16,9 +16,19 @@ Commands
     ``--executor journal`` lets several launcher processes pointed at
     the same ``--checkpoint-dir`` drain one campaign cooperatively via
     lease files (``--lease-ttl`` tunes dead-launcher reclaim).
-``campaign status DIR``
+``campaign status DIR`` / ``campaign watch DIR [--interval S] [--once]``
     Per-batch progress and live/stale lease ownership of a campaign
-    being drained by journal-executor launchers.
+    being drained by journal-executor launchers. ``watch`` follows the
+    campaign live through its telemetry feeds (``run --telemetry``):
+    per-launcher throughput, completed-vs-total per batch, ETA, and
+    stale-lease / dead-launcher warnings.
+``timeline report DIR [--trace PATH] [--bin S]``
+    Post-hoc analysis of a telemetered campaign: per-launcher
+    utilization and contention, throughput-over-time, merged metrics,
+    and per-phase attribution joined from ``--trace-dir`` traces.
+``bench compare OLD.json NEW.json [--threshold R]``
+    Diff two committed ``BENCH_*.json`` snapshots per benchmark; exits
+    1 on any regression beyond the threshold (the CI perf gate).
 ``demo``
     A 30-second tour: one DIV run with a stage trace on a small graph.
 ``lint [--format text|json|sarif] [--rules R1,R2] [paths]``
@@ -49,6 +59,7 @@ genuine bugs.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -156,6 +167,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="pool retry rounds after a worker crash or chunk timeout "
         "before falling back in-process",
+    )
+    run.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="stream per-launcher progress feeds under "
+        "<checkpoint dir>/<experiment>/telemetry/ for 'campaign watch' "
+        "and 'timeline report' (requires --checkpoint-dir)",
     )
     run.add_argument(
         "--trace-dir",
@@ -280,6 +298,79 @@ def _build_parser() -> argparse.ArgumentParser:
         "directory being drained by journal-executor launchers",
     )
     status.add_argument("directory", help="campaign dir (or a parent of several)")
+    watch = campaign_sub.add_parser(
+        "watch",
+        help="follow a telemetered campaign live: per-launcher "
+        "throughput, batch progress, ETA, stale-lease and "
+        "dead-launcher warnings (campaigns run with --telemetry)",
+    )
+    watch.add_argument("directory", help="campaign dir (or a parent of several)")
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh interval (default 2s)",
+    )
+    watch.add_argument(
+        "--once",
+        action="store_true",
+        help="render one snapshot and exit (scripting/CI)",
+    )
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="post-hoc analysis of a telemetered campaign's feeds",
+    )
+    timeline_sub = timeline.add_subparsers(dest="timeline_command", required=True)
+    tl_report = timeline_sub.add_parser(
+        "report",
+        help="per-launcher utilization, contention, throughput-over-time "
+        "and merged metrics of a campaign run with --telemetry",
+    )
+    tl_report.add_argument("directory", help="campaign dir (or a parent of several)")
+    tl_report.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="join per-phase step/wall attribution from a trace file or "
+        "directory written by 'run --trace-dir'",
+    )
+    tl_report.add_argument(
+        "--bin",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="bin width of the throughput-over-time series (default 5s)",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="compare committed benchmark snapshots"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    compare = bench_sub.add_parser(
+        "compare",
+        help="diff two BENCH_*.json snapshots per benchmark; exit 1 on "
+        "regressions beyond the threshold or missing benchmarks",
+    )
+    compare.add_argument("old", help="baseline snapshot (the committed one)")
+    compare.add_argument("new", help="candidate snapshot")
+    compare.add_argument(
+        "--threshold",
+        type=float,
+        default=0.3,
+        metavar="RATIO",
+        help="relative mean-time change that counts as a regression/"
+        "improvement (default 0.3 = 30%%)",
+    )
+    compare.add_argument(
+        "--min-seconds",
+        type=float,
+        default=1e-4,
+        metavar="S",
+        help="noise floor: benchmarks with baseline mean below S are "
+        "never judged (default 1e-4)",
+    )
 
     checkpoint = sub.add_parser(
         "checkpoint", help="inspect or compare campaign checkpoint directories"
@@ -328,6 +419,13 @@ def _cmd_run(args) -> int:
             "--executor journal coordinates launchers through the "
             "campaign journal; it requires --checkpoint-dir"
         )
+    if args.telemetry and args.checkpoint_dir is None:
+        from repro.errors import CheckpointError
+
+        raise CheckpointError(
+            "--telemetry feeds live under the campaign journal; it "
+            "requires --checkpoint-dir"
+        )
     campaign_options = dict(
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
@@ -338,6 +436,7 @@ def _cmd_run(args) -> int:
         kernel=None if args.kernel == "auto" else args.kernel,
         executor=None if args.executor == "auto" else args.executor,
         lease_ttl=args.lease_ttl,
+        telemetry=args.telemetry,
     )
     if any(e.lower() == "all" for e in ids):
         specs = all_experiments()
@@ -544,7 +643,9 @@ def _cmd_trace_summarize(path: str) -> int:
         )
     print(
         f"{summary.engine_spans} engine run(s), {summary.total_steps} steps, "
-        f"{summary.total_engine_seconds:.3f}s engine wall time, "
+        f"{summary.total_engine_seconds:.3f}s engine wall time "
+        f"({1e3 * summary.mean_engine_seconds:.2f}"
+        f"±{1e3 * summary.stddev_engine_seconds:.2f}ms/run), "
         f"{summary.phase_transitions} phase transition(s)"
     )
     if summary.phase_steps:
@@ -585,18 +686,72 @@ def _cmd_trace_summarize(path: str) -> int:
     return 0
 
 
-def _cmd_campaign_status(directory: str) -> int:
-    from repro.checkpoint import LEASES_DIRNAME, CheckpointJournal
+def _campaign_snapshot(campaign_dir):
+    """One campaign's merged state: journal truth, leases, telemetry.
+
+    The single code path behind both ``campaign status`` and ``campaign
+    watch`` — the timeline is ``None`` when the campaign was not run
+    with ``--telemetry`` (or has produced no feeds yet).
+    """
+    from repro.checkpoint import LEASES_DIRNAME, MANIFEST_NAME, CheckpointJournal
+    from repro.obs.telemetry import TELEMETRY_DIRNAME
+    from repro.obs.timeline import load_timeline
     from repro.parallel import scan_leases, summarize_leases
 
-    for campaign_dir in _campaign_dirs(directory):
+    manifest = {}
+    per_batch = {}
+    if (campaign_dir / MANIFEST_NAME).is_file():
         journal = CheckpointJournal(campaign_dir)
         manifest = journal.read_manifest()
-        per_batch = {}
         for batch, _, _ in journal.iter_records():
             per_batch[batch] = per_batch.get(batch, 0) + 1
-        leases = scan_leases(campaign_dir / LEASES_DIRNAME)
-        split = summarize_leases(leases)
+    leases = scan_leases(campaign_dir / LEASES_DIRNAME)
+    timeline = None
+    if (campaign_dir / TELEMETRY_DIRNAME).is_dir() or (
+        campaign_dir.name == TELEMETRY_DIRNAME and campaign_dir.is_dir()
+    ):
+        timeline = load_timeline(campaign_dir)
+    return {
+        "dir": campaign_dir,
+        "manifest": manifest,
+        "per_batch": per_batch,
+        "leases": leases,
+        "lease_split": summarize_leases(leases),
+        "timeline": timeline,
+    }
+
+
+def _lease_lines(snapshot) -> list:
+    """Per-batch journal/lease lines shared by status and watch.
+
+    Heartbeat ages are clamped at zero: a peer whose clock runs ahead
+    of ours writes heartbeats "from the future", and a raw negative age
+    reads like corruption when it is only skew.
+    """
+    lines = []
+    by_batch = {}
+    for lease in snapshot["leases"]:
+        by_batch.setdefault(lease.path.parent.name, []).append(lease)
+    for batch in sorted(set(snapshot["per_batch"]) | set(by_batch)):
+        lines.append(f"  {batch}: {snapshot['per_batch'].get(batch, 0)} trial(s)")
+        for lease in by_batch.get(batch, ()):
+            state = "stale" if lease.is_stale() else "live"
+            indices = lease.chunk
+            span = f"t{indices[0]}..t{indices[-1]}" if indices else "empty"
+            lines.append(
+                f"    {lease.path.name}: {state}, owner {lease.owner}, "
+                f"{span}, heartbeat {max(0.0, lease.age()):.1f}s ago "
+                f"(ttl {lease.ttl:.0f}s)"
+            )
+    return lines
+
+
+def _cmd_campaign_status(directory: str) -> int:
+    for campaign_dir in _campaign_dirs(directory):
+        snapshot = _campaign_snapshot(campaign_dir)
+        manifest = snapshot["manifest"]
+        per_batch = snapshot["per_batch"]
+        split = snapshot["lease_split"]
         print(
             f"{campaign_dir}: {manifest.get('experiment_id', '?')} "
             f"[{manifest.get('scale', '?')}] seed={manifest.get('seed', '?')} "
@@ -604,24 +759,247 @@ def _cmd_campaign_status(directory: str) -> int:
             f"{len(per_batch)} batch(es); {split['live']} live / "
             f"{split['stale']} stale lease(s)"
         )
-        by_batch = {}
-        for lease in leases:
-            by_batch.setdefault(lease.path.parent.name, []).append(lease)
-        for batch in sorted(set(per_batch) | set(by_batch)):
-            line = f"  {batch}: {per_batch.get(batch, 0)} trial(s)"
+        for line in _lease_lines(snapshot):
             print(line)
-            for lease in by_batch.get(batch, ()):
-                state = "stale" if lease.is_stale() else "live"
-                indices = lease.chunk
-                span = (
-                    f"t{indices[0]}..t{indices[-1]}" if indices else "empty"
-                )
-                print(
-                    f"    {lease.path.name}: {state}, owner {lease.owner}, "
-                    f"{span}, heartbeat {lease.age():.1f}s ago "
-                    f"(ttl {lease.ttl:.0f}s)"
-                )
+        timeline = snapshot["timeline"]
+        if timeline is not None and timeline.launchers:
+            closed = sum(1 for l in timeline.launchers.values() if l.closed)
+            print(
+                f"  telemetry: {len(timeline.launchers)} launcher feed(s) "
+                f"({closed} closed), {timeline.executed} executed "
+                f"trial(s), {timeline.duplicates} duplicate(s)"
+            )
     return 0
+
+
+def _timeline_dirs(directory) -> list:
+    """Campaign dirs under ``directory`` — accepting manifest-less dirs
+    that hold telemetry feeds (hand-built or partially-synced campaigns)."""
+    from pathlib import Path
+
+    from repro.errors import CheckpointError
+    from repro.obs.telemetry import TELEMETRY_DIRNAME
+
+    try:
+        return _campaign_dirs(directory)
+    except CheckpointError:
+        root = Path(directory)
+        if root.name == TELEMETRY_DIRNAME or (root / TELEMETRY_DIRNAME).is_dir():
+            return [root]
+        raise
+
+
+def _render_watch(campaign_dir, now: float) -> None:
+    snapshot = _campaign_snapshot(campaign_dir)
+    timeline = snapshot["timeline"]
+    manifest = snapshot["manifest"]
+    if timeline is None or not timeline.launchers:
+        print(
+            f"{campaign_dir}: no telemetry feeds yet (campaign not "
+            "started, or run without --telemetry)"
+        )
+        for line in _lease_lines(snapshot):
+            print(line)
+        return
+    total = timeline.total
+    completed = timeline.completed
+    rate = timeline.recent_rate()
+    eta = timeline.eta_seconds()
+    percent = 100.0 * completed / total if total else 0.0
+    eta_text = "done" if eta == 0.0 else ("?" if eta is None else f"{eta:.0f}s")
+    print(
+        f"{campaign_dir}: {manifest.get('experiment_id', '?')} "
+        f"[{manifest.get('scale', '?')}] — {completed}/{total} trial(s) "
+        f"({percent:.0f}%), {rate:.1f} trials/s, ETA {eta_text}"
+    )
+    for key in sorted(timeline.batches):
+        batch = timeline.batches[key]
+        executors = sorted(set(batch.finished_by.values()))
+        suffix = f" [{'+'.join(executors)}]" if executors else ""
+        dup = f", {batch.duplicates} duplicate(s)" if batch.duplicates else ""
+        print(f"  {key}: {batch.completed}/{batch.size}{suffix}{dup}")
+    for name in sorted(timeline.launchers):
+        launcher = timeline.launchers[name]
+        if launcher.closed:
+            state = "closed"
+        elif launcher.is_stale(now):
+            quiet = now - launcher.last_seen
+            state = f"SILENT {quiet:.1f}s (heartbeat due every {launcher.heartbeat_interval:.1f}s — dead launcher?)"
+        else:
+            state = f"live, last seen {max(0.0, now - launcher.last_seen):.1f}s ago"
+        print(
+            f"  launcher {launcher.name}: {launcher.executed} trial(s), "
+            f"{launcher.trials_per_second:.1f}/s, "
+            f"util {100.0 * launcher.utilization:.0f}%, {state}"
+        )
+    stale = [lease for lease in snapshot["leases"] if lease.is_stale()]
+    for lease in stale:
+        indices = lease.chunk
+        span = f"t{indices[0]}..t{indices[-1]}" if indices else "empty"
+        print(
+            f"  WARNING: stale lease {lease.path.parent.name}/"
+            f"{lease.path.name} ({span}) owner {lease.owner}, heartbeat "
+            f"{max(0.0, lease.age()):.1f}s ago — peers will reclaim it"
+        )
+    if timeline.torn_lines:
+        print(f"  note: {timeline.torn_lines} torn feed line(s) skipped")
+
+
+def _cmd_campaign_watch(directory: str, interval: float, once: bool) -> int:
+    dirs = _timeline_dirs(directory)
+    while True:
+        now = time.time()
+        for campaign_dir in dirs:
+            _render_watch(campaign_dir, now)
+        if once:
+            return 0
+        sys.stdout.flush()
+        try:
+            time.sleep(max(interval, 0.1))
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return 0
+        print()
+
+
+def _cmd_timeline_report(directory: str, trace: Optional[str], bin_seconds: float) -> int:
+    from repro.experiments.tables import Table
+    from repro.obs.timeline import load_timeline
+
+    for campaign_dir in _timeline_dirs(directory):
+        timeline = load_timeline(campaign_dir)
+        span = max(timeline.last_seen - timeline.started, 0.0)
+        print(
+            f"{campaign_dir}: {len(timeline.launchers)} launcher feed(s), "
+            f"{timeline.completed}/{timeline.total} trial(s) over "
+            f"{span:.1f}s, {timeline.duplicates} duplicate(s), "
+            f"{timeline.torn_lines} torn line(s)"
+        )
+        if timeline.launchers:
+            table = Table(
+                title="Per-launcher utilization",
+                headers=[
+                    "launcher", "trials", "peer", "busy s", "wall s",
+                    "util %", "trials/s", "leases",
+                ],
+            )
+            for name in sorted(timeline.launchers):
+                launcher = timeline.launchers[name]
+                lease_text = (
+                    ", ".join(
+                        f"{kind}:{count}"
+                        for kind, count in sorted(launcher.lease_events.items())
+                    )
+                    or "-"
+                )
+                table.add_row(
+                    launcher.name,
+                    launcher.executed,
+                    launcher.peer_loaded,
+                    f"{launcher.busy_seconds:.2f}",
+                    f"{launcher.wall_seconds:.2f}",
+                    f"{100.0 * launcher.utilization:.0f}",
+                    f"{launcher.trials_per_second:.1f}",
+                    lease_text,
+                )
+            table.add_note(
+                "util = busy trial seconds / observed launcher lifetime; "
+                "peer = records loaded from peers' journal entries "
+                "(contention, not progress)"
+            )
+            print()
+            print(table.render())
+        if timeline.batches:
+            table = Table(
+                title="Per-batch progress",
+                headers=["batch", "size", "completed", "duplicates", "executors"],
+            )
+            for key in sorted(timeline.batches):
+                batch = timeline.batches[key]
+                executors = sorted(set(batch.finished_by.values()))
+                table.add_row(
+                    key,
+                    batch.size,
+                    batch.completed,
+                    batch.duplicates,
+                    "+".join(executors) if executors else "-",
+                )
+            print()
+            print(table.render())
+        series = timeline.throughput_series(bin_seconds)
+        if series:
+            peak = max(count for _, count in series)
+            print()
+            print(f"Throughput over time ({bin_seconds:g}s bins):")
+            for offset, count in series:
+                bar = "#" * max(1, round(30 * count / peak))
+                print(f"  t+{offset:6.1f}s  {bar} {count}")
+        metrics = timeline.metrics
+        if not metrics.empty:
+            print()
+            print("Merged campaign metrics (all launchers):")
+            for name_, value in sorted(metrics.counters.items()):
+                print(f"  {name_} = {value:g}")
+            for name_, summary in sorted(metrics.histograms.items()):
+                print(
+                    f"  {name_}: n={summary.count} "
+                    f"mean={summary.mean:.6f}±{summary.stddev:.6f} "
+                    f"min={summary.minimum:.6f} max={summary.maximum:.6f}"
+                )
+        if trace is not None:
+            from repro.obs.tracing import load_trace_dir, summarize_records
+
+            trace_summary = summarize_records(load_trace_dir(trace))
+            print()
+            print(
+                f"Trace join: {trace_summary.engine_spans} engine run(s), "
+                f"{trace_summary.total_steps} steps, "
+                f"{1e3 * trace_summary.mean_engine_seconds:.2f}"
+                f"±{1e3 * trace_summary.stddev_engine_seconds:.2f}ms/run"
+            )
+            if trace_summary.phase_steps:
+                table = Table(
+                    title="Per-phase attribution (joined from traces)",
+                    headers=["|support|", "steps", "wall s"],
+                )
+                for support in sorted(trace_summary.phase_steps, reverse=True):
+                    table.add_row(
+                        support,
+                        trace_summary.phase_steps[support],
+                        f"{trace_summary.phase_seconds.get(support, 0.0):.3f}",
+                    )
+                print(table.render())
+    return 0
+
+
+def _cmd_bench_compare(
+    old: str, new: str, threshold: float, min_seconds: float
+) -> int:
+    from repro.obs.bench import compare_snapshots, load_snapshot
+
+    deltas = compare_snapshots(
+        load_snapshot(old),
+        load_snapshot(new),
+        threshold=threshold,
+        min_seconds=min_seconds,
+    )
+    failed = [delta for delta in deltas if delta.failed]
+    width = max((len(delta.name) for delta in deltas), default=4)
+    for delta in deltas:
+        if delta.status == "missing":
+            detail = f"{1e3 * delta.old_mean:9.3f}ms ->   (absent)"
+        elif delta.status == "new":
+            detail = f"  (absent)   -> {1e3 * delta.new_mean:9.3f}ms"
+        else:
+            detail = (
+                f"{1e3 * delta.old_mean:9.3f}ms -> {1e3 * delta.new_mean:9.3f}ms "
+                f"({delta.ratio - 1.0:+7.1%})".replace("%", " %")
+            )
+        print(f"{delta.status.upper():>9}  {delta.name:<{width}}  {detail}")
+    print(
+        f"{len(deltas)} benchmark(s) compared at threshold "
+        f"{threshold:.0%}: {len(failed)} regression(s)/missing"
+    )
+    return 1 if failed else 0
 
 
 def _cmd_checkpoint_show(directory: str) -> int:
@@ -708,7 +1086,15 @@ def _dispatch(args) -> int:
     if args.command == "trace":
         return _cmd_trace_summarize(args.path)
     if args.command == "campaign":
+        if args.campaign_command == "watch":
+            return _cmd_campaign_watch(args.directory, args.interval, args.once)
         return _cmd_campaign_status(args.directory)
+    if args.command == "timeline":
+        return _cmd_timeline_report(args.directory, args.trace, args.bin)
+    if args.command == "bench":
+        return _cmd_bench_compare(
+            args.old, args.new, args.threshold, args.min_seconds
+        )
     if args.command == "checkpoint":
         if args.checkpoint_command == "show":
             return _cmd_checkpoint_show(args.directory)
@@ -731,6 +1117,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"div-repro: error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream consumer closed early (`div-repro timeline report | head`).
+        # Detach stdout so the interpreter's shutdown flush can't raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

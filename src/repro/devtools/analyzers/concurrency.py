@@ -73,6 +73,12 @@ AMBIENT_FAMILIES: Tuple[AmbientFamily, ...] = (
         frozenset({"profiling", "suspended"}),
     ),
     AmbientFamily(
+        "telemetry",
+        "repro.obs.telemetry",
+        frozenset({"active_telemetry"}),
+        frozenset({"telemetering", "suspended"}),
+    ),
+    AmbientFamily(
         "session",
         "repro.checkpoint",
         frozenset({"current_session"}),

@@ -1,6 +1,6 @@
 """Built-in lint rules: determinism (RNG001/RNG002), layering (LAY001),
-correctness (COR001), test hygiene (TST001), observability (OBS001) and
-kernel threading (KER001).
+correctness (COR001), test hygiene (TST001), observability
+(OBS001/OBS002) and kernel threading (KER001).
 
 Every headline number this repo reproduces — the Lemma 3 martingale, the
 Lemma 5 / Theorem 2 winning probabilities — is a statistical claim whose
@@ -517,6 +517,78 @@ class BarePrintRule(Rule):
                 )
 
 
+#: Write modes of builtins.open that OBS002 treats as file writes.
+_WRITE_MODE_CHARS = frozenset("wxa+")
+
+
+def _open_write_mode(node: ast.Call) -> Optional[str]:
+    """The literal write mode of an ``open(...)`` call, if any."""
+    mode: Optional[ast.expr] = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if (
+        isinstance(mode, ast.Constant)
+        and isinstance(mode.value, str)
+        and _WRITE_MODE_CHARS & set(mode.value)
+    ):
+        return mode.value
+    return None
+
+
+@register
+class AtomicObsWriteRule(Rule):
+    """OBS002 — obs-layer file writes must go through ``repro.io``."""
+
+    rule_id = "OBS002"
+    title = "telemetry/trace writes must use the atomic io helpers"
+    rationale = (
+        "Observability files are read while they are being written: a "
+        "peer launcher tails the telemetry feed of a crashed one, and "
+        "`campaign watch` polls mid-campaign.  A raw open(..., 'w') or "
+        "Path.write_text in repro.obs can be observed half-flushed, "
+        "turning torn lines from a tolerated edge case into the common "
+        "case.  Whole-file writes must go through "
+        "repro.io.atomic_write_text/atomic_write_bytes (tmp-file + "
+        "rename) and feed appends through repro.io.append_jsonl_line "
+        "(single whole-line write + flush)."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        module = ctx.module
+        if not module or ctx.is_test:
+            return
+        if module != "repro.obs" and not module.startswith("repro.obs."):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "open":
+                mode = _open_write_mode(node)
+                if mode is not None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"raw open(..., {mode!r}) in obs module `{module}`",
+                        "write through repro.io.atomic_write_text/"
+                        "atomic_write_bytes, or append records via "
+                        "repro.io.append_jsonl_line",
+                    )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("write_text", "write_bytes")
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f".{node.func.attr}() in obs module `{module}`",
+                    "use repro.io.atomic_write_text/atomic_write_bytes so "
+                    "concurrent readers never see a torn file",
+                )
+
+
 #: Layers that must leave execution-kernel selection to their caller.
 _KERNEL_THREADING_PREFIXES: Tuple[str, ...] = (
     "repro.experiments",
@@ -578,6 +650,7 @@ BUILTIN_RULES: Sequence[type] = (
     MutableDefaultRule,
     FloatEqualityRule,
     BarePrintRule,
+    AtomicObsWriteRule,
     KernelThreadingRule,
 )
 

@@ -64,6 +64,14 @@ class TraceError(ObservabilityError):
     """A trace file is missing, malformed, or internally inconsistent."""
 
 
+class TelemetryError(ObservabilityError):
+    """A telemetry feed or campaign timeline is missing or malformed."""
+
+
+class BenchCompareError(ObservabilityError):
+    """A benchmark snapshot is missing, malformed, or not comparable."""
+
+
 class CheckpointError(ReproError):
     """Invalid checkpoint/journal state or request."""
 

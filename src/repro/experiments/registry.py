@@ -16,6 +16,8 @@ from repro.checkpoint import CheckpointJournal, campaign, config_fingerprint
 from repro.core.kernels import use_kernel
 from repro.errors import ExperimentError
 from repro.faults import FaultPlan
+from repro.obs.metrics import active_metrics, collecting
+from repro.obs.telemetry import TELEMETRY_DIRNAME, TelemetryFeed, telemetering
 from repro.obs.tracing import current_tracer
 from repro.parallel import LeaseConfig
 from repro.experiments import (
@@ -98,6 +100,7 @@ class ExperimentSpec:
         kernel: Optional[str] = None,
         executor: Optional[str] = None,
         lease_ttl: Optional[float] = None,
+        telemetry: bool = False,
     ) -> ExperimentReport:
         """Run one scale ("full"/"quick") as a crash-safe campaign.
 
@@ -128,6 +131,15 @@ class ExperimentSpec:
         a dead launcher's claims are reclaimed (see
         :class:`repro.parallel.LeaseConfig`). Reports are identical
         across executors, like kernels.
+
+        ``telemetry=True`` (CLI: ``--telemetry``) opens an append-only
+        progress feed under ``<campaign dir>/telemetry/`` (see
+        :mod:`repro.obs.telemetry`) so ``div-repro campaign watch`` and
+        ``timeline report`` can observe the campaign live and post-hoc.
+        It requires a ``checkpoint_dir`` — the feeds live next to the
+        journal the launchers share. When no ambient metrics registry
+        is collecting, one is installed for the campaign so heartbeats
+        carry real counters.
         """
         if scale not in ("full", "quick"):
             raise ExperimentError(f"unknown campaign scale {scale!r}")
@@ -141,6 +153,12 @@ class ExperimentSpec:
             raise ExperimentError(
                 "lease_ttl only applies to the journal executor "
                 f"(got executor={executor!r})"
+            )
+        if telemetry and checkpoint_dir is None:
+            raise ExperimentError(
+                "telemetry feeds live under the campaign checkpoint "
+                "directory; pass checkpoint_dir (CLI: --checkpoint-dir) "
+                "or drop --telemetry"
             )
         lease_config = (
             LeaseConfig.from_ttl(lease_ttl) if lease_ttl is not None else None
@@ -168,6 +186,28 @@ class ExperimentSpec:
             # the engine, and the Monte-Carlo layer re-ships the ambient
             # choice to worker processes.
             stack.enter_context(use_kernel(kernel))
+            if telemetry:
+                # Heartbeats ship metric deltas; make sure there are
+                # metrics to ship even when the caller installed none.
+                if active_metrics() is None:
+                    stack.enter_context(collecting())
+                stack.enter_context(
+                    telemetering(
+                        TelemetryFeed(
+                            journal.directory / TELEMETRY_DIRNAME,
+                            drop_indices=(
+                                fault_plan.telemetry_drop_indices()
+                                if fault_plan is not None
+                                else ()
+                            ),
+                            experiment=self.experiment_id,
+                            scale=scale,
+                            seed=repr(seed),
+                            workers=0 if workers is None else workers,
+                            executor="auto" if executor is None else executor,
+                        )
+                    )
+                )
             if tracer is not None:
                 span = stack.enter_context(tracer.span("campaign"))
                 span.set(

@@ -35,6 +35,7 @@ SPEC grammar (``div-repro run --inject-faults SPEC``)::
     clause := KIND "@" INDEX [":" ARG]
     KIND   := crash | hang | slow | corrupt | truncate | abort
             | lease-stale | lease-steal | lease-partial | lease-abort
+            | telemetry-drop
 
 ``crash@I[:N]`` kills the worker executing trial ``I`` (first ``N``
 attempts only, default every attempt); ``hang@I[:N]`` stalls it for
@@ -43,8 +44,11 @@ then runs normally; ``corrupt@I`` / ``truncate@I`` damage trial ``I``'s
 checkpoint record after it is written; ``abort@I`` aborts the campaign
 in the parent right after trial ``I`` is recorded; the ``lease-*``
 kinds fire when the journal executor claims the chunk containing trial
-``I`` (they take no argument). Duplicate ``(KIND, INDEX)`` clauses are
-rejected — a doubled clause is always a typo, never a feature.
+``I`` (they take no argument); ``telemetry-drop@I`` suppresses trial
+``I``'s record on the launcher's telemetry feed (no argument), drilling
+the timeline reader's tolerance for feeds with holes. Duplicate
+``(KIND, INDEX)`` clauses are rejected — a doubled clause is always a
+typo, never a feature.
 """
 
 from __future__ import annotations
@@ -66,8 +70,13 @@ RECORD_KINDS = ("corrupt", "truncate")
 #: Fault kinds applied by the journal executor when claiming a chunk.
 LEASE_KINDS = ("lease-stale", "lease-steal", "lease-partial", "lease-abort")
 
+#: Fault kinds applied to the launcher's telemetry feed.
+TELEMETRY_KINDS = ("telemetry-drop",)
+
 #: All valid clause kinds.
-ALL_KINDS = WORKER_KINDS + RECORD_KINDS + ("abort",) + LEASE_KINDS
+ALL_KINDS = (
+    WORKER_KINDS + RECORD_KINDS + ("abort",) + LEASE_KINDS + TELEMETRY_KINDS
+)
 
 #: Exit code of a worker killed by a ``crash`` fault.
 CRASH_EXIT_CODE = 23
@@ -164,7 +173,8 @@ class FaultPlan:
                     raise FaultSpecError(
                         f"clause {raw!r}: argument must be positive"
                     )
-            if kind in RECORD_KINDS + ("abort",) + LEASE_KINDS and arg is not None:
+            no_arg = RECORD_KINDS + ("abort",) + LEASE_KINDS + TELEMETRY_KINDS
+            if kind in no_arg and arg is not None:
                 raise FaultSpecError(
                     f"clause {raw!r}: {kind} takes no argument"
                 )
@@ -302,6 +312,19 @@ class FaultPlan:
     def worker_fault_indices(self) -> Tuple[int, ...]:
         return tuple(
             sorted({c.index for c in self.clauses if c.kind in WORKER_KINDS})
+        )
+
+    def telemetry_drop_indices(self) -> Tuple[int, ...]:
+        """Trial indices whose telemetry ``trial`` records are dropped.
+
+        Consulted when a telemetry feed is opened (the obs layer sits
+        below this module, so it receives the plain index set rather
+        than the plan). A dropped record simulates a launcher that died
+        between journaling a trial and telemetering it — the timeline
+        reader must tolerate the hole.
+        """
+        return tuple(
+            sorted({c.index for c in self.clauses if c.kind in TELEMETRY_KINDS})
         )
 
     def summary(self) -> Dict[str, int]:

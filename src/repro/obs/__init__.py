@@ -6,7 +6,13 @@ The third cross-cutting layer (after parallelism and checkpointing):
   with snapshot/merge semantics, aggregated across worker processes;
 * :mod:`repro.obs.tracing` — JSONL span/event traces, including the
   paper's phase structure via :class:`~repro.obs.tracing.PhaseTraceObserver`;
-* :mod:`repro.obs.profile` — opt-in cProfile sections keyed by span.
+* :mod:`repro.obs.profile` — opt-in cProfile sections keyed by span;
+* :mod:`repro.obs.telemetry` — per-launcher append-only JSONL progress
+  feeds under a campaign's checkpoint directory;
+* :mod:`repro.obs.timeline` — merges those feeds into one deterministic
+  campaign timeline (``div-repro campaign watch`` / ``timeline report``);
+* :mod:`repro.obs.bench` — committed benchmark-snapshot comparison
+  (``div-repro bench compare``).
 
 Everything is ambient and opt-in: with nothing installed, the engines
 and drivers skip all recording (same zero-overhead contract as
@@ -27,7 +33,21 @@ from repro.obs.metrics import (
     collecting,
     merge_snapshots,
 )
+from repro.obs.bench import BenchDelta, compare_snapshots, load_snapshot
 from repro.obs.profile import SpanProfiler, active_profiler, profiling
+from repro.obs.telemetry import (
+    TELEMETRY_DIRNAME,
+    TelemetryFeed,
+    active_telemetry,
+    telemetering,
+)
+from repro.obs.timeline import (
+    BatchProgress,
+    CampaignTimeline,
+    LauncherTimeline,
+    load_timeline,
+    read_feed,
+)
 from repro.obs.tracing import (
     PhaseTraceObserver,
     Span,
@@ -42,22 +62,34 @@ from repro.obs.tracing import (
 
 __all__ = [
     "EMPTY_SNAPSHOT",
+    "TELEMETRY_DIRNAME",
+    "BatchProgress",
+    "BenchDelta",
+    "CampaignTimeline",
     "HistogramSummary",
+    "LauncherTimeline",
     "MetricsRegistry",
     "MetricsSnapshot",
     "PhaseTraceObserver",
     "Span",
     "SpanProfiler",
+    "TelemetryFeed",
     "TraceSummary",
     "Tracer",
     "activate",
     "active_metrics",
     "active_profiler",
+    "active_telemetry",
     "collecting",
+    "compare_snapshots",
     "current_tracer",
     "iter_trace_records",
+    "load_snapshot",
+    "load_timeline",
     "load_trace_dir",
     "merge_snapshots",
     "profiling",
+    "read_feed",
     "summarize_records",
+    "telemetering",
 ]

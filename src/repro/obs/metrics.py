@@ -53,6 +53,11 @@ class HistogramSummary:
     total: float = 0.0
     minimum: float = float("inf")
     maximum: float = float("-inf")
+    #: Sum of squared observations. Like ``count`` and ``total`` it is
+    #: additive under :meth:`merged`, which is what makes :attr:`stddev`
+    #: *exact* after any sequence of snapshot merges — per-worker
+    #: aggregation never loses second-moment information.
+    sum_squares: float = 0.0
 
     @property
     def mean(self) -> float:
@@ -61,12 +66,26 @@ class HistogramSummary:
             return 0.0
         return self.total / self.count
 
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation (0.0 for an empty series).
+
+        Computed from the merged moments, so it equals the stddev of
+        the full pooled sample regardless of how many snapshot merges
+        the moments travelled through.
+        """
+        if self.count == 0:
+            return 0.0
+        variance = self.sum_squares / self.count - self.mean**2
+        return max(0.0, variance) ** 0.5
+
     def observe(self, value: float) -> "HistogramSummary":
         return HistogramSummary(
             count=self.count + 1,
             total=self.total + value,
             minimum=min(self.minimum, value),
             maximum=max(self.maximum, value),
+            sum_squares=self.sum_squares + value * value,
         )
 
     def merged(self, other: "HistogramSummary") -> "HistogramSummary":
@@ -75,6 +94,7 @@ class HistogramSummary:
             total=self.total + other.total,
             minimum=min(self.minimum, other.minimum),
             maximum=max(self.maximum, other.maximum),
+            sum_squares=self.sum_squares + other.sum_squares,
         )
 
     def to_dict(self) -> dict:
@@ -82,6 +102,7 @@ class HistogramSummary:
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
+            "stddev": self.stddev if self.count else None,
             "min": self.minimum if self.count else None,
             "max": self.maximum if self.count else None,
         }

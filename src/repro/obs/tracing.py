@@ -345,6 +345,11 @@ class TraceSummary:
     engine_spans: int = 0
     total_steps: int = 0
     total_engine_seconds: float = 0.0
+    #: Sum of squared per-span engine seconds — additive like the
+    #: histogram moments of :mod:`repro.obs.metrics`, so the stddev of
+    #: per-run wall time stays exact no matter how many trace files are
+    #: folded together.
+    engine_seconds_sq: float = 0.0
     phase_transitions: int = 0
     #: support size -> (steps, seconds, number of spans that visited it)
     phase_steps: Dict[int, int] = field(default_factory=dict)
@@ -352,6 +357,24 @@ class TraceSummary:
     phase_spans: Dict[int, int] = field(default_factory=dict)
     #: worker label -> (trials, busy seconds)
     workers: Dict[str, Tuple[int, float]] = field(default_factory=dict)
+
+    @property
+    def mean_engine_seconds(self) -> float:
+        """Mean wall seconds per engine run (0.0 without engine spans)."""
+        if self.engine_spans == 0:
+            return 0.0
+        return self.total_engine_seconds / self.engine_spans
+
+    @property
+    def stddev_engine_seconds(self) -> float:
+        """Population stddev of per-run wall seconds (exact under folding)."""
+        if self.engine_spans == 0:
+            return 0.0
+        variance = (
+            self.engine_seconds_sq / self.engine_spans
+            - self.mean_engine_seconds**2
+        )
+        return max(0.0, variance) ** 0.5
 
 
 def summarize_records(records: List[dict]) -> TraceSummary:
@@ -387,7 +410,9 @@ def _fold_engine_span(summary: TraceSummary, record: dict) -> None:
         )
     summary.engine_spans += 1
     summary.total_steps += steps
-    summary.total_engine_seconds += float(record.get("seconds", 0.0))
+    seconds = float(record.get("seconds", 0.0))
+    summary.total_engine_seconds += seconds
+    summary.engine_seconds_sq += seconds * seconds
     summary.phase_transitions += int(record.get("phase_transitions", 0))
     for phase in phases:
         support = int(phase["support"])

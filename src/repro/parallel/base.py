@@ -26,6 +26,7 @@ from repro.errors import AnalysisError
 from repro.faults import FaultPlan
 from repro.obs.metrics import MetricsSnapshot, collecting
 from repro.obs.profile import suspended as profiling_suspended
+from repro.obs.telemetry import suspended as telemetry_suspended
 from repro.obs.tracing import suspended as tracing_suspended
 from repro.parallel.leases import LeaseConfig
 from repro.rng import make_rng
@@ -251,11 +252,13 @@ def _run_task_chunk(
     """
     label = _worker_label()
     records = []
-    # Forked workers inherit copies of the parent's ambient tracer and
-    # profiler stacks; suspend both so instrumented code does not buffer
-    # spans that no one in this process will ever collect.  Metrics are
-    # handled below (per-trial shadow registry when collect_metrics).
-    with use_kernel(kernel), tracing_suspended(), profiling_suspended():
+    # Forked workers inherit copies of the parent's ambient tracer,
+    # profiler and telemetry stacks; suspend all three so instrumented
+    # code does not buffer spans no one will collect — or append
+    # worker-pid records under the parent launcher's feed identity.
+    # Metrics are handled below (per-trial shadow registry when
+    # collect_metrics).
+    with use_kernel(kernel), tracing_suspended(), profiling_suspended(), telemetry_suspended():
         for index, args, trial_seed in chunk:
             if fault_plan is not None:
                 fault_plan.worker_fault(index)

@@ -20,6 +20,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import AnalysisError, ParallelExecutionError
 from repro.faults import FaultPlan
+from repro.obs.telemetry import active_telemetry
 from repro.parallel.base import (
     DEFAULT_MAX_RETRIES,
     ExecutionRequest,
@@ -163,4 +164,14 @@ def execute_tasks(
         fallback_trials=result.fallback_trials,
         executor=resolved_prefix + result.resolved,
     )
+    feed = active_telemetry()
+    if feed is not None:
+        feed.event(
+            "executor.resolved",
+            executor=timings.executor,
+            tasks=len(tasks),
+            workers=workers,
+            retries=result.retries,
+            fallback_trials=result.fallback_trials,
+        )
     return records, timings

@@ -41,6 +41,7 @@ from typing import Dict, List, Sequence
 
 from repro.errors import AnalysisError
 from repro.faults import InjectedAbort
+from repro.obs.telemetry import active_telemetry, emit_trial
 from repro.obs.tracing import current_tracer
 from repro.parallel.base import (
     PEER_WORKER,
@@ -219,6 +220,7 @@ class JournalExecutor(ExecutorBackend):
             )
         for record in loaded:
             records[record.index] = record
+            emit_trial(record.index, record.seconds, record.worker)
         peer_loaded = len(loaded)
         if peer_loaded:
             manager._count("parallel.lease.peer_trials")
@@ -256,6 +258,7 @@ class JournalExecutor(ExecutorBackend):
             records[record.index] = record
             if request.on_record is not None:
                 request.on_record(record)
+            emit_trial(record.index, record.seconds, record.worker)
             if (
                 not suppress_heartbeat
                 and time.monotonic() - last_beat
@@ -289,6 +292,7 @@ class JournalExecutor(ExecutorBackend):
                             seconds=0.0,
                             worker=PEER_WORKER,
                         )
+                        emit_trial(index, 0.0, PEER_WORKER)
                         continue
                 except (KeyError, OSError):
                     pass  # unreadable store: just re-run the trial
@@ -303,9 +307,17 @@ class JournalExecutor(ExecutorBackend):
                 fallback += 1
                 if request.on_record is not None:
                     request.on_record(chunk_records[0])
+                emit_trial(
+                    index, chunk_records[0].seconds, chunk_records[0].worker
+                )
         return fallback
 
     def _trace(self, event: str, **fields) -> None:
         tracer = current_tracer()
         if tracer is not None:
             tracer.event(event, **fields)
+        # Lease activity is exactly what a live watcher needs to judge
+        # launcher health, so it mirrors onto the telemetry feed too.
+        feed = active_telemetry()
+        if feed is not None:
+            feed.event(event, **fields)

@@ -27,6 +27,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.faults import FaultPlan
+from repro.obs.telemetry import emit_trial
 from repro.parallel.base import (
     ExecutionRequest,
     ExecutionResult,
@@ -127,6 +128,8 @@ class PoolExecutor(ExecutorBackend):
             if request.on_record is not None:
                 for record in round_records:
                     request.on_record(record)
+            for record in round_records:
+                emit_trial(record.index, record.seconds, record.worker)
 
         fallback_trials = 0
         if pending:
@@ -154,6 +157,8 @@ class PoolExecutor(ExecutorBackend):
                 if request.on_record is not None:
                     for record in chunk_records:
                         request.on_record(record)
+                for record in chunk_records:
+                    emit_trial(record.index, record.seconds, record.worker)
 
         return ExecutionResult(
             records=records,

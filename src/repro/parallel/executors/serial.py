@@ -8,6 +8,7 @@ journaling keeps its crash-safety even without any parallelism.
 
 from __future__ import annotations
 
+from repro.obs.telemetry import emit_trial
 from repro.parallel.base import (
     ExecutionRequest,
     ExecutionResult,
@@ -34,4 +35,6 @@ class SerialExecutor(ExecutorBackend):
             )
             if request.on_record is not None:
                 request.on_record(records[-1])
+            record = records[-1]
+            emit_trial(record.index, record.seconds, record.worker)
         return ExecutionResult(records=records, mode="serial", resolved="serial")

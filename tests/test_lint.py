@@ -391,6 +391,78 @@ class TestOBS001:
         assert findings == []
 
 
+class TestOBS002:
+    OBS_PATH = "src/repro/obs/example.py"
+
+    def test_raw_write_open_in_obs_flagged(self):
+        findings = lint(
+            """\
+            def dump(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+            """,
+            path=self.OBS_PATH,
+        )
+        assert rule_ids(findings) == ["OBS002"]
+        assert findings[0].line == 2
+        assert "raw open" in findings[0].message
+
+    def test_append_mode_keyword_flagged(self):
+        findings = lint(
+            """\
+            def append(path, line):
+                handle = open(path, mode="a")
+                handle.write(line)
+            """,
+            path=self.OBS_PATH,
+        )
+        assert rule_ids(findings) == ["OBS002"]
+
+    def test_write_text_in_obs_flagged(self):
+        findings = lint(
+            """\
+            def dump(path, text):
+                path.write_text(text)
+            """,
+            path=self.OBS_PATH,
+        )
+        assert rule_ids(findings) == ["OBS002"]
+        assert "write_text" in findings[0].message
+
+    def test_read_only_open_ok(self):
+        findings = lint(
+            """\
+            def load(path):
+                with open(path) as handle:
+                    return handle.read()
+            """,
+            path=self.OBS_PATH,
+        )
+        assert findings == []
+
+    def test_io_helpers_ok(self):
+        findings = lint(
+            """\
+            def emit(path, record):
+                from repro.io import append_jsonl_line
+
+                append_jsonl_line(path, record)
+            """,
+            path=self.OBS_PATH,
+        )
+        assert findings == []
+
+    def test_non_obs_module_exempt(self):
+        findings = lint(
+            """\
+            def dump(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+            """
+        )
+        assert findings == []
+
+
 class TestKER001:
     EXPERIMENT_PATH = "src/repro/experiments/e01_winning_distribution.py"
     BASELINE_PATH = "src/repro/baselines/pull.py"

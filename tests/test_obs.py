@@ -12,6 +12,7 @@ from __future__ import annotations
 import json
 from types import SimpleNamespace
 
+import numpy as np
 import pytest
 
 from repro.analysis.montecarlo import run_trials
@@ -123,6 +124,43 @@ class TestSnapshotMerge:
         snapshot = parent.snapshot()
         assert snapshot.counters["x"] == 3
         assert snapshot.gauges["g"] == 1
+
+
+class TestHistogramStddev:
+    def test_stddev_matches_numpy_population_stddev(self):
+        values = [0.5, 1.25, 3.0, 3.0, 7.5, 0.125]
+        registry = MetricsRegistry()
+        for value in values:
+            registry.observe("h", value)
+        hist = registry.snapshot().histograms["h"]
+        assert hist.stddev == pytest.approx(float(np.std(values)))
+
+    def test_stddev_is_exact_under_merge(self):
+        # The sum-of-squares moment is additive, so a merged histogram's
+        # stddev equals the stddev of the pooled observations — not an
+        # approximation from per-shard summaries.
+        shards = [[1.0, 2.0], [10.0], [0.25, 0.5, 4.0]]
+        snapshots = []
+        for shard in shards:
+            registry = MetricsRegistry()
+            for value in shard:
+                registry.observe("h", value)
+            snapshots.append(registry.snapshot())
+        merged = merge_snapshots(snapshots).histograms["h"]
+        pooled = [value for shard in shards for value in shard]
+        assert merged.stddev == pytest.approx(float(np.std(pooled)))
+
+    def test_empty_and_singleton_stddev(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 4.2)
+        assert registry.snapshot().histograms["h"].stddev == pytest.approx(0.0)
+
+    def test_to_dict_carries_stddev(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 2.0)
+        registry.observe("h", 4.0)
+        payload = registry.snapshot().to_dict()
+        assert payload["histograms"]["h"]["stddev"] == pytest.approx(1.0)
 
 
 class TestPhaseTraceObserver:
@@ -324,9 +362,20 @@ class TestCliRoundTrip:
         assert metrics["counters"]["engine.steps"] == summary.total_steps
         assert metrics["counters"]["engine.runs"] == summary.engine_spans
 
+        # Engine-span dispersion carries through both surfaces: the
+        # summary's moments are internally consistent, and --metrics-out
+        # now reports per-histogram stddev.
+        assert summary.mean_engine_seconds == pytest.approx(
+            summary.total_engine_seconds / summary.engine_spans
+        )
+        assert summary.stddev_engine_seconds >= 0.0
+        run_hist = metrics["histograms"]["engine.run_seconds"]
+        assert run_hist["stddev"] is not None and run_hist["stddev"] >= 0.0
+
         assert main(["trace", "summarize", str(trace_dir)]) == 0
         out = capsys.readouterr().out
         assert "engine run(s)" in out
+        assert "ms/run" in out
         assert "|support|" in out
         assert "campaign E10" in out
 

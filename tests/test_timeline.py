@@ -1,0 +1,891 @@
+"""Tests for campaign telemetry feeds, the merged timeline, and the CLI
+surface built on them (``campaign watch``, ``timeline report``,
+``bench compare``).
+
+Covers the accounting rules (completed vs executed vs peer-loaded vs
+duplicates), merge determinism over shuffled and torn feeds, the
+heartbeat delta scheme reconstructing cumulative metrics exactly, the
+telemetry-drop fault, the zero-overhead contract when telemetry is off,
+a real two-launcher journal campaign reconciled against the journal,
+and the bench-compare perf gate's edge cases.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+import warnings
+
+import pytest
+
+from repro.analysis.montecarlo import run_trials
+from repro.checkpoint import CheckpointJournal, campaign
+from repro.errors import BenchCompareError, ExperimentError, TelemetryError
+from repro.faults import FaultPlan
+from repro.cli import main as cli_main
+from repro.obs.bench import BenchDelta, compare_snapshots, load_snapshot
+from repro.obs.metrics import active_metrics, collecting
+from repro.obs.telemetry import (
+    FEED_FORMAT,
+    TELEMETRY_DIRNAME,
+    TelemetryFeed,
+    active_telemetry,
+    suspended,
+    telemetering,
+)
+from repro.obs.timeline import (
+    LauncherTimeline,
+    load_timeline,
+    read_feed,
+    resolve_telemetry_dir,
+)
+
+
+def counting_trial(index, rng):
+    registry = active_metrics()
+    if registry is not None:
+        registry.inc("test.trials")
+        registry.observe("test.value", float(index))
+    return (index, int(rng.integers(0, 1 << 30)))
+
+
+def probe_trial(index, rng):
+    """Returns whether the worker saw an ambient feed (it never should)."""
+    return (index, active_telemetry() is not None)
+
+
+def journal_trial(index, rng):
+    return (index, int(rng.integers(0, 1 << 30)))
+
+
+def _open_journal(directory):
+    journal = CheckpointJournal(directory)
+    journal.open(
+        fingerprint="timeline-test",
+        resume=True,
+        experiment_id="E99",
+        scale="quick",
+        seed=0,
+    )
+    return journal
+
+
+def _telemetered_launcher(directory, trials, seed, errors):
+    """One cooperative launcher streaming telemetry (fork-started)."""
+    try:
+        journal = _open_journal(directory)
+        feed = TelemetryFeed(
+            directory / TELEMETRY_DIRNAME, heartbeat_interval=0.05
+        )
+        with collecting(), telemetering(feed):
+            with campaign(journal, executor="journal"):
+                run_trials(
+                    trials, journal_trial, seed=seed, workers=2, chunk_size=4
+                )
+    except BaseException as exc:  # pragma: no cover - failure reporting
+        errors.put(repr(exc))
+
+
+def write_feed(directory, name, records):
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / name
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+    return path
+
+
+def hand_built_campaign(root, age=120.0):
+    """Two hand-written launcher feeds: alpha finished, beta went silent.
+
+    Batch ``b0`` has size 4; indices {0, 1, 2} are completed (beta's
+    record for index 1 is a duplicate), so the campaign reads 3/4 done
+    with one stale launcher.
+    """
+    now = time.time()
+    old = now - age
+    telemetry = root / TELEMETRY_DIRNAME
+    write_feed(
+        telemetry,
+        "a-alpha.jsonl",
+        [
+            {
+                "seq": 0, "t": old, "kind": "hello", "format": FEED_FORMAT,
+                "version": 1, "launcher": "alpha", "host": "h", "pid": 1,
+                "heartbeat_interval": 0.1,
+            },
+            {
+                "seq": 1, "t": old + 0.1, "kind": "batch.begin",
+                "batch": "b0", "batch_kind": "trials", "size": 4, "cached": 0,
+            },
+            {
+                "seq": 2, "t": old + 0.2, "kind": "trial", "batch": "b0",
+                "index": 0, "seconds": 0.05, "worker": "w0",
+            },
+            {
+                "seq": 3, "t": old + 0.3, "kind": "trial", "batch": "b0",
+                "index": 1, "seconds": 0.07, "worker": "w0",
+            },
+            {
+                "seq": 4, "t": old + 0.4, "kind": "batch.end", "batch": "b0",
+                "executor": "journal", "seconds": 0.4, "trials": 2,
+            },
+            {"seq": 5, "t": old + 0.5, "kind": "bye", "dropped": 0},
+        ],
+    )
+    write_feed(
+        telemetry,
+        "b-beta.jsonl",
+        [
+            {
+                "seq": 0, "t": old, "kind": "hello", "format": FEED_FORMAT,
+                "version": 1, "launcher": "beta", "host": "h", "pid": 2,
+                "heartbeat_interval": 0.1,
+            },
+            {
+                "seq": 1, "t": old + 0.2, "kind": "lease.claim",
+                "batch": "b0", "chunk": 1, "size": 2,
+            },
+            {
+                "seq": 2, "t": old + 0.25, "kind": "trial", "batch": "b0",
+                "index": 2, "seconds": 0.04, "worker": "w1",
+            },
+            {
+                "seq": 3, "t": old + 0.3, "kind": "trial", "batch": "b0",
+                "index": 1, "seconds": 0.06, "worker": "peer",
+            },
+        ],
+    )
+    return root
+
+
+class TestFeed:
+    def test_hello_first_bye_last_seq_monotonic(self, tmp_path):
+        feed = TelemetryFeed(tmp_path / TELEMETRY_DIRNAME, experiment="E99")
+        feed.batch_begin("b0", "trials", 2)
+        feed.trial(0, 0.01, "w")
+        feed.trial(1, 0.02, "w")
+        feed.batch_end("b0", "serial", 0.05, 2)
+        feed.close()
+        records, torn = read_feed(feed.path)
+        assert torn == 0
+        assert [r["seq"] for r in records] == list(range(len(records)))
+        assert records[0]["kind"] == "hello"
+        assert records[0]["format"] == FEED_FORMAT
+        assert records[0]["experiment"] == "E99"
+        assert records[-1]["kind"] == "bye"
+
+    def test_close_is_idempotent(self, tmp_path):
+        feed = TelemetryFeed(tmp_path / TELEMETRY_DIRNAME)
+        feed.close()
+        feed.close()
+        records, _ = read_feed(feed.path)
+        assert [r["kind"] for r in records] == ["hello", "bye"]
+
+    def test_anonymous_batch_key_is_deterministic(self, tmp_path):
+        feed = TelemetryFeed(tmp_path / TELEMETRY_DIRNAME)
+        key = feed.batch_begin(None, "trials", 8)
+        assert key == "anon-0000-trials-8"
+
+    def test_heartbeat_deltas_reconstruct_metrics_exactly(self, tmp_path):
+        values = [2.0, 4.0, 5.0, 1.0, 8.0]
+        with collecting() as registry:
+            feed = TelemetryFeed(
+                tmp_path / TELEMETRY_DIRNAME, heartbeat_interval=0.0
+            )
+            with telemetering(feed):
+                feed.batch_begin("b0", "trials", len(values))
+                for index, value in enumerate(values):
+                    registry.inc("trials.done")
+                    registry.observe("trial.seconds", value)
+                    # Every trial call flushes a heartbeat (interval 0).
+                    feed.trial(index, value, "w")
+            expected = registry.snapshot()
+        timeline = load_timeline(tmp_path)
+        launcher = timeline.launchers[feed.launcher]
+        assert launcher.closed
+        assert launcher.metrics.counters["trials.done"] == len(values)
+        merged = launcher.metrics.histograms["trial.seconds"]
+        reference = expected.histograms["trial.seconds"]
+        assert merged.count == reference.count
+        assert merged.total == pytest.approx(reference.total)
+        assert merged.minimum == reference.minimum
+        assert merged.maximum == reference.maximum
+        # The sum-of-squares moment merges exactly, so stddev is exact.
+        assert merged.stddev == pytest.approx(reference.stddev)
+
+    def test_drop_indices_suppress_trial_records(self, tmp_path):
+        feed = TelemetryFeed(
+            tmp_path / TELEMETRY_DIRNAME, drop_indices=(1, 3)
+        )
+        feed.batch_begin("b0", "trials", 4)
+        for index in range(4):
+            feed.trial(index, 0.01, "w")
+        feed.close()
+        records, _ = read_feed(feed.path)
+        trial_indices = [r["index"] for r in records if r["kind"] == "trial"]
+        assert trial_indices == [0, 2]
+        assert records[-1]["kind"] == "bye"
+        assert records[-1]["dropped"] == 2
+
+    def test_failing_filesystem_disables_feed_with_warning(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.io as io_module
+
+        feed = TelemetryFeed(tmp_path / TELEMETRY_DIRNAME)
+
+        def explode(path, record):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(io_module, "append_jsonl_line", explode)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            feed.trial(0, 0.01, "w")
+            feed.trial(1, 0.01, "w")  # silent: feed already disabled
+            feed.close()
+        messages = [
+            str(w.message)
+            for w in caught
+            if issubclass(w.category, RuntimeWarning)
+        ]
+        assert len(messages) == 1
+        assert "stopped writing" in messages[0]
+        # Only the hello made it to disk; no bye after the failure.
+        monkeypatch.undo()
+        records, _ = read_feed(feed.path)
+        assert [r["kind"] for r in records] == ["hello"]
+
+    def test_suspended_hides_ambient_feed(self, tmp_path):
+        feed = TelemetryFeed(tmp_path / TELEMETRY_DIRNAME)
+        with telemetering(feed):
+            assert active_telemetry() is feed
+            with suspended():
+                assert active_telemetry() is None
+            assert active_telemetry() is feed
+        assert active_telemetry() is None
+
+
+class TestMergeDeterminism:
+    def test_shuffled_lines_and_directory_copies_merge_identically(
+        self, tmp_path
+    ):
+        first = hand_built_campaign(tmp_path / "one")
+        telemetry = first / TELEMETRY_DIRNAME
+        # A copy whose feed lines are reversed on disk: same records,
+        # maximally different physical order.
+        second = tmp_path / "two" / TELEMETRY_DIRNAME
+        second.mkdir(parents=True)
+        for path in telemetry.glob("*.jsonl"):
+            lines = path.read_text().splitlines()
+            (second / path.name).write_text(
+                "\n".join(reversed(lines)) + "\n"
+            )
+        one = load_timeline(first)
+        two = load_timeline(tmp_path / "two")
+        strip = lambda events: [dict(e) for e in events]
+        assert strip(one.events) == strip(two.events)
+        assert one.completed == two.completed == 3
+        assert one.duplicates == two.duplicates == 1
+        assert sorted(one.launchers) == sorted(two.launchers)
+        for name in one.launchers:
+            assert one.launchers[name].executed == two.launchers[name].executed
+
+    def test_torn_tail_dropped_and_counted(self, tmp_path):
+        root = hand_built_campaign(tmp_path / "campaign")
+        telemetry = root / TELEMETRY_DIRNAME
+        victim = telemetry / "b-beta.jsonl"
+        with open(victim, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 4, "kind": "trial", "ind')  # killed mid-write
+        timeline = load_timeline(root)
+        assert timeline.torn_lines == 1
+        assert timeline.launchers["beta"].torn_lines == 1
+        assert timeline.completed == 3  # the tear costs nothing else
+
+    def test_malformed_and_unknown_records_tolerated(self, tmp_path):
+        telemetry = tmp_path / TELEMETRY_DIRNAME
+        write_feed(
+            telemetry,
+            "feed.jsonl",
+            [
+                {
+                    "seq": 0, "t": 1.0, "kind": "hello",
+                    "format": FEED_FORMAT, "launcher": "solo",
+                },
+                {"seq": 1, "t": 2.0, "kind": "sparkle", "payload": 7},
+            ],
+        )
+        with open(telemetry / "feed.jsonl", "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"t": 3.0, "no": "seq or kind"}\n')
+        timeline = load_timeline(tmp_path)
+        assert timeline.torn_lines == 2
+        # Unknown kinds survive into the event stream (forward compat).
+        assert [e["kind"] for e in timeline.events] == ["hello", "sparkle"]
+
+    def test_empty_telemetry_dir_is_empty_timeline(self, tmp_path):
+        (tmp_path / TELEMETRY_DIRNAME).mkdir()
+        timeline = load_timeline(tmp_path)
+        assert timeline.launchers == {}
+        assert timeline.total == 0
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(TelemetryError, match="no such campaign"):
+            load_timeline(tmp_path / "nope")
+
+    def test_untelemetered_campaign_raises(self, tmp_path):
+        with pytest.raises(TelemetryError, match="has no telemetry/"):
+            load_timeline(tmp_path)
+
+    def test_foreign_format_feed_rejected(self, tmp_path):
+        write_feed(
+            tmp_path / TELEMETRY_DIRNAME,
+            "feed.jsonl",
+            [{"seq": 0, "t": 1.0, "kind": "hello", "format": "otherproduct"}],
+        )
+        with pytest.raises(TelemetryError, match="not a telemetry feed"):
+            load_timeline(tmp_path)
+
+    def test_resolve_accepts_telemetry_dir_itself(self, tmp_path):
+        telemetry = tmp_path / TELEMETRY_DIRNAME
+        telemetry.mkdir()
+        assert resolve_telemetry_dir(telemetry) == telemetry
+        assert resolve_telemetry_dir(tmp_path) == telemetry
+
+
+class TestTimelineAccounting:
+    def test_completed_executed_peer_and_duplicates(self, tmp_path):
+        timeline = load_timeline(hand_built_campaign(tmp_path))
+        assert timeline.total == 4
+        assert timeline.completed == 3
+        assert timeline.duplicates == 1
+        alpha = timeline.launchers["alpha"]
+        beta = timeline.launchers["beta"]
+        assert alpha.executed == 2 and alpha.peer_loaded == 0
+        assert beta.executed == 1 and beta.peer_loaded == 1
+        assert alpha.busy_seconds == pytest.approx(0.12)
+        assert alpha.closed and not beta.closed
+        assert beta.lease_events == {"claim": 1}
+        batch = timeline.batches["b0"]
+        assert batch.completed_indices == {0, 1, 2}
+        assert batch.remaining == 1 and not batch.done
+        assert batch.finished_by == {"alpha": "journal"}
+
+    def test_utilization_and_rates(self, tmp_path):
+        timeline = load_timeline(hand_built_campaign(tmp_path))
+        alpha = timeline.launchers["alpha"]
+        assert alpha.wall_seconds == pytest.approx(0.5)
+        assert alpha.utilization == pytest.approx(0.12 / 0.5)
+        assert alpha.trials_per_second == pytest.approx(2 / 0.5)
+        assert timeline.recent_rate() > 0.0
+        eta = timeline.eta_seconds()
+        assert eta is not None and eta > 0.0
+
+    def test_eta_is_zero_when_done_none_when_rateless(self, tmp_path):
+        telemetry = tmp_path / TELEMETRY_DIRNAME
+        write_feed(
+            telemetry,
+            "feed.jsonl",
+            [
+                {
+                    "seq": 0, "t": 1.0, "kind": "hello",
+                    "format": FEED_FORMAT, "launcher": "solo",
+                },
+                {
+                    "seq": 1, "t": 1.1, "kind": "batch.begin", "batch": "b0",
+                    "batch_kind": "trials", "size": 1, "cached": 0,
+                },
+                {
+                    "seq": 2, "t": 1.2, "kind": "trial", "batch": "b0",
+                    "index": 0, "seconds": 0.01, "worker": "w",
+                },
+            ],
+        )
+        assert load_timeline(tmp_path).eta_seconds() == pytest.approx(0.0)
+        # A campaign with remaining work but only peer-loaded records has
+        # no execution rate to extrapolate from.
+        write_feed(
+            tmp_path / "stalled" / TELEMETRY_DIRNAME,
+            "feed.jsonl",
+            [
+                {
+                    "seq": 0, "t": 1.0, "kind": "hello",
+                    "format": FEED_FORMAT, "launcher": "solo",
+                },
+                {
+                    "seq": 1, "t": 1.1, "kind": "batch.begin", "batch": "b0",
+                    "batch_kind": "trials", "size": 5, "cached": 0,
+                },
+            ],
+        )
+        assert load_timeline(tmp_path / "stalled").eta_seconds() is None
+
+    def test_throughput_series_bins(self, tmp_path):
+        timeline = load_timeline(hand_built_campaign(tmp_path))
+        series = timeline.throughput_series(1.0)
+        assert series == [(0.0, 3)]
+        with pytest.raises(TelemetryError, match="bin width"):
+            timeline.throughput_series(0.0)
+
+    def test_stale_launcher_detection(self, tmp_path):
+        timeline = load_timeline(hand_built_campaign(tmp_path))
+        stale = timeline.stale_launchers(time.time())
+        assert [launcher.name for launcher in stale] == ["beta"]
+
+    def test_is_stale_unit(self):
+        launcher = LauncherTimeline(
+            name="x", last_seen=100.0, heartbeat_interval=1.0
+        )
+        assert not launcher.is_stale(now=104.0)
+        assert launcher.is_stale(now=106.0)
+        launcher.closed = True
+        assert not launcher.is_stale(now=106.0)
+
+    def test_cached_trials_count_toward_completion(self, tmp_path):
+        write_feed(
+            tmp_path / TELEMETRY_DIRNAME,
+            "feed.jsonl",
+            [
+                {
+                    "seq": 0, "t": 1.0, "kind": "hello",
+                    "format": FEED_FORMAT, "launcher": "resumed",
+                },
+                {
+                    "seq": 1, "t": 1.1, "kind": "batch.begin", "batch": "b0",
+                    "batch_kind": "trials", "size": 10, "cached": 7,
+                },
+                {
+                    "seq": 2, "t": 1.2, "kind": "trial", "batch": "b0",
+                    "index": 7, "seconds": 0.01, "worker": "w",
+                },
+            ],
+        )
+        timeline = load_timeline(tmp_path)
+        batch = timeline.batches["b0"]
+        assert batch.completed == 8
+        assert batch.remaining == 2
+
+    def test_peer_cached_trials_never_double_count(self, tmp_path):
+        # Launcher "late" opened the batch after "early" had journaled
+        # trial 0, so it reports cached=1 — but early's feed also holds
+        # the trial record. cached is a floor, not an additive term:
+        # completion must never exceed the batch size.
+        write_feed(
+            tmp_path / TELEMETRY_DIRNAME,
+            "early.jsonl",
+            [
+                {
+                    "seq": 0, "t": 1.0, "kind": "hello",
+                    "format": FEED_FORMAT, "launcher": "early",
+                },
+                {
+                    "seq": 1, "t": 1.1, "kind": "batch.begin", "batch": "b0",
+                    "batch_kind": "trials", "size": 2, "cached": 0,
+                },
+                {
+                    "seq": 2, "t": 1.2, "kind": "trial", "batch": "b0",
+                    "index": 0, "seconds": 0.01, "worker": "w",
+                },
+                {
+                    "seq": 3, "t": 1.6, "kind": "trial", "batch": "b0",
+                    "index": 1, "seconds": 0.01, "worker": "w",
+                },
+            ],
+        )
+        write_feed(
+            tmp_path / TELEMETRY_DIRNAME,
+            "late.jsonl",
+            [
+                {
+                    "seq": 0, "t": 1.3, "kind": "hello",
+                    "format": FEED_FORMAT, "launcher": "late",
+                },
+                {
+                    "seq": 1, "t": 1.4, "kind": "batch.begin", "batch": "b0",
+                    "batch_kind": "trials", "size": 2, "cached": 1,
+                },
+                {
+                    "seq": 2, "t": 1.7, "kind": "trial", "batch": "b0",
+                    "index": 1, "seconds": 0.0, "worker": "peer",
+                },
+            ],
+        )
+        timeline = load_timeline(tmp_path)
+        batch = timeline.batches["b0"]
+        assert batch.completed == 2
+        assert batch.remaining == 0
+        assert timeline.completed == timeline.total == 2
+
+    def test_resumed_launcher_with_predecessor_feed_present(self, tmp_path):
+        # A crash-resumed campaign where run 1's feed survives: run 2's
+        # cached count covers exactly the trials run 1's feed records.
+        write_feed(
+            tmp_path / TELEMETRY_DIRNAME,
+            "run1.jsonl",
+            [
+                {
+                    "seq": 0, "t": 1.0, "kind": "hello",
+                    "format": FEED_FORMAT, "launcher": "run1",
+                },
+                {
+                    "seq": 1, "t": 1.1, "kind": "batch.begin", "batch": "b0",
+                    "batch_kind": "trials", "size": 3, "cached": 0,
+                },
+                {
+                    "seq": 2, "t": 1.2, "kind": "trial", "batch": "b0",
+                    "index": 0, "seconds": 0.01, "worker": "w",
+                },
+            ],
+        )
+        write_feed(
+            tmp_path / TELEMETRY_DIRNAME,
+            "run2.jsonl",
+            [
+                {
+                    "seq": 0, "t": 5.0, "kind": "hello",
+                    "format": FEED_FORMAT, "launcher": "run2",
+                },
+                {
+                    "seq": 1, "t": 5.1, "kind": "batch.begin", "batch": "b0",
+                    "batch_kind": "trials", "size": 3, "cached": 1,
+                },
+                {
+                    "seq": 2, "t": 5.2, "kind": "trial", "batch": "b0",
+                    "index": 1, "seconds": 0.01, "worker": "w",
+                },
+            ],
+        )
+        timeline = load_timeline(tmp_path)
+        batch = timeline.batches["b0"]
+        # union {0, 1} and run2's floor 1 + |{1}| both say 2 of 3.
+        assert batch.completed == 2
+        assert batch.remaining == 1
+
+    def test_cached_floor_survives_a_lost_predecessor_feed(self, tmp_path):
+        # Same resume, but run 1's feed was deleted: the union alone
+        # sees one trial, yet run 2's cached floor still proves two.
+        write_feed(
+            tmp_path / TELEMETRY_DIRNAME,
+            "run2.jsonl",
+            [
+                {
+                    "seq": 0, "t": 5.0, "kind": "hello",
+                    "format": FEED_FORMAT, "launcher": "run2",
+                },
+                {
+                    "seq": 1, "t": 5.1, "kind": "batch.begin", "batch": "b0",
+                    "batch_kind": "trials", "size": 3, "cached": 1,
+                },
+                {
+                    "seq": 2, "t": 5.2, "kind": "trial", "batch": "b0",
+                    "index": 1, "seconds": 0.01, "worker": "w",
+                },
+            ],
+        )
+        timeline = load_timeline(tmp_path)
+        assert timeline.batches["b0"].completed == 2
+
+
+class TestAmbientIntegration:
+    def test_off_means_off(self, tmp_path):
+        assert active_telemetry() is None
+        batch = run_trials(6, probe_trial, seed=1)
+        # No worker/trial ever observed a feed, and nothing hit the disk.
+        assert all(saw is False for _, saw in batch.outcomes)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_serial_run_trials_streams_batch(self, tmp_path):
+        with collecting():
+            feed = TelemetryFeed(
+                tmp_path / TELEMETRY_DIRNAME, heartbeat_interval=0.0
+            )
+            with telemetering(feed):
+                run_trials(8, counting_trial, seed=3)
+        timeline = load_timeline(tmp_path)
+        assert timeline.completed == 8
+        assert timeline.executed == 8
+        batch = timeline.batches["anon-0000-trials-8"]
+        assert batch.size == 8 and batch.done
+        assert batch.finished_by[feed.launcher] == "serial"
+        assert timeline.metrics.counters["test.trials"] == 8
+        histogram = timeline.metrics.histograms["test.value"]
+        assert histogram.count == 8
+        assert histogram.minimum == pytest.approx(0.0)
+        assert histogram.maximum == pytest.approx(7.0)
+
+    def test_workers_do_not_double_report(self, tmp_path):
+        feed = TelemetryFeed(tmp_path / TELEMETRY_DIRNAME)
+        with telemetering(feed):
+            batch = run_trials(8, probe_trial, seed=3, workers=2)
+        assert all(saw is False for _, saw in batch.outcomes)
+        timeline = load_timeline(tmp_path)
+        assert timeline.completed == 8
+        assert timeline.duplicates == 0
+
+    def test_journal_campaign_reconciles_with_journal(self, tmp_path):
+        journal = _open_journal(tmp_path / "camp")
+        feed = TelemetryFeed(
+            tmp_path / "camp" / TELEMETRY_DIRNAME, heartbeat_interval=0.0
+        )
+        with collecting(), telemetering(feed):
+            with campaign(journal, executor="journal"):
+                run_trials(16, journal_trial, seed=7, workers=2, chunk_size=4)
+        timeline = load_timeline(tmp_path / "camp")
+        journaled = sum(1 for _ in journal.iter_records())
+        assert journaled == 16
+        assert timeline.completed == 16
+        assert timeline.executed == 16
+        batch = timeline.batches["b0000-trials-16"]
+        assert batch.done
+        assert batch.finished_by[feed.launcher] == "journal"
+        launcher = timeline.launchers[feed.launcher]
+        assert launcher.lease_events["claim"] == 4
+        kinds = {event["kind"] for event in timeline.events}
+        assert "executor.resolved" in kinds
+        assert "lease.claim" in kinds
+
+    def test_two_concurrent_launchers_one_timeline(self, tmp_path):
+        directory = tmp_path / "shared"
+        _open_journal(directory)  # create the manifest up front
+        context = multiprocessing.get_context("fork")
+        errors = context.Queue()
+        launchers = [
+            context.Process(
+                target=_telemetered_launcher, args=(directory, 40, 5, errors)
+            )
+            for _ in range(2)
+        ]
+        for process in launchers:
+            process.start()
+        for process in launchers:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+        assert errors.empty()
+        timeline = load_timeline(directory)
+        assert len(timeline.launchers) == 2
+        assert all(l.closed for l in timeline.launchers.values())
+        journaled = sum(
+            1 for _ in CheckpointJournal(directory).iter_records()
+        )
+        assert journaled == 40
+        # Every journaled trial appears exactly once as campaign
+        # progress; double work and peer loads only show as contention.
+        assert timeline.completed == 40
+        assert timeline.total == 40
+        assert timeline.executed >= 40 - timeline.duplicates
+
+    def test_registry_requires_checkpoint_dir(self):
+        from repro.experiments.registry import get_experiment
+
+        with pytest.raises(ExperimentError, match="telemetry feeds live"):
+            get_experiment("E10").run_campaign("quick", seed=0, telemetry=True)
+
+    def test_registry_campaign_with_telemetry(self, tmp_path):
+        from repro.experiments.registry import get_experiment
+
+        get_experiment("E10").run_campaign(
+            "quick", seed=0, checkpoint_dir=tmp_path, telemetry=True
+        )
+        timeline = load_timeline(tmp_path / "e10")
+        assert timeline.total > 0
+        assert timeline.completed == timeline.total
+        (launcher,) = timeline.launchers.values()
+        assert launcher.closed
+        hello = next(e for e in timeline.events if e["kind"] == "hello")
+        assert hello["experiment"] == "E10"
+        assert hello["scale"] == "quick"
+
+
+class TestTelemetryDropFault:
+    def test_parse_and_indices(self):
+        plan = FaultPlan.parse("telemetry-drop@5;telemetry-drop@2")
+        assert plan.telemetry_drop_indices() == (2, 5)
+
+    def test_drop_fault_starves_feed_not_journal(self, tmp_path):
+        from repro.experiments.registry import get_experiment
+
+        get_experiment("E10").run_campaign(
+            "quick",
+            seed=0,
+            checkpoint_dir=tmp_path,
+            telemetry=True,
+            fault_plan=FaultPlan.parse("telemetry-drop@2;telemetry-drop@5"),
+        )
+        timeline = load_timeline(tmp_path / "e10")
+        (launcher,) = timeline.launchers.values()
+        assert launcher.self_dropped == 2
+        # The feed lost two records; the journal lost none.
+        journaled = sum(
+            1 for _ in CheckpointJournal(tmp_path / "e10").iter_records()
+        )
+        assert timeline.completed == journaled - 2
+        for batch in timeline.batches.values():
+            assert {2, 5} & batch.completed_indices == set()
+
+
+class TestWatchAndReportCLI:
+    def test_watch_once_renders_progress_and_stale_launcher(
+        self, tmp_path, capsys
+    ):
+        root = hand_built_campaign(tmp_path / "campaign")
+        _open_journal(root)
+        assert cli_main(["campaign", "watch", str(root), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "3/4 trial(s)" in out
+        assert "launcher alpha" in out and "closed" in out
+        assert "launcher beta" in out
+        assert "SILENT" in out and "dead launcher?" in out
+        assert "b0: 3/4" in out
+
+    def test_watch_without_feeds_notes_missing_telemetry(
+        self, tmp_path, capsys
+    ):
+        _open_journal(tmp_path / "camp")
+        assert cli_main(["campaign", "watch", str(tmp_path / "camp"), "--once"]) == 0
+        assert "no telemetry feeds yet" in capsys.readouterr().out
+
+    def test_watch_on_noncampaign_dir_fails(self, tmp_path, capsys):
+        assert cli_main(["campaign", "watch", str(tmp_path), "--once"]) == 2
+        assert "no campaign" in capsys.readouterr().err
+
+    def test_status_appends_telemetry_summary(self, tmp_path, capsys):
+        root = hand_built_campaign(tmp_path / "campaign")
+        _open_journal(root)
+        assert cli_main(["campaign", "status", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "journaled trial(s)" in out  # legacy half intact
+        assert "telemetry: 2 launcher feed(s) (1 closed)" in out
+
+    def test_report_renders_tables_and_series(self, tmp_path, capsys):
+        root = hand_built_campaign(tmp_path / "campaign")
+        _open_journal(root)
+        assert cli_main(["timeline", "report", str(root), "--bin", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-launcher utilization" in out
+        assert "Per-batch progress" in out
+        assert "Throughput over time" in out
+        assert "alpha" in out and "beta" in out
+        assert "claim:1" in out
+
+    def test_report_on_bare_telemetry_dir(self, tmp_path, capsys):
+        root = hand_built_campaign(tmp_path / "campaign")
+        target = root / TELEMETRY_DIRNAME
+        assert cli_main(["timeline", "report", str(target)]) == 0
+        assert "2 launcher feed(s)" in capsys.readouterr().out
+
+    def test_report_without_telemetry_fails(self, tmp_path, capsys):
+        _open_journal(tmp_path / "camp")
+        assert cli_main(["timeline", "report", str(tmp_path / "camp")]) == 2
+        assert "has no telemetry/" in capsys.readouterr().err
+
+
+def make_snapshot(means):
+    return {
+        "format": "div-repro-bench-snapshot",
+        "benchmarks": [
+            {"name": name, "mean_seconds": mean}
+            for name, mean in means.items()
+        ],
+    }
+
+
+def write_snapshot(path, means):
+    path.write_text(json.dumps(make_snapshot(means)), encoding="utf-8")
+    return path
+
+
+class TestBenchCompare:
+    def test_within_threshold_ok(self):
+        deltas = compare_snapshots(
+            make_snapshot({"a": 1.0}), make_snapshot({"a": 1.2})
+        )
+        assert [d.status for d in deltas] == ["ok"]
+        assert not any(d.failed for d in deltas)
+
+    def test_regression_and_improvement(self):
+        deltas = compare_snapshots(
+            make_snapshot({"slow": 1.0, "fast": 1.0}),
+            make_snapshot({"slow": 1.4, "fast": 0.5}),
+        )
+        by_name = {d.name: d for d in deltas}
+        assert by_name["slow"].status == "regressed"
+        assert by_name["slow"].failed
+        assert by_name["slow"].ratio == pytest.approx(1.4)
+        assert by_name["fast"].status == "improved"
+        assert not by_name["fast"].failed
+
+    def test_missing_fails_new_is_informational(self):
+        deltas = compare_snapshots(
+            make_snapshot({"gone": 1.0}), make_snapshot({"added": 1.0})
+        )
+        by_name = {d.name: d for d in deltas}
+        assert by_name["gone"].status == "missing" and by_name["gone"].failed
+        assert by_name["added"].status == "new" and not by_name["added"].failed
+
+    def test_noise_floor_suppresses_wild_ratios(self):
+        deltas = compare_snapshots(
+            make_snapshot({"tiny": 1e-6}),
+            make_snapshot({"tiny": 1e-3}),
+            min_seconds=1e-4,
+        )
+        assert [d.status for d in deltas] == ["ok"]
+
+    def test_custom_threshold(self):
+        old, new = make_snapshot({"a": 1.0}), make_snapshot({"a": 1.4})
+        assert compare_snapshots(old, new, threshold=0.5)[0].status == "ok"
+        assert compare_snapshots(old, new, threshold=0.3)[0].status == "regressed"
+
+    def test_nonpositive_threshold_rejected(self):
+        with pytest.raises(BenchCompareError, match="threshold"):
+            compare_snapshots(make_snapshot({}), make_snapshot({}), threshold=0.0)
+
+    def test_load_snapshot_errors(self, tmp_path):
+        with pytest.raises(BenchCompareError, match="cannot read"):
+            load_snapshot(tmp_path / "absent.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(BenchCompareError, match="not valid JSON"):
+            load_snapshot(bad)
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(BenchCompareError, match="not a div-repro-bench"):
+            load_snapshot(foreign)
+
+    def test_absent_side_ratio_is_neutral(self):
+        delta = BenchDelta(name="x", status="missing", old_mean=2.0)
+        assert delta.ratio == pytest.approx(1.0)
+
+    def test_cli_ok_and_regressed_exit_codes(self, tmp_path, capsys):
+        old = write_snapshot(tmp_path / "old.json", {"a": 1.0, "b": 2.0})
+        good = write_snapshot(tmp_path / "good.json", {"a": 1.05, "b": 1.9})
+        bad = write_snapshot(tmp_path / "bad.json", {"a": 1.5, "b": 2.0})
+        assert cli_main(["bench", "compare", str(old), str(good)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)/missing" in out
+        assert cli_main(["bench", "compare", str(old), str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "a" in out
+        assert "1 regression(s)/missing" in out
+
+    def test_cli_missing_benchmark_fails(self, tmp_path, capsys):
+        old = write_snapshot(tmp_path / "old.json", {"a": 1.0, "b": 2.0})
+        new = write_snapshot(tmp_path / "new.json", {"a": 1.0})
+        assert cli_main(["bench", "compare", str(old), str(new)]) == 1
+        assert "MISSING" in capsys.readouterr().out
+
+    def test_cli_threshold_flag(self, tmp_path, capsys):
+        old = write_snapshot(tmp_path / "old.json", {"a": 1.0})
+        new = write_snapshot(tmp_path / "new.json", {"a": 1.4})
+        assert (
+            cli_main(
+                ["bench", "compare", str(old), str(new), "--threshold", "0.5"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+    def test_cli_malformed_snapshot_is_usage_error(self, tmp_path, capsys):
+        old = write_snapshot(tmp_path / "old.json", {"a": 1.0})
+        assert cli_main(["bench", "compare", str(old), str(tmp_path / "x.json")]) == 2
+        assert "div-repro: error" in capsys.readouterr().err

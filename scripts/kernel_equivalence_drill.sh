@@ -4,10 +4,14 @@
 #
 # Runs E1 (--quick) once per backend — loop, block, compiled — and
 # byte-compares the JSON reports pairwise against the loop reference.
-# The compiled leg only measures something when its jit runtime (numba)
-# is importable; without it the spec would silently resolve to block
-# and the comparison would be vacuous, so it is skipped with a notice
-# instead.
+# Then repeats the comparison for the non-static substrate scenarios:
+# E17 (zealots: frozen vertices through every commit path) and E18
+# (edge churn: epoch-crossing runs with scheduler cache rebuilds) —
+# the kernel contract must hold on dynamic substrates too, not just
+# static graphs. The compiled leg only measures something when its jit
+# runtime (numba) is importable; without it the spec would silently
+# resolve to block and the comparison would be vacuous, so it is
+# skipped with a notice instead.
 #
 # Usage: scripts/kernel_equivalence_drill.sh [WORK_DIR]   (default: mktemp)
 set -euo pipefail
@@ -25,16 +29,25 @@ else
     say "numba not installed - compiled leg skipped (would resolve to block)"
 fi
 
-for kernel in $KERNELS; do
-    say "running E1 --quick under kernel=$kernel"
-    python -m repro.cli run E1 --quick --seed 7 --kernel "$kernel" \
-        --json "$WORK/$kernel"
+# E1: the static-substrate reference comparison. E17/E18: zealots and
+# edge churn — the scenario legs added with the substrate contract.
+EXPERIMENTS="E1 E17 E18"
+
+for experiment in $EXPERIMENTS; do
+    for kernel in $KERNELS; do
+        say "running $experiment --quick under kernel=$kernel"
+        python -m repro.cli run "$experiment" --quick --seed 7 \
+            --kernel "$kernel" --json "$WORK/$kernel"
+    done
 done
 
-for kernel in $KERNELS; do
-    [ "$kernel" = loop ] && continue
-    cmp "$WORK/loop/e1.json" "$WORK/$kernel/e1.json"
-    say "loop and $kernel reports are byte-identical"
+for experiment in $EXPERIMENTS; do
+    name=$(echo "$experiment" | tr '[:upper:]' '[:lower:]')
+    for kernel in $KERNELS; do
+        [ "$kernel" = loop ] && continue
+        cmp "$WORK/loop/$name.json" "$WORK/$kernel/$name.json"
+        say "$experiment: loop and $kernel reports are byte-identical"
+    done
 done
 
-say "OK: kernels agree ($KERNELS)"
+say "OK: kernels agree on $EXPERIMENTS ($KERNELS)"

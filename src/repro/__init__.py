@@ -22,7 +22,8 @@ Subpackages
 ``repro.analysis``
     Monte-Carlo trials, initializers, statistics, scaling fits.
 ``repro.experiments``
-    Drivers E1–E12 reproducing every quantitative claim of the paper.
+    Drivers E1–E19 reproducing the paper’s quantitative claims plus the
+    dynamic, zealot and adversarial scenario probes.
 """
 
 from repro.analysis import (

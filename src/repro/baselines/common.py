@@ -19,8 +19,8 @@ from repro.core.observers import EngineObserver
 from repro.core.results import BaseRunResult
 from repro.core.schedulers import make_scheduler
 from repro.core.state import OpinionState
-from repro.core.stopping import StopLike
-from repro.graphs.graph import Graph
+from repro.core.stopping import StopLike, frozen_consensus
+from repro.core.substrate import SubstrateLike, as_substrate
 from repro.rng import RngLike
 
 
@@ -45,7 +45,7 @@ class VotingOutcome(BaseRunResult):
 
 
 def run_baseline(
-    graph: Graph,
+    graph: SubstrateLike,
     opinions: Sequence[int],
     dynamics: Dynamics,
     *,
@@ -55,13 +55,23 @@ def run_baseline(
     max_steps: Optional[int] = None,
     observers: Sequence[EngineObserver] = (),
     kernel: str = "auto",
+    frozen: Optional[Sequence[int]] = None,
 ) -> VotingOutcome:
-    """Run ``dynamics`` with the standard engine and summarize."""
-    state = OpinionState(graph, opinions)
+    """Run ``dynamics`` with the standard engine and summarize.
+
+    ``graph`` accepts a plain :class:`~repro.graphs.graph.Graph` or a
+    churning :class:`~repro.core.substrate.Substrate`; ``frozen`` pins
+    zealot vertices (mask or vertex ids) exactly as in
+    :func:`repro.core.div.run_div`.
+    """
+    substrate = as_substrate(graph)
+    state = OpinionState(substrate.graph, opinions, frozen=frozen)
+    if stop == "frozen_consensus":
+        stop = frozen_consensus(state)
     initial_mean = state.mean()
     result = run_dynamics(
         state,
-        make_scheduler(graph, process),
+        make_scheduler(substrate, process),
         dynamics,
         stop=stop,
         rng=rng,

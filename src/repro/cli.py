@@ -78,7 +78,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list registered experiments")
 
     run = sub.add_parser("run", help="run one or more experiments")
-    run.add_argument("experiments", nargs="+", help="experiment ids (E1..E15) or 'all'")
+    run.add_argument("experiments", nargs="+", help="experiment ids (E1..E19) or 'all'")
     run.add_argument("--quick", action="store_true", help="benchmark-scale configs")
     run.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
     run.add_argument(

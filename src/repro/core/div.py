@@ -17,7 +17,8 @@ from repro.core.observers import EngineObserver, FirstTimeTracker
 from repro.core.results import BaseRunResult
 from repro.core.schedulers import make_scheduler
 from repro.core.state import OpinionState
-from repro.core.stopping import StopLike, make_stop_condition
+from repro.core.stopping import StopLike, frozen_consensus, make_stop_condition
+from repro.core.substrate import SubstrateLike, as_substrate
 from repro.graphs.graph import Graph
 from repro.rng import RngLike
 
@@ -61,7 +62,7 @@ class DIVResult(BaseRunResult):
 
 
 def run_div(
-    graph: Graph,
+    graph: SubstrateLike,
     opinions: Sequence[int],
     *,
     process: str = "vertex",
@@ -70,13 +71,17 @@ def run_div(
     max_steps: Optional[int] = None,
     observers: Sequence[EngineObserver] = (),
     kernel: str = "auto",
+    frozen: Optional[Sequence[int]] = None,
 ) -> DIVResult:
     """Run discrete incremental voting and summarize the outcome.
 
     Parameters
     ----------
     graph:
-        The (connected) interaction topology.
+        The (connected) interaction topology — a plain
+        :class:`~repro.graphs.graph.Graph` or a
+        :class:`~repro.core.substrate.Substrate` carrying a churn plan
+        (the scenario contract in ``docs/scenarios.md``).
     opinions:
         Initial integer opinion per vertex.
     process:
@@ -95,14 +100,28 @@ def run_div(
         :func:`repro.core.engine.run_dynamics`. Note ``run_div`` always
         tracks the two-adjacent hitting time through a change observer,
         so the block kernel runs in its exact replay mode here.
+    frozen:
+        Optional zealot specification — a boolean mask of length ``n``
+        or a sequence of vertex ids whose opinions never change (see
+        :class:`OpinionState`). With zealots at several distinct
+        opinions, pass ``stop="frozen_consensus"`` — plain consensus
+        may be unreachable, while
+        :func:`repro.core.stopping.frozen_consensus` stops at the
+        tightest support the zealots permit.
     """
-    state = OpinionState(graph, opinions)
+    substrate = as_substrate(graph)
+    state = OpinionState(substrate.graph, opinions, frozen=frozen)
+    if stop == "frozen_consensus":
+        # The factory reads the frozen opinions off the state this
+        # function just built, so resolve the name here, not in the
+        # generic registry.
+        stop = frozen_consensus(state)
     initial_mean = state.mean()
     initial_weighted_mean = state.weighted_mean()
     tracker = FirstTimeTracker(lambda s: s.is_two_adjacent, label="two_adjacent")
     result = run_dynamics(
         state,
-        make_scheduler(graph, process),
+        make_scheduler(substrate, process),
         IncrementalVoting(),
         stop=make_stop_condition(stop),
         rng=rng,

@@ -19,6 +19,20 @@ The block execution kernel (:mod:`repro.core.kernels`) uses it to apply
 whole scheduler segments in one numpy pass; dynamics without it (those
 drawing per-step RNG or polling whole neighbourhoods) transparently run
 on the per-step loop kernel instead.
+
+Substrate contract (``docs/scenarios.md``): every dynamic treats a
+frozen (zealot) target as a no-change step — the scalar ``step`` checks
+:meth:`OpinionState.is_frozen` before writing and ``step_block`` routes
+its proposal mask through :meth:`OpinionState.writable` — so change
+counters, change observers and stopping checks stay bit-identical
+across execution kernels.  A dynamic that advertises the vectorized or
+compiled fast paths (``step_block`` / ``compiled_id``) must *declare*
+that it honours this contract via a class-level ``substrate_compat``
+tuple naming the scenario features it supports (``"frozen"``,
+``"churn"``); :func:`repro.core.kernels.resolve_kernel` degrades an
+undeclared dynamic to the reference loop whenever a scenario feature is
+active, and the KER005 project-lint rule rejects fast-path dynamics
+with no declaration at all.
 """
 
 from __future__ import annotations
@@ -31,6 +45,12 @@ from repro.core.state import OpinionState
 from repro.errors import ProcessError
 
 
+#: The scenario features a fully substrate-aware dynamic declares: it
+#: masks frozen targets in every execution path ("frozen") and reads no
+#: cross-epoch topology snapshots ("churn").
+SUBSTRATE_FEATURES = ("frozen", "churn")
+
+
 class Dynamics(Protocol):
     """One asynchronous update rule."""
 
@@ -41,6 +61,17 @@ class Dynamics(Protocol):
     ) -> bool:
         """Apply one interaction where ``v`` observes ``w``."""
         ...  # pragma: no cover - protocol
+
+
+def supports_substrate(dynamics: Dynamics, feature: str) -> bool:
+    """Whether ``dynamics`` declares support for a scenario ``feature``.
+
+    Features are ``"frozen"`` (zealot masks) and ``"churn"`` (epoch
+    rewiring); see :data:`SUBSTRATE_FEATURES`.  Undeclared dynamics run
+    such scenarios on the reference loop kernel only — exact, just not
+    vectorized (see :func:`repro.core.kernels.resolve_kernel`).
+    """
+    return feature in getattr(dynamics, "substrate_compat", ())
 
 
 class BlockDynamics(Dynamics, Protocol):
@@ -82,19 +113,18 @@ class IncrementalVoting:
     #: the observed value. Only meaningful for RNG-free pairwise
     #: dynamics whose update depends on ``(X_v, X_w)`` alone.
     compiled_id = 0
+    #: Scenario features honoured on every execution path (KER005).
+    substrate_compat = SUBSTRATE_FEATURES
 
     def step(
         self, state: OpinionState, v: int, w: int, rng: np.random.Generator
     ) -> bool:
         xv = state.value(v)
         xw = state.value(w)
-        if xw > xv:
-            state.apply(v, xv + 1)
-            return True
-        if xw < xv:
-            state.apply(v, xv - 1)
-            return True
-        return False
+        if xw == xv or state.is_frozen(v):
+            return False
+        state.apply(v, xv + 1 if xw > xv else xv - 1)
+        return True
 
     def step_block(
         self, state: OpinionState, v: np.ndarray, w: np.ndarray
@@ -103,7 +133,7 @@ class IncrementalVoting:
         values = state.values
         xv = values[v]
         moves = np.sign(values[w] - xv)
-        changed = moves != 0
+        changed = state.writable(v, moves != 0)
         return changed, v[changed], xv[changed] + moves[changed]
 
 
@@ -113,16 +143,17 @@ class PullVoting:
     name = "pull"
     #: Compiled-kernel dispatch code: 1 = ``v`` adopts ``X_w``.
     compiled_id = 1
+    substrate_compat = SUBSTRATE_FEATURES
 
     def step(
         self, state: OpinionState, v: int, w: int, rng: np.random.Generator
     ) -> bool:
         xv = state.value(v)
         xw = state.value(w)
-        if xw != xv:
-            state.apply(v, xw)
-            return True
-        return False
+        if xw == xv or state.is_frozen(v):
+            return False
+        state.apply(v, xw)
+        return True
 
     def step_block(
         self, state: OpinionState, v: np.ndarray, w: np.ndarray
@@ -130,7 +161,7 @@ class PullVoting:
         """Vectorized pull over a conflict-free segment."""
         values = state.values
         xw = values[w]
-        changed = xw != values[v]
+        changed = state.writable(v, xw != values[v])
         return changed, v[changed], xw[changed]
 
 
@@ -140,16 +171,17 @@ class PushVoting:
     name = "push"
     #: Compiled-kernel dispatch code: 2 = ``w`` adopts ``X_v``.
     compiled_id = 2
+    substrate_compat = SUBSTRATE_FEATURES
 
     def step(
         self, state: OpinionState, v: int, w: int, rng: np.random.Generator
     ) -> bool:
         xv = state.value(v)
         xw = state.value(w)
-        if xw != xv:
-            state.apply(w, xv)
-            return True
-        return False
+        if xw == xv or state.is_frozen(w):
+            return False
+        state.apply(w, xv)
+        return True
 
     def step_block(
         self, state: OpinionState, v: np.ndarray, w: np.ndarray
@@ -157,7 +189,7 @@ class PushVoting:
         """Vectorized push over a conflict-free segment (writes ``w``)."""
         values = state.values
         xv = values[v]
-        changed = values[w] != xv
+        changed = state.writable(w, values[w] != xv)
         return changed, w[changed], xv[changed]
 
 
@@ -174,6 +206,8 @@ class MedianVoting:
     def step(
         self, state: OpinionState, v: int, w: int, rng: np.random.Generator
     ) -> bool:
+        if state.is_frozen(v):
+            return False
         graph = state.graph
         neighbors = graph.neighbors(v)
         u = int(neighbors[rng.integers(0, neighbors.size)])
@@ -198,6 +232,8 @@ class BestOfTwo:
     def step(
         self, state: OpinionState, v: int, w: int, rng: np.random.Generator
     ) -> bool:
+        if state.is_frozen(v):
+            return False
         graph = state.graph
         neighbors = graph.neighbors(v)
         u = int(neighbors[rng.integers(0, neighbors.size)])
@@ -222,6 +258,8 @@ class BestOfThree:
     def step(
         self, state: OpinionState, v: int, w: int, rng: np.random.Generator
     ) -> bool:
+        if state.is_frozen(v):
+            return False
         graph = state.graph
         neighbors = graph.neighbors(v)
         picks = rng.integers(0, neighbors.size, size=2)
@@ -255,6 +293,8 @@ class LocalMajority:
     def step(
         self, state: OpinionState, v: int, w: int, rng: np.random.Generator
     ) -> bool:
+        if state.is_frozen(v):
+            return False
         neighbors = state.graph.neighbors(v)
         values = state.values[neighbors]
         candidates, counts = np.unique(values, return_counts=True)
@@ -285,6 +325,11 @@ class LoadBalancing:
     def step(
         self, state: OpinionState, v: int, w: int, rng: np.random.Generator
     ) -> bool:
+        # A coordinated two-vertex update needs both endpoints writable;
+        # a zealot on either side vetoes the whole exchange (averaging
+        # against an unmovable load would not conserve S(t)).
+        if state.is_frozen(v) or state.is_frozen(w):
+            return False
         a = state.value(v)
         b = state.value(w)
         if abs(a - b) <= 1:
@@ -298,6 +343,51 @@ class LoadBalancing:
             state.apply(v, hi)
             state.apply(w, lo)
         return True
+
+
+class NoisyDynamics:
+    """Communication-noise wrapper around any pairwise dynamics.
+
+    Models two standard message faults, decided independently per step
+    from the engine generator:
+
+    * with probability ``drop`` the interaction is lost outright (the
+      step changes nothing);
+    * otherwise, with probability ``misread``, ``v`` misreads its
+      sampled neighbour and the inner rule runs against a uniformly
+      random vertex instead (a garbled sender identity — the received
+      value need not even come from ``v``'s neighbourhood).
+
+    Because every step consumes RNG for the fault decision, there is no
+    conflict-free vectorized form: the wrapper deliberately implements
+    neither ``step_block`` nor ``compiled_id``, so
+    :func:`repro.core.kernels.resolve_kernel` degrades any block or
+    compiled request down to the reference loop and records the
+    degradation on ``RunResult.kernel`` — the designed behaviour for
+    contract-breaking combinations, not an error (E19 asserts it).
+    """
+
+    def __init__(self, inner, drop: float = 0.0, misread: float = 0.0) -> None:
+        if not 0.0 <= drop <= 1.0:
+            raise ProcessError(f"drop must be in [0, 1], got {drop}")
+        if not 0.0 <= misread <= 1.0:
+            raise ProcessError(f"misread must be in [0, 1], got {misread}")
+        self.inner = make_dynamics(inner)
+        self.drop = float(drop)
+        self.misread = float(misread)
+        self.name = f"noisy({self.inner.name})"
+
+    def step(
+        self, state: OpinionState, v: int, w: int, rng: np.random.Generator
+    ) -> bool:
+        u = rng.random()
+        if u < self.drop:
+            return False
+        if u < self.drop + self.misread:
+            w = int(rng.integers(0, state.n))
+            if w == v:  # a self-misread carries no information
+                return False
+        return self.inner.step(state, v, w, rng)
 
 
 _NAMED = {

@@ -119,6 +119,18 @@ def run_dynamics(
     if max_steps is None and getattr(stop_condition, "__name__", "") == "never":
         raise ProcessError("stop='never' requires max_steps")
 
+    # The scheduler owns the substrate; a static one (including every
+    # bare-graph scheduler) is dropped from the context so the kernels'
+    # epoch handling stays a single None check on the static hot path.
+    substrate = getattr(scheduler, "substrate", None)
+    if substrate is not None and substrate.is_static:
+        substrate = None
+    if substrate is not None and not callable(getattr(scheduler, "rebuild", None)):
+        raise ProcessError(
+            f"{type(scheduler).__name__} cannot run on a churning substrate: "
+            f"it has no rebuild() to refresh its epoch caches"
+        )
+
     tracer = current_tracer()
     metrics = active_metrics()
     profiler = active_profiler()
@@ -134,7 +146,9 @@ def run_dynamics(
     # ``interval`` attribute default to 1 here *and* at every re-arm.
     intervals = [resolve_interval(obs) for obs in sampled]
 
-    engine_kernel = resolve_kernel(kernel, dynamics)
+    engine_kernel = resolve_kernel(
+        kernel, dynamics, state=state, substrate=substrate
+    )
     ctx = KernelContext(
         state=state,
         scheduler=scheduler,
@@ -146,6 +160,7 @@ def run_dynamics(
         sampled=sampled,
         intervals=intervals,
         change_observers=change_observers,
+        substrate=substrate,
     )
 
     with ExitStack() as stack:

@@ -37,11 +37,12 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
-from repro.core.dynamics import Dynamics
+from repro.core.dynamics import Dynamics, supports_substrate
 from repro.core.kernels.base import (
     ExecutionKernel,
     KernelContext,
     KernelRun,
+    epoch_window,
     supports_block,
 )
 from repro.core.kernels.block import BlockKernel, conflict_free_bounds
@@ -67,6 +68,7 @@ __all__ = [
     "active_kernel",
     "compiled_runtime_available",
     "conflict_free_bounds",
+    "epoch_window",
     "interpreted_compiled",
     "make_kernel",
     "resolve_kernel",
@@ -127,7 +129,13 @@ def make_kernel(name: str) -> ExecutionKernel:
         raise ProcessError(f"unknown kernel {name!r}; known: {known}") from None
 
 
-def resolve_kernel(spec: str, dynamics: Dynamics) -> ExecutionKernel:
+def resolve_kernel(
+    spec: str,
+    dynamics: Dynamics,
+    *,
+    state=None,
+    substrate=None,
+) -> ExecutionKernel:
     """Resolve a kernel spec against a concrete dynamics.
 
     ``"auto"`` consults the ambient :func:`use_kernel` override first and
@@ -141,12 +149,31 @@ def resolve_kernel(spec: str, dynamics: Dynamics) -> ExecutionKernel:
     (per-step RNG draws or whole-neighbourhood polls cannot be replayed
     vectorized) becomes ``"loop"``.  Check the resolved name on the
     result (``RunResult.kernel``) when it matters.
+
+    ``state`` and ``substrate`` carry the run's scenario features: when
+    zealots are frozen on the state or the substrate churns, a dynamics
+    that does not *declare* the matching ``substrate_compat`` feature
+    (see :func:`repro.core.dynamics.supports_substrate`) degrades to the
+    reference loop — the loop's per-step :meth:`OpinionState.apply`
+    honours the mask regardless of the dynamics, so it is the one
+    backend that is exact for undeclared code.  The degradation is
+    recorded on ``RunResult.kernel`` like every other, so scenario runs
+    never silently diverge across kernels (lint rule KER005 enforces
+    the declaration on new fast-path dynamics).
     """
     name = spec
     if name == "auto":
         name = active_kernel() or "auto"
     if name == "auto":
         name = "block" if supports_block(dynamics) else "loop"
+    if name != "loop":
+        needs = []
+        if state is not None and state.has_frozen:
+            needs.append("frozen")
+        if substrate is not None and not substrate.is_static:
+            needs.append("churn")
+        if any(not supports_substrate(dynamics, f) for f in needs):
+            name = "loop"
     if name == "compiled" and not (
         compiled_runtime_available() and supports_compiled(dynamics)
     ):

@@ -32,6 +32,7 @@ from repro.core.observers import EngineObserver
 from repro.core.schedulers import Scheduler
 from repro.core.state import OpinionState
 from repro.core.stopping import StopCondition
+from repro.core.substrate import Substrate
 
 
 @dataclass
@@ -43,6 +44,11 @@ class KernelContext:
 
     ``sampled`` and ``intervals`` are aligned: ``intervals[i]`` is the
     validated sample interval of ``sampled[i]``.
+
+    ``substrate`` is the scheduler's substrate when it has one (else
+    ``None``, the static fast path): kernels thread every outer
+    iteration through :func:`epoch_window`, which crosses due churn
+    boundaries and clips the next draw at the following one.
     """
 
     state: OpinionState
@@ -55,6 +61,7 @@ class KernelContext:
     sampled: Sequence[EngineObserver]
     intervals: Sequence[int]
     change_observers: Sequence[EngineObserver]
+    substrate: Optional[Substrate] = None
 
 
 @dataclass
@@ -90,3 +97,34 @@ class ExecutionKernel(Protocol):
 def supports_block(dynamics: Dynamics) -> bool:
     """Whether ``dynamics`` can run on the vectorized block kernel."""
     return callable(getattr(dynamics, "step_block", None))
+
+
+def epoch_window(ctx: KernelContext, step: int, remaining: int) -> int:
+    """Cross due epoch boundaries at ``step`` and clip the next draw.
+
+    The dynamic-substrate half of the kernel equivalence contract, in
+    one place so all three kernels share it bit for bit:
+
+    1. apply every churn event scheduled at or before ``step`` (the
+       substrate's private RNG, never the engine generator), rebinding
+       the state's graph and rebuilding the scheduler's epoch caches
+       when the topology changed;
+    2. return ``remaining`` clipped so the upcoming ``draw_block``
+       cannot reach past the *next* boundary — the same treatment
+       sampled-observer due steps already get, and what keeps every
+       kernel's draw sizes (hence the shared RNG stream) identical on
+       dynamic substrates.
+
+    Static substrates (or ``ctx.substrate is None``) return
+    ``remaining`` unchanged at the cost of one predicate.
+    """
+    substrate = ctx.substrate
+    if substrate is None:
+        return remaining
+    if substrate.advance_to(step):
+        ctx.state.rebind_graph(substrate.graph)
+        ctx.scheduler.rebuild()
+    boundary = substrate.next_boundary(step)
+    if boundary is None:
+        return remaining
+    return min(remaining, boundary - step)

@@ -45,7 +45,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.kernels.base import KernelContext, KernelRun
+from repro.core.kernels.base import KernelContext, KernelRun, epoch_window
 from repro.core.stopping import MAX_STEPS_REASON, StopTerm, support_range_terms
 
 #: ``first_write`` sentinel for "vertex not changed in this lookahead";
@@ -197,6 +197,7 @@ class BlockKernel:
                 if remaining <= 0:
                     reason = MAX_STEPS_REASON
                     break
+            remaining = epoch_window(ctx, step, remaining)
             v_block, w_block = scheduler.draw_block(generator, remaining)
             blocks += 1
             base = step  # steps completed before this block

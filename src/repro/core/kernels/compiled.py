@@ -48,7 +48,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.dynamics import Dynamics
-from repro.core.kernels.base import KernelContext, KernelRun
+from repro.core.kernels.base import KernelContext, KernelRun, epoch_window
 from repro.core.kernels.block import BlockKernel
 from repro.core.stopping import MAX_STEPS_REASON, StopTerm, support_range_terms
 
@@ -109,6 +109,7 @@ def _consume_pairs(
     v_seg: np.ndarray,
     w_seg: np.ndarray,
     dyn_id: int,
+    frozen: np.ndarray,
     term_support: np.ndarray,
     term_width: np.ndarray,
 ) -> Tuple[int, int, int, int, int, int]:
@@ -123,6 +124,11 @@ def _consume_pairs(
     earliest term like ``first_of``).  New values never leave the
     current ``[min, max]`` range for these dynamics, so the extreme
     pointers only ever move inward.
+
+    ``frozen`` is the zealot mask over all ``n`` vertices (all-false
+    when the scenario has none): a pair whose write target is frozen is
+    a no-change step, mirroring :meth:`OpinionState.apply`'s no-op and
+    the mask every ``step_block`` applies before commit.
 
     Returns ``(pairs_done, changes, fired_term or -1, support_size,
     min_idx, max_idx)``; ``pairs_done`` counts the firing pair.
@@ -145,6 +151,8 @@ def _consume_pairs(
         else:  # push: v imposes its opinion on w
             target = w
             new_value = xv
+        if frozen[target]:
+            continue
         old_value = values[target]
         values[target] = new_value
         old_idx = old_value - offset
@@ -246,6 +254,12 @@ class CompiledKernel:
         values, counts, offset, min_idx, max_idx, support_size = (
             state.kernel_buffers()
         )
+        # The jit core takes the zealot mask unconditionally (one stable
+        # signature); scenario-free runs pass a shared all-false array.
+        if state.has_frozen:
+            frozen = state.frozen_mask.astype(np.bool_)
+        else:
+            frozen = np.zeros(state.graph.n, dtype=np.bool_)
         # Whether the flat buffers were mutated since the last commit
         # (drives the exact lazy weight rebuild observers read through).
         pending_mutation = False
@@ -256,6 +270,7 @@ class CompiledKernel:
                 if remaining <= 0:
                     reason = MAX_STEPS_REASON
                     break
+            remaining = epoch_window(ctx, step, remaining)
             v_block, w_block = scheduler.draw_block(generator, remaining)
             blocks += 1
             base = step  # steps completed before this block
@@ -277,6 +292,7 @@ class CompiledKernel:
                     v_block[pos:end],
                     w_block[pos:end],
                     dyn_id,
+                    frozen,
                     term_support,
                     term_width,
                 )

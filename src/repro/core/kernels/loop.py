@@ -10,7 +10,7 @@ is the semantic yardstick the block kernel is tested against.
 
 from __future__ import annotations
 
-from repro.core.kernels.base import KernelContext, KernelRun
+from repro.core.kernels.base import KernelContext, KernelRun, epoch_window
 from repro.core.stopping import MAX_STEPS_REASON
 
 
@@ -48,6 +48,7 @@ class LoopKernel:
                     if remaining <= 0:
                         reason = MAX_STEPS_REASON
                         break
+                remaining = epoch_window(ctx, step, remaining)
                 v_block, w_block = scheduler.draw_block(generator, remaining)
                 blocks += 1
                 v_list = v_block.tolist()

@@ -198,6 +198,29 @@ class SupportTrace:
         self.maxs.append(state.max_opinion)
 
 
+class EpochTrace:
+    """Records the substrate epoch alongside each sample (churn scenarios).
+
+    Bound to the run's :class:`~repro.core.substrate.Substrate`, it
+    captures ``(step, epoch)`` every ``interval`` steps — the post-hoc
+    record of *when* the topology rewired under the run.  E18 pairs it
+    with a :class:`WeightTrace` to attribute martingale drift to epoch
+    boundaries.  (The substrate advances between scheduler blocks, so a
+    sample at step ``t`` reports the epoch whose graph drew step ``t``'s
+    pair.)
+    """
+
+    def __init__(self, substrate, interval: int = 1) -> None:
+        self.substrate = substrate
+        self.interval = validate_interval(interval, owner=type(self).__name__)
+        self.steps = TraceBuffer(dtype=np.int64)
+        self.epochs = TraceBuffer(dtype=np.int64)
+
+    def sample(self, step: int, state: OpinionState) -> None:
+        self.steps.append(step)
+        self.epochs.append(self.substrate.epoch)
+
+
 class OpinionCountsTrace:
     """Records the full ``opinion -> count`` histogram every ``interval`` steps."""
 

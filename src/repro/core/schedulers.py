@@ -10,14 +10,33 @@ process"):
 
 Schedulers draw interaction pairs in blocks to amortize RNG overhead;
 the simulation engines consume one pair per step.
+
+Every scheduler is built over a :class:`~repro.core.substrate.Substrate`
+(a bare :class:`Graph` is coerced to a static one) and caches the
+per-epoch CSR arrays it samples from.  On a dynamic substrate the
+execution kernels call :meth:`rebuild` at every epoch boundary; drawing
+from a cache whose epoch no longer matches the substrate raises a loud
+:class:`~repro.errors.ProcessError` — silently sampling a dead topology
+was a latent bug of the construction-time snapshots this replaces.
+
+Beyond the paper's two neutral rules, this module ships two *probe*
+schedulers for the ROADMAP's adversarial scenarios —
+:class:`BiasedScheduler` and :class:`AdversarialScheduler`.  Both read
+the live :class:`~repro.core.state.OpinionState` they are bound to, and
+both are deterministic functions of (seeded RNG, state): since every
+execution kernel draws whole scheduler blocks at identical step counts
+against identical states, state-dependent schedulers keep the
+bit-for-bit kernel-equivalence guarantee (see ``docs/scenarios.md``).
 """
 
 from __future__ import annotations
 
-from typing import Protocol, Tuple
+from typing import Optional, Protocol, Tuple
 
 import numpy as np
 
+from repro.core.state import OpinionState
+from repro.core.substrate import Substrate, SubstrateLike, as_substrate
 from repro.errors import ProcessError
 from repro.graphs.graph import Graph
 
@@ -26,6 +45,7 @@ class Scheduler(Protocol):
     """Draws blocks of (updating vertex, observed neighbour) pairs."""
 
     graph: Graph
+    substrate: Substrate
 
     def draw_block(
         self, rng: np.random.Generator, size: int
@@ -33,20 +53,57 @@ class Scheduler(Protocol):
         """Return arrays ``(v, w)`` of ``size`` interaction pairs."""
         ...  # pragma: no cover - protocol
 
+    def rebuild(self) -> None:
+        """Refresh per-epoch caches after the substrate crossed a boundary."""
+        ...  # pragma: no cover - protocol
 
-class VertexScheduler:
+
+class _EpochCached:
+    """Shared epoch bookkeeping: cache versioning plus the staleness guard."""
+
+    def __init__(self, source: SubstrateLike) -> None:
+        self.substrate = as_substrate(source)
+        self.rebuild()
+
+    @property
+    def graph(self) -> Graph:
+        """The substrate's current-epoch graph."""
+        return self.substrate.graph
+
+    def rebuild(self) -> None:
+        """Re-snapshot the sampling arrays from the current epoch's graph."""
+        self._rebuild(self.substrate.graph)
+        self._epoch = self.substrate.epoch
+
+    def _rebuild(self, graph: Graph) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _check_epoch(self) -> None:
+        """Refuse to sample a topology the substrate already replaced."""
+        if self._epoch != self.substrate.epoch:
+            raise ProcessError(
+                f"stale scheduler cache: {type(self).__name__} snapshotted "
+                f"epoch {self._epoch} but the substrate is at epoch "
+                f"{self.substrate.epoch}; call rebuild() after every "
+                f"substrate mutation (the execution kernels do this at "
+                f"epoch boundaries)"
+            )
+
+
+class VertexScheduler(_EpochCached):
     """The asynchronous vertex process: uniform vertex, uniform neighbour."""
 
-    def __init__(self, graph: Graph) -> None:
+    def _rebuild(self, graph: Graph) -> None:
         if graph.m == 0 or np.any(graph.degrees == 0):
             raise ProcessError("the vertex process needs every vertex to have a neighbour")
-        self.graph = graph
+        self._cached = graph
         self._degrees = graph.degrees
 
     def draw_block(
         self, rng: np.random.Generator, size: int
     ) -> Tuple[np.ndarray, np.ndarray]:
-        graph = self.graph
+        self._check_epoch()
+        graph = self._cached
         v = rng.integers(0, graph.n, size=size)
         offsets = rng.integers(0, self._degrees[v])
         w = graph.indices[graph.indptr[v] + offsets]
@@ -56,19 +113,20 @@ class VertexScheduler:
         return f"VertexScheduler({self.graph.name})"
 
 
-class EdgeScheduler:
+class EdgeScheduler(_EpochCached):
     """The asynchronous edge process: uniform edge, uniform endpoint."""
 
-    def __init__(self, graph: Graph) -> None:
+    def _rebuild(self, graph: Graph) -> None:
         if graph.m == 0:
             raise ProcessError("the edge process needs at least one edge")
-        self.graph = graph
+        self._cached = graph
         self._edges = graph.edge_array
 
     def draw_block(
         self, rng: np.random.Generator, size: int
     ) -> Tuple[np.ndarray, np.ndarray]:
-        edge_ids = rng.integers(0, self.graph.m, size=size)
+        self._check_epoch()
+        edge_ids = rng.integers(0, self._cached.m, size=size)
         sides = rng.integers(0, 2, size=size)
         endpoints = self._edges[edge_ids]
         v = endpoints[np.arange(size), sides]
@@ -79,10 +137,160 @@ class EdgeScheduler:
         return f"EdgeScheduler({self.graph.name})"
 
 
-def make_scheduler(graph: Graph, process: str) -> Scheduler:
-    """Build the scheduler for a process name (``"vertex"`` or ``"edge"``)."""
+class BiasedScheduler(_EpochCached):
+    """A vertex process whose updating vertex is biased toward extremes.
+
+    The updating vertex ``v`` is drawn with probability proportional to
+    ``1 + bias · dist(v)`` where ``dist(v) ∈ [0, 1]`` is ``X_v``'s
+    normalized distance from the centre of the current opinion range;
+    the observed neighbour stays uniform.  ``bias > 0`` *targets*
+    extreme holders (updating them erodes the extreme classes faster);
+    ``bias < 0`` (down to -1) shelters them, starving the contraction
+    argument of Lemma 4 — the regime E19 probes.
+
+    The scheduler must be bound to the engine's live state; it reads the
+    opinions at every ``draw_block``, i.e. the bias reacts at block
+    granularity.  All randomness comes from the engine generator, so
+    draws are deterministic given the seed — and identical across
+    execution kernels, which draw blocks at identical steps against
+    identical states.
+    """
+
+    def __init__(
+        self, source: SubstrateLike, state: OpinionState, bias: float = 1.0
+    ) -> None:
+        if bias < -1.0:
+            raise ProcessError(f"bias must be >= -1 (got {bias}): "
+                               "weights 1 + bias·dist must stay non-negative")
+        self.state = state
+        self.bias = float(bias)
+        super().__init__(source)
+
+    def _rebuild(self, graph: Graph) -> None:
+        if graph.m == 0 or np.any(graph.degrees == 0):
+            raise ProcessError("the vertex process needs every vertex to have a neighbour")
+        self._cached = graph
+        self._degrees = graph.degrees
+
+    def draw_block(
+        self, rng: np.random.Generator, size: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        self._check_epoch()
+        graph = self._cached
+        state = self.state
+        lo = state.min_opinion
+        hi = state.max_opinion
+        if hi == lo or self.bias == 0.0:
+            v = rng.integers(0, graph.n, size=size)
+        else:
+            values = state.values
+            # dist(v) = |X_v - centre| / (half range), in [0, 1].
+            dist = np.abs(2.0 * values - (lo + hi)) / float(hi - lo)
+            weights = 1.0 + self.bias * dist
+            p = weights / weights.sum()
+            v = rng.choice(graph.n, size=size, p=p)
+        offsets = rng.integers(0, self._degrees[v])
+        w = graph.indices[graph.indptr[v] + offsets]
+        return v, w
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BiasedScheduler({self.graph.name}, bias={self.bias})"
+
+
+class AdversarialScheduler(_EpochCached):
+    """A worst-case probe: interior vertices are shown extreme neighbours.
+
+    Starts from a plain vertex-process draw; then, independently with
+    probability ``strength`` per pair, replaces the observed neighbour
+    ``w`` by the neighbour of ``v`` whose opinion is *farthest from the
+    centre* of the current range (first such neighbour on ties).  Under
+    DIV this maximally re-inflates the range — each redirected
+    interaction pulls ``v`` toward an extreme — making it the natural
+    adversary for the extreme-contraction stage (Lemma 4 / E13).
+
+    Like :class:`BiasedScheduler` this is bound to the live state and
+    fully deterministic given the engine seed: the redirect decision
+    consumes engine randomness, the redirect target is a deterministic
+    function of the state, and every kernel sees the same state at every
+    block draw.
+    """
+
+    def __init__(
+        self, source: SubstrateLike, state: OpinionState, strength: float = 0.5
+    ) -> None:
+        if not 0.0 <= strength <= 1.0:
+            raise ProcessError(f"strength must be in [0, 1], got {strength}")
+        self.state = state
+        self.strength = float(strength)
+        super().__init__(source)
+
+    def _rebuild(self, graph: Graph) -> None:
+        if graph.m == 0 or np.any(graph.degrees == 0):
+            raise ProcessError("the vertex process needs every vertex to have a neighbour")
+        self._cached = graph
+        self._degrees = graph.degrees
+
+    def draw_block(
+        self, rng: np.random.Generator, size: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        self._check_epoch()
+        graph = self._cached
+        v = rng.integers(0, graph.n, size=size)
+        offsets = rng.integers(0, self._degrees[v])
+        w = graph.indices[graph.indptr[v] + offsets]
+        if self.strength > 0.0:
+            redirect = rng.random(size) < self.strength
+            hits = np.flatnonzero(redirect)
+            if hits.size:
+                state = self.state
+                values = state.values
+                centre = state.min_opinion + state.max_opinion
+                indptr = graph.indptr
+                indices = graph.indices
+                w = w.copy() if not w.flags.writeable else w
+                for idx in hits.tolist():
+                    nbrs = indices[indptr[v[idx]] : indptr[v[idx] + 1]]
+                    # Farthest-from-centre neighbour; argmax takes the
+                    # first on ties, keeping the choice deterministic.
+                    extremity = np.abs(2 * values[nbrs] - centre)
+                    w[idx] = nbrs[int(np.argmax(extremity))]
+        return v, w
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AdversarialScheduler({self.graph.name}, strength={self.strength})"
+
+
+def make_scheduler(
+    source: SubstrateLike,
+    process: str,
+    *,
+    state: Optional[OpinionState] = None,
+    strength: Optional[float] = None,
+) -> Scheduler:
+    """Build the scheduler for a process name.
+
+    ``"vertex"`` and ``"edge"`` are the paper's neutral rules and need
+    no state.  ``"biased"`` and ``"adversarial"`` are the scenario
+    probes; they require ``state`` (the engine's live state) and accept
+    ``strength`` — the bias coefficient for ``"biased"``, the redirect
+    probability for ``"adversarial"``.
+    """
     if process == "vertex":
-        return VertexScheduler(graph)
+        return VertexScheduler(source)
     if process == "edge":
-        return EdgeScheduler(graph)
-    raise ProcessError(f"unknown process {process!r}; expected 'vertex' or 'edge'")
+        return EdgeScheduler(source)
+    if process in ("biased", "adversarial"):
+        if state is None:
+            raise ProcessError(
+                f"the {process!r} scheduler reads the live opinion state; "
+                f"pass state=..."
+            )
+        if process == "biased":
+            kwargs = {} if strength is None else {"bias": strength}
+            return BiasedScheduler(source, state, **kwargs)
+        kwargs = {} if strength is None else {"strength": strength}
+        return AdversarialScheduler(source, state, **kwargs)
+    raise ProcessError(
+        f"unknown process {process!r}; expected 'vertex', 'edge', "
+        f"'biased' or 'adversarial'"
+    )

@@ -50,6 +50,14 @@ class OpinionState:
         Dynamics may never move a vertex outside the initial range
         ``[min X(0), max X(0)]`` (true for DIV, pull, push, median,
         best-of-k and load balancing); :meth:`apply` enforces this.
+    frozen:
+        Optional zealot mask: either a boolean array of length
+        ``graph.n`` or a sequence of vertex ids.  Frozen (stubborn)
+        vertices never change opinion — :meth:`apply` is a silent no-op
+        on them and :meth:`apply_block` drops their rows — but they are
+        still observed by their neighbours, which is the standard
+        zealot model.  The mask is immutable for the state's lifetime
+        (see ``docs/scenarios.md``).
     """
 
     __slots__ = (
@@ -65,9 +73,15 @@ class OpinionState:
         "_max_idx",
         "_weights_dirty",
         "_scratch",
+        "_frozen",
     )
 
-    def __init__(self, graph: Graph, opinions: Sequence[int]) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        opinions: Sequence[int],
+        frozen: Optional[Sequence[int]] = None,
+    ) -> None:
         values = np.asarray(opinions, dtype=np.int64).copy()
         if values.shape != (graph.n,):
             raise InvalidOpinionsError(
@@ -95,6 +109,26 @@ class OpinionState:
         # never released — so a long run settles into zero per-window
         # allocation.  Lazily populated; a fresh state owns none.
         self._scratch: Dict[str, np.ndarray] = {}
+        self._frozen: Optional[np.ndarray] = None
+        if frozen is not None:
+            mask = np.asarray(frozen)
+            if mask.dtype != np.bool_:
+                mask = np.zeros(graph.n, dtype=np.bool_)
+                idx = np.asarray(frozen, dtype=np.int64)
+                if idx.size and (idx.min() < 0 or idx.max() >= graph.n):
+                    raise InvalidOpinionsError(
+                        f"frozen vertex ids must lie in [0, {graph.n - 1}]"
+                    )
+                mask[idx] = True
+            elif mask.shape != (graph.n,):
+                raise InvalidOpinionsError(
+                    f"frozen mask must have shape ({graph.n},), got {mask.shape}"
+                )
+            else:
+                mask = mask.copy()
+            if mask.any():
+                mask.setflags(write=False)
+                self._frozen = mask
 
     # ------------------------------------------------------------------
     # Scratch management (batched hot paths)
@@ -249,6 +283,56 @@ class OpinionState:
         return self.min_opinion
 
     # ------------------------------------------------------------------
+    # Zealots (frozen vertices)
+    # ------------------------------------------------------------------
+    @property
+    def has_frozen(self) -> bool:
+        """Whether any vertex is frozen (zealot/stubborn)."""
+        return self._frozen is not None
+
+    @property
+    def frozen_mask(self) -> Optional[np.ndarray]:
+        """Read-only boolean zealot mask, or ``None`` when all are free."""
+        return self._frozen
+
+    def is_frozen(self, v: int) -> bool:
+        """Whether vertex ``v`` refuses opinion writes."""
+        return self._frozen is not None and bool(self._frozen[v])
+
+    def frozen_vertices(self) -> np.ndarray:
+        """The frozen vertex ids (empty array when none)."""
+        if self._frozen is None:
+            return _EMPTY_I64
+        return np.flatnonzero(self._frozen)
+
+    def frozen_support(self) -> List[int]:
+        """Sorted distinct opinions pinned by frozen vertices.
+
+        Frozen opinions never change, so this is a run invariant — the
+        reachable support floor is ``max(1, len(frozen_support()))``,
+        which :func:`repro.core.stopping.frozen_consensus` turns into a
+        kernel-reconstructible stopping condition.
+        """
+        if self._frozen is None:
+            return []
+        return sorted(int(x) for x in np.unique(self._values[self._frozen]))
+
+    def writable(self, vertices: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Restrict a proposal mask to positions whose target accepts writes.
+
+        ``mask[i]`` stays true iff it was true and ``vertices[i]`` is not
+        frozen.  With no zealots the input mask is returned unchanged
+        (zero cost on the block kernel's hot path); with zealots a new
+        array is returned, never a mutated input.  Every
+        :meth:`~repro.core.dynamics.BlockDynamics.step_block` routes its
+        ``changed`` mask through here so frozen-vertex proposals are
+        masked *before* commit — identically on every kernel.
+        """
+        if self._frozen is None:
+            return mask
+        return mask & ~self._frozen[vertices]
+
+    # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def apply(self, v: int, new_value: int) -> int:
@@ -257,9 +341,17 @@ class OpinionState:
         Returns the previous value. Raises if ``new_value`` falls outside
         the initial opinion range (no dynamic in this package can produce
         such a value; hitting this indicates an engine bug).
+
+        A frozen (zealot) vertex is a silent no-op: the call returns the
+        unchanged current value.  Dynamics report such a step as "no
+        opinion change" (they consult :meth:`is_frozen` /
+        :meth:`writable` first), which keeps change counters and change
+        observers identical across kernels.
         """
         old_value = int(self._values[v])
         if new_value == old_value:
+            return old_value
+        if self._frozen is not None and self._frozen[v]:
             return old_value
         new_idx = new_value - self._offset
         if not 0 <= new_idx < self._counts.size:
@@ -325,10 +417,18 @@ class OpinionState:
         ``apply_block`` call; copy it to keep it.
 
         Like :meth:`apply`, raises when any new value falls outside the
-        initial opinion range.
+        initial opinion range.  Rows targeting frozen (zealot) vertices
+        are dropped before committing, mirroring the scalar no-op — the
+        execution kernels pre-mask proposals through :meth:`writable`,
+        so in engine runs this filter never triggers.
         """
         vertices = np.asarray(vertices, dtype=np.int64)
         new_values = np.asarray(new_values, dtype=np.int64)
+        if self._frozen is not None and vertices.size:
+            keep = ~self._frozen[vertices]
+            if not keep.all():
+                vertices = vertices[keep]
+                new_values = new_values[keep]
         size = vertices.size
         if size == 0:
             return _EMPTY_I64
@@ -490,7 +590,28 @@ class OpinionState:
         clone._max_idx = self._max_idx
         clone._weights_dirty = self._weights_dirty
         clone._scratch = {}
+        # The mask is immutable (read-only array), so sharing is safe.
+        clone._frozen = self._frozen
         return clone
+
+    def rebind_graph(self, graph: Graph) -> None:
+        """Swap the topology underneath the opinions (same vertex set).
+
+        Called by the execution kernels when the
+        :class:`~repro.core.substrate.Substrate` crosses an epoch
+        boundary.  Opinions, counts, support and extremes are untouched
+        (churn moves edges, not vertices); the degree-weighted
+        aggregates are marked dirty and rebuilt exactly against the new
+        degrees on the next read — the same deferred-rebuild mechanism
+        :meth:`apply_block` uses, so the swap is exact and O(1).
+        """
+        if graph.n != self.graph.n:
+            raise InvalidOpinionsError(
+                f"rebind_graph needs an equal vertex set: "
+                f"{self.graph.n} vertices -> {graph.n}"
+            )
+        self.graph = graph
+        self._weights_dirty = True
 
     # ------------------------------------------------------------------
     # Flat-buffer interface for compiled execution kernels

@@ -157,6 +157,37 @@ def support_at_most(size: int) -> StopCondition:
     return condition
 
 
+def frozen_consensus(state: OpinionState) -> StopCondition:
+    """Stop at the tightest support a zealot scenario can reach.
+
+    With zealots pinned at ``f`` distinct opinions the support can never
+    drop below ``max(1, f)`` — plain ``consensus`` would spin to the
+    step budget.  This factory reads the frozen opinions off ``state``
+    (they are a run invariant: frozen vertices never change) and returns
+    a ``support <= max(1, f)`` condition with reason
+    ``"frozen_consensus"``.  It publishes the canonical conjunction
+    form, so zealot runs stay on the block/compiled fast paths.  On a
+    zealot-free state it degenerates to exactly :func:`consensus`'s
+    threshold.
+    """
+    floor = max(1, len(state.frozen_support()))
+
+    def condition(state: OpinionState) -> Optional[str]:
+        if state.support_size <= floor:
+            return "frozen_consensus"
+        return None
+
+    condition.support_range_terms = (
+        StopTerm(
+            reason="frozen_consensus",
+            fires=lambda support, widths: support <= floor,
+            support_ceiling=floor,
+            support_at_most=floor,
+        ),
+    )
+    return condition
+
+
 def never(state: OpinionState) -> Optional[str]:
     """Never stop early — run to the step budget (martingale traces)."""
     return None

@@ -11,7 +11,13 @@ through its approved mutators, never its private incremental caches
 bookkeeping the stop conditions read).  KER004 generalises the per-file
 KER001: experiments and baselines must stay kernel-agnostic, so backend
 module imports and literal backend selection are confined to the
-kernel-resolution layer.
+kernel-resolution layer.  KER005 extends the contract to scenario runs
+(``docs/scenarios.md``): a dynamics offering a kernel fast path
+(``step_block`` or a ``compiled_id``) must *declare* whether that path
+honours zealot masks and churn epochs via a class-level
+``substrate_compat`` — undeclared dynamics degrade to the reference
+loop at resolve time, and the lint makes the missing declaration loud
+instead of a silent slow-down.
 """
 
 from __future__ import annotations
@@ -161,6 +167,88 @@ class BatchedWithoutSequential(ProjectAnalyzer):
         return None
 
 
+def _class_assigns(cls: ClassInfo) -> Set[str]:
+    """Names bound by class-level assignments of ``cls`` (incl. annotated)."""
+    names: Set[str] = set()
+    for node in cls.node.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+@register_analyzer
+class FastPathWithoutSubstrateDeclaration(ProjectAnalyzer):
+    rule_id = "KER005"
+    summary = (
+        "a dynamics offering a fast path (step_block or compiled_id) must "
+        "declare its substrate compatibility"
+    )
+
+    def analyze(self, ctx: ProjectContext) -> Iterator[Finding]:
+        for module in sorted(ctx.model.modules):
+            info = ctx.model.modules[module]
+            if info.is_test:
+                continue
+            for cls in info.classes.values():
+                if any(
+                    base.split(".")[-1] == "Protocol" for base in cls.bases
+                ):
+                    # Interface specs (typing.Protocol) describe the
+                    # fast path; the declaration duty falls on the
+                    # concrete classes implementing them.
+                    continue
+                fast_paths = []
+                if "step_block" in cls.methods:
+                    fast_paths.append("step_block")
+                if "compiled_id" in _class_assigns(cls):
+                    fast_paths.append("compiled_id")
+                if not fast_paths:
+                    continue
+                if self._declares_compat(ctx.model, module, cls, depth=5):
+                    continue
+                anchor = (
+                    cls.methods["step_block"].node
+                    if "step_block" in cls.methods
+                    else cls.node
+                )
+                yield self.finding(
+                    info,
+                    anchor,
+                    f"class {cls.qualname} offers a kernel fast path "
+                    f"({', '.join(fast_paths)}) but declares no "
+                    f"substrate_compat; resolve_kernel cannot tell whether "
+                    f"its batched/compiled path honours zealot masks and "
+                    f"churn epochs, so scenario runs would silently have to "
+                    f"assume the worst",
+                    suggestion=(
+                        "set substrate_compat = SUBSTRATE_FEATURES (or the "
+                        "supported subset, possibly ()) on the class; see "
+                        "repro.core.dynamics.supports_substrate and "
+                        "docs/scenarios.md"
+                    ),
+                )
+
+    def _declares_compat(
+        self, model: ProjectModel, module: str, cls: ClassInfo, depth: int
+    ) -> bool:
+        if "substrate_compat" in _class_assigns(cls):
+            return True
+        if depth <= 0:
+            return False
+        for base in cls.bases:
+            resolved = BatchedWithoutSequential._resolve_base(model, module, base)
+            if resolved is not None and self._declares_compat(
+                model, resolved[0], resolved[1], depth - 1
+            ):
+                return True
+        return False
+
+
 @register_analyzer
 class StateInternalsAccess(ProjectAnalyzer):
     rule_id = "KER003"
@@ -280,6 +368,7 @@ class KernelAgnosticExperiments(ProjectAnalyzer):
 __all__ = [
     "APPROVED_MUTATORS",
     "BatchedWithoutSequential",
+    "FastPathWithoutSubstrateDeclaration",
     "KernelAgnosticExperiments",
     "StateInternalsAccess",
     "private_state_attrs",

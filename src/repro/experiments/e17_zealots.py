@@ -1,0 +1,153 @@
+"""E17 — Zealots: stubborn vertices vs consensus and plurality.
+
+The paper's processes are *neutral*: every vertex updates, so the total
+weight is a martingale and the final opinion concentrates on the
+rounded average. A zealot (a frozen vertex, see
+:class:`~repro.core.state.OpinionState`) breaks neutrality by refusing
+every update. This experiment measures two classic regimes on a random
+regular graph:
+
+* **one-sided zealots** pinned at the extreme opinion ``k``: the only
+  absorbing consensus is ``k`` itself, so even a small stubborn
+  fraction eventually drags everyone there — we sweep the fraction and
+  measure how reliably and how fast within a fixed step budget;
+* **opposing zealots** split between ``1`` and ``k``: full consensus is
+  impossible, so runs stop at the tightest support the zealots permit
+  (:func:`~repro.core.stopping.frozen_consensus`) and we record the
+  time to that polarized absorbing stage and where the free mass ends
+  up.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.initializers import uniform_random_opinions
+from repro.analysis.montecarlo import run_trials_over
+from repro.analysis.statistics import summarize, wilson_interval
+from repro.core.div import run_div
+from repro.experiments.tables import ExperimentReport, Table
+from repro.graphs import random_regular_graph
+from repro.parallel import summarize_timings
+from repro.rng import RngLike
+
+EXPERIMENT_ID = "E17"
+TITLE = "Zealot fraction vs consensus reachability and plurality drift"
+
+
+@dataclass
+class Config:
+    """Zealot-fraction sweep on a random regular graph."""
+
+    n: int = 120
+    degree: int = 8
+    k: int = 5
+    fractions: Sequence[float] = (0.0, 0.05, 0.1, 0.2)
+    trials: int = 24
+    max_steps: int = 400_000
+
+    @classmethod
+    def quick(cls) -> "Config":
+        return cls(n=64, fractions=(0.0, 0.1, 0.2), trials=8, max_steps=120_000)
+
+
+def _trial(config: Config, mode: str, fraction: float, index: int, rng) -> dict:
+    """One zealot run; picklable for the parallel layer.
+
+    ``mode`` is ``"one_sided"`` (all zealots at opinion ``k``) or
+    ``"opposing"`` (split between ``1`` and ``k``).
+    """
+    graph = random_regular_graph(config.n, config.degree, rng=rng)
+    opinions = uniform_random_opinions(config.n, config.k, rng=rng)
+    zealots = int(round(fraction * config.n))
+    frozen = rng.choice(config.n, size=zealots, replace=False) if zealots else None
+    if frozen is not None:
+        if mode == "one_sided":
+            opinions[frozen] = config.k
+        else:
+            half = zealots // 2
+            opinions[frozen[:half]] = 1
+            opinions[frozen[half:]] = config.k
+    result = run_div(
+        graph,
+        opinions,
+        stop="frozen_consensus",
+        rng=rng,
+        max_steps=config.max_steps,
+        frozen=frozen,
+    )
+    return {
+        "reached": result.stop_reason == "frozen_consensus",
+        "steps": result.steps,
+        "final_mean": result.state.mean(),
+        "initial_mean": result.initial_mean,
+    }
+
+
+def run(
+    config: Config = None, seed: RngLike = 0, workers: Optional[int] = None
+) -> ExperimentReport:
+    """Run E17 and return the report."""
+    config = config or Config()
+    report = ExperimentReport(EXPERIMENT_ID, TITLE)
+    fractions = list(config.fractions)
+
+    for mode, title, note in (
+        (
+            "one_sided",
+            f"zealots pinned at k={config.k} on a random {config.degree}-regular "
+            f"graph, n={config.n}, {config.trials} trials per fraction",
+            "with zealots at a single opinion the only absorbing consensus "
+            "is that opinion: the reach rate within the budget should rise "
+            "with the fraction, and the final mean of reached runs equals k "
+            "by construction — the interesting column is mean steps.",
+        ),
+        (
+            "opposing",
+            f"zealots split between 1 and k={config.k}, same graphs",
+            "full consensus is impossible; runs stop once only the zealot "
+            "opinions survive (frozen_consensus). The final mean shows "
+            "which extreme captured more of the free mass.",
+        ),
+    ):
+        table = Table(
+            title=title,
+            headers=[
+                "fraction",
+                "reach rate",
+                "CI low",
+                "CI high",
+                "mean steps",
+                "mean final mean",
+            ],
+        )
+        batches = run_trials_over(
+            fractions,
+            config.trials,
+            functools.partial(_trial, config, mode),
+            seed=seed,
+            workers=workers,
+        )
+        for fraction, outcomes in batches:
+            rows = outcomes.outcomes
+            reached = [r for r in rows if r["reached"]]
+            proportion = wilson_interval(len(reached), config.trials)
+            steps = summarize([r["steps"] for r in reached]) if reached else None
+            table.add_row(
+                fraction,
+                proportion.estimate,
+                proportion.low,
+                proportion.high,
+                steps.mean if steps is not None else float("nan"),
+                float(np.mean([r["final_mean"] for r in rows])),
+            )
+        table.add_note(note)
+        timing_note = summarize_timings([ts.timings for _, ts in batches])
+        if timing_note is not None:
+            table.add_note(f"trial execution: {timing_note}")
+        report.add_table(table)
+    return report

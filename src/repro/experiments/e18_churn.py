@@ -1,0 +1,213 @@
+"""E18 — Edge churn: convergence and the martingale under a rewiring graph.
+
+The paper's analysis is for a static graph, but its core drift argument
+(Lemma 3) only uses degrees: for the vertex process the weight
+``Z(t) = Σ d(v)·X_v`` is a martingale because each interaction moves
+one opinion by ±1 with symmetric probability. Degree-preserving churn
+(:class:`~repro.core.substrate.ChurnPlan` double-edge swaps) keeps
+every ``d(v)`` — and hence ``Z`` and its martingale property — intact,
+while constantly invalidating the *local* structure the convergence
+proof walks over. This experiment checks both halves of that story:
+
+* the E5 martingale-drift diagnostic re-run on churning substrates:
+  mean drift of ``Z(t)`` and the Azuma-envelope exceedance must look
+  exactly like the static case at every churn rate;
+* consensus time vs churn rate: rewiring reshuffles who talks to whom,
+  so convergence should survive (and on these well-connected graphs
+  barely move) while the epoch counter confirms the topology really
+  churned (:class:`~repro.core.observers.EpochTrace`).
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.initializers import uniform_random_opinions
+from repro.analysis.montecarlo import run_trials_over
+from repro.analysis.statistics import summarize, wilson_interval
+from repro.core.div import run_div
+from repro.core.observers import EpochTrace, WeightTrace
+from repro.core.substrate import ChurnPlan, Substrate
+from repro.core.theory import azuma_envelope
+from repro.experiments.tables import ExperimentReport, Table
+from repro.graphs import random_regular_graph
+from repro.parallel import summarize_timings
+from repro.rng import RngLike
+
+EXPERIMENT_ID = "E18"
+TITLE = "Degree-preserving edge churn vs convergence and the weight martingale"
+
+
+@dataclass
+class Config:
+    """Churn-rate sweep (swap attempts per event) on a regular graph."""
+
+    n: int = 150
+    degree: int = 8
+    k: int = 5
+    period: int = 250
+    swap_levels: Sequence[int] = (0, 8, 32, 128)
+    horizon: int = 20_000
+    trials: int = 80
+    envelope_confidence: float = 0.95
+    consensus_trials: int = 24
+    max_steps: int = 400_000
+
+    @classmethod
+    def quick(cls) -> "Config":
+        return cls(
+            n=80,
+            swap_levels=(0, 16, 64),
+            horizon=8_000,
+            trials=24,
+            consensus_trials=8,
+            max_steps=150_000,
+        )
+
+
+def _substrate(config: Config, swaps: int, rng) -> Substrate:
+    """A fresh per-trial substrate (``swaps == 0`` means static)."""
+    graph = random_regular_graph(config.n, config.degree, rng=rng)
+    if swaps == 0:
+        return Substrate(graph)
+    churn_seed = int(rng.integers(0, np.iinfo(np.int64).max))
+    return Substrate(graph, ChurnPlan(config.period, swaps, seed=churn_seed))
+
+
+def _martingale_trial(config: Config, swaps: int, index: int, rng) -> dict:
+    """Fixed-horizon weight trace under churn; picklable."""
+    substrate = _substrate(config, swaps, rng)
+    opinions = uniform_random_opinions(config.n, config.k, rng=rng)
+    weight = WeightTrace("vertex", interval=config.horizon)
+    epochs = EpochTrace(substrate, interval=config.horizon)
+    run_div(
+        substrate,
+        opinions,
+        stop="never",
+        rng=rng,
+        max_steps=config.horizon,
+        observers=[weight, epochs],
+    )
+    return {
+        "w0": float(weight.weights[0]),
+        "w_end": float(weight.weights[-1]),
+        "epochs": int(epochs.epochs[-1]),
+    }
+
+
+def _consensus_trial(config: Config, swaps: int, index: int, rng) -> dict:
+    """Run to consensus under churn; picklable."""
+    substrate = _substrate(config, swaps, rng)
+    opinions = uniform_random_opinions(config.n, config.k, rng=rng)
+    result = run_div(
+        substrate, opinions, rng=rng, max_steps=config.max_steps
+    )
+    return {
+        "reached": result.stop_reason == "consensus",
+        "steps": result.steps,
+        "epochs": substrate.epoch,
+    }
+
+
+def run(
+    config: Config = None, seed: RngLike = 0, workers: Optional[int] = None
+) -> ExperimentReport:
+    """Run E18 and return the report."""
+    config = config or Config()
+    report = ExperimentReport(EXPERIMENT_ID, TITLE)
+    levels = list(config.swap_levels)
+    h = azuma_envelope(config.horizon, config.envelope_confidence)
+
+    table = Table(
+        title=(
+            f"vertex-process Z(t) at t={config.horizon} under churn "
+            f"(period {config.period}), random {config.degree}-regular, "
+            f"n={config.n}, {config.trials} runs per level"
+        ),
+        headers=[
+            "swaps/event",
+            "mean epochs",
+            "drift |mean-Z0|",
+            "drift / stderr",
+            f"frac |Z-Z0|>h({config.envelope_confidence:.0%})",
+        ],
+    )
+    batches = run_trials_over(
+        levels,
+        config.trials,
+        functools.partial(_martingale_trial, config),
+        seed=seed,
+        workers=workers,
+    )
+    for swaps, outcomes in batches:
+        rows = outcomes.outcomes
+        deltas = np.array([r["w_end"] - r["w0"] for r in rows])
+        stderr = float(deltas.std(ddof=1)) / np.sqrt(len(rows))
+        drift = abs(float(deltas.mean()))
+        table.add_row(
+            swaps,
+            float(np.mean([r["epochs"] for r in rows])),
+            drift,
+            drift / max(stderr, 1e-12),
+            float(np.mean(np.abs(deltas) > h)),
+        )
+    table.add_note(
+        "double-edge swaps preserve every degree, so Z stays a martingale "
+        "at any churn rate: drift must be 0 within a few standard errors "
+        "and the Azuma exceedance within its "
+        f"{1 - config.envelope_confidence:.2f} budget, exactly as in the "
+        "static E5 run (the swaps=0 row)."
+    )
+    timing_note = summarize_timings([ts.timings for _, ts in batches])
+    if timing_note is not None:
+        table.add_note(f"trial execution: {timing_note}")
+    report.add_table(table)
+
+    table = Table(
+        title=(
+            f"consensus under churn, same graphs, "
+            f"{config.consensus_trials} runs per level"
+        ),
+        headers=[
+            "swaps/event",
+            "consensus rate",
+            "CI low",
+            "CI high",
+            "mean steps",
+            "mean epochs",
+        ],
+    )
+    batches = run_trials_over(
+        levels,
+        config.consensus_trials,
+        functools.partial(_consensus_trial, config),
+        seed=seed,
+        workers=workers,
+    )
+    for swaps, outcomes in batches:
+        rows = outcomes.outcomes
+        reached = [r for r in rows if r["reached"]]
+        proportion = wilson_interval(len(reached), config.consensus_trials)
+        steps = summarize([r["steps"] for r in reached]) if reached else None
+        table.add_row(
+            swaps,
+            proportion.estimate,
+            proportion.low,
+            proportion.high,
+            steps.mean if steps is not None else float("nan"),
+            float(np.mean([r["epochs"] for r in rows])),
+        )
+    table.add_note(
+        "churn reshuffles the interaction structure mid-run without "
+        "touching the weight invariants; on these well-connected graphs "
+        "consensus should remain reliable across the sweep."
+    )
+    timing_note = summarize_timings([ts.timings for _, ts in batches])
+    if timing_note is not None:
+        table.add_note(f"trial execution: {timing_note}")
+    report.add_table(table)
+    return report

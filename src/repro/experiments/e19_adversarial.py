@@ -1,0 +1,167 @@
+"""E19 — DIV vs best-of-k under biased, adversarial and noisy scheduling.
+
+The paper proves DIV's guarantees under *neutral* schedulers (eq. (2)).
+This experiment stress-tests the comparison of §"Related work" — DIV
+against the best-of-two / best-of-three heuristics — when the scheduler
+or the communication channel stops being neutral:
+
+* ``biased``: a :class:`~repro.core.schedulers.BiasedScheduler` with a
+  negative coefficient *shelters* extreme holders (they update less
+  often), starving the extreme-contraction drift of Lemma 4;
+* ``adversarial``: an
+  :class:`~repro.core.schedulers.AdversarialScheduler` shows updating
+  vertices their most extreme neighbour with a fixed probability,
+  actively re-inflating the opinion range;
+* ``noisy``: a :class:`~repro.core.dynamics.NoisyDynamics` channel
+  drops interactions and misreads the observed neighbour. Noise uses
+  per-step randomness, so these runs degrade to the reference loop
+  kernel — the recorded-degradation path of the substrate contract
+  (``RunResult.kernel`` is asserted in the report).
+
+DIV's one-unit moves make it *rate*-sensitive but hard to derail (each
+interaction moves mass by 1); the jump dynamics can be swung much
+further by the same adversary. We measure consensus reliability, time
+and the final-average error ``|winner − c|`` per (scenario, dynamics).
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.initializers import uniform_random_opinions
+from repro.analysis.montecarlo import run_trials_over
+from repro.analysis.statistics import wilson_interval
+from repro.core.dynamics import NoisyDynamics, make_dynamics
+from repro.core.engine import run_dynamics
+from repro.core.schedulers import make_scheduler
+from repro.core.state import OpinionState
+from repro.experiments.tables import ExperimentReport, Table
+from repro.graphs import random_regular_graph
+from repro.parallel import summarize_timings
+from repro.rng import RngLike
+
+EXPERIMENT_ID = "E19"
+TITLE = "DIV vs best-of-k under biased, adversarial and noisy scheduling"
+
+#: The compared update rules (all three support the vertex process).
+DYNAMICS = ("div", "best_of_two", "best_of_three")
+
+#: Scenario grid; see the module docstring.
+SCENARIOS = ("neutral", "biased", "adversarial", "noisy")
+
+
+@dataclass
+class Config:
+    """Scenario × dynamics grid on a random regular graph."""
+
+    n: int = 100
+    degree: int = 8
+    k: int = 5
+    bias: float = -0.8  # shelter extremes (biased scenario)
+    strength: float = 0.3  # redirect probability (adversarial scenario)
+    drop: float = 0.2  # dropped interactions (noisy scenario)
+    misread: float = 0.1  # misread neighbours (noisy scenario)
+    trials: int = 24
+    max_steps: int = 250_000
+
+    @classmethod
+    def quick(cls) -> "Config":
+        return cls(n=56, trials=8, max_steps=80_000)
+
+
+def _trial(config: Config, case: Tuple[str, str], index: int, rng) -> dict:
+    """One (scenario, dynamics) run; picklable for the parallel layer."""
+    scenario, dyn_name = case
+    graph = random_regular_graph(config.n, config.degree, rng=rng)
+    opinions = uniform_random_opinions(config.n, config.k, rng=rng)
+    state = OpinionState(graph, opinions)
+    expected = state.weighted_mean()
+    if scenario == "biased":
+        scheduler = make_scheduler(graph, "biased", state=state, strength=config.bias)
+    elif scenario == "adversarial":
+        scheduler = make_scheduler(
+            graph, "adversarial", state=state, strength=config.strength
+        )
+    else:
+        scheduler = make_scheduler(graph, "vertex")
+    dynamics = make_dynamics(dyn_name)
+    if scenario == "noisy":
+        dynamics = NoisyDynamics(dynamics, drop=config.drop, misread=config.misread)
+    result = run_dynamics(
+        state, scheduler, dynamics, rng=rng, max_steps=config.max_steps
+    )
+    winner = state.consensus_value()
+    return {
+        "reached": winner is not None,
+        "steps": result.steps,
+        "error": abs(winner - expected) if winner is not None else None,
+        "kernel": result.kernel,
+    }
+
+
+def run(
+    config: Config = None, seed: RngLike = 0, workers: Optional[int] = None
+) -> ExperimentReport:
+    """Run E19 and return the report."""
+    config = config or Config()
+    report = ExperimentReport(EXPERIMENT_ID, TITLE)
+    cases = [(s, d) for s in SCENARIOS for d in DYNAMICS]
+    table = Table(
+        title=(
+            f"random {config.degree}-regular, n={config.n}, k={config.k}, "
+            f"{config.trials} trials per cell "
+            f"(bias={config.bias}, strength={config.strength}, "
+            f"drop={config.drop}, misread={config.misread})"
+        ),
+        headers=[
+            "scenario",
+            "dynamics",
+            "consensus rate",
+            "mean steps",
+            "mean |winner-c|",
+            "kernel",
+        ],
+    )
+    batches = run_trials_over(
+        cases,
+        config.trials,
+        functools.partial(_trial, config),
+        seed=seed,
+        workers=workers,
+    )
+    noisy_kernels = set()
+    for (scenario, dyn_name), outcomes in batches:
+        rows = outcomes.outcomes
+        reached = [r for r in rows if r["reached"]]
+        proportion = wilson_interval(len(reached), config.trials)
+        kernels = sorted({r["kernel"] for r in rows})
+        if scenario == "noisy":
+            noisy_kernels.update(kernels)
+        table.add_row(
+            scenario,
+            dyn_name,
+            proportion.estimate,
+            float(np.mean([r["steps"] for r in reached])) if reached else float("nan"),
+            float(np.mean([r["error"] for r in reached])) if reached else float("nan"),
+            "/".join(kernels),
+        )
+    table.add_note(
+        "expected consensus average c is the degree-weighted mean (vertex "
+        "process); |winner - c| > 1 means the scenario moved the outcome "
+        "beyond the rounding set {floor(c), ceil(c)} of Theorem 2."
+    )
+    if noisy_kernels == {"loop"}:
+        table.add_note(
+            "noisy runs executed on the reference loop kernel — the "
+            "recorded degradation for per-step-randomness dynamics "
+            "(see docs/scenarios.md)."
+        )
+    timing_note = summarize_timings([ts.timings for _, ts in batches])
+    if timing_note is not None:
+        table.add_note(f"trial execution: {timing_note}")
+    report.add_table(table)
+    return report

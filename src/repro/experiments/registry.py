@@ -1,4 +1,4 @@
-"""Registry of the experiment drivers E1–E12.
+"""Registry of the experiment drivers E1–E19.
 
 Maps experiment ids to their modules so the CLI and the benchmark suite
 can enumerate and run them uniformly.
@@ -37,6 +37,9 @@ from repro.experiments import (
     e14_corollary7,
     e15_synchronous,
     e16_strong_concentration,
+    e17_zealots,
+    e18_churn,
+    e19_adversarial,
 )
 from repro.experiments.tables import ExperimentReport
 
@@ -255,6 +258,9 @@ _MODULES = (
     e14_corollary7,
     e15_synchronous,
     e16_strong_concentration,
+    e17_zealots,
+    e18_churn,
+    e19_adversarial,
 )
 
 REGISTRY: Dict[str, ExperimentSpec] = {

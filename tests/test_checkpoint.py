@@ -302,3 +302,110 @@ class TestRegistryCampaigns:
         spec = self._quick_spec(monkeypatch)
         with pytest.raises(ExperimentError, match="scale"):
             spec.run_campaign("medium")
+
+
+class TestScenarioCampaignResume:
+    """The scenario experiments (zealots / churn / adversarial) go
+    through the same campaign machinery as everything else: a serially
+    started checkpoint must resume bit-identically under parallel
+    workers, because per-trial seeds derive from the manifest — not
+    from execution order."""
+
+    @staticmethod
+    def _stable_lines(report):
+        """Report lines minus the wall-clock telemetry notes, which
+        legitimately differ between serial and parallel execution."""
+        return [
+            line
+            for line in report.render().splitlines()
+            if "trial execution" not in line and "finished in" not in line
+        ]
+
+    def _scenario_spec(self, monkeypatch, experiment_id, **quick_config):
+        from repro.experiments import (
+            e17_zealots,
+            e18_churn,
+            e19_adversarial,
+        )
+        from repro.experiments.registry import REGISTRY
+
+        module = {
+            "E17": e17_zealots,
+            "E18": e18_churn,
+            "E19": e19_adversarial,
+        }[experiment_id]
+        monkeypatch.setattr(
+            module.Config,
+            "quick",
+            classmethod(lambda cls: cls(**quick_config)),
+        )
+        return REGISTRY[experiment_id]
+
+    def test_zealot_campaign_parallel_resume(self, tmp_path, monkeypatch):
+        spec = self._scenario_spec(
+            monkeypatch,
+            "E17",
+            n=20,
+            degree=4,
+            k=4,
+            fractions=(0.0, 0.2),
+            trials=4,
+            max_steps=60_000,
+        )
+        reference = spec.run_quick(seed=5)
+        serial = spec.run_quick(seed=5, checkpoint_dir=tmp_path)
+        assert serial.render() == reference.render()
+        resumed = spec.run_quick(
+            seed=5, checkpoint_dir=tmp_path, resume=True, workers=2
+        )
+        assert self._stable_lines(resumed) == self._stable_lines(reference)
+
+    def test_adversarial_campaign_parallel_resume(
+        self, tmp_path, monkeypatch
+    ):
+        spec = self._scenario_spec(
+            monkeypatch,
+            "E19",
+            n=20,
+            degree=4,
+            k=4,
+            trials=3,
+            max_steps=60_000,
+        )
+        reference = spec.run_quick(seed=9)
+        serial = spec.run_quick(seed=9, checkpoint_dir=tmp_path)
+        assert serial.render() == reference.render()
+        resumed = spec.run_quick(
+            seed=9, checkpoint_dir=tmp_path, resume=True, workers=2
+        )
+        assert self._stable_lines(resumed) == self._stable_lines(reference)
+
+    def test_churn_campaign_journal_executor_resume(
+        self, tmp_path, monkeypatch
+    ):
+        spec = self._scenario_spec(
+            monkeypatch,
+            "E18",
+            n=20,
+            degree=4,
+            k=4,
+            period=40,
+            swap_levels=(0, 8),
+            horizon=400,
+            trials=4,
+            consensus_trials=3,
+            max_steps=60_000,
+        )
+        reference = spec.run_quick(seed=3)
+        first = spec.run_quick(
+            seed=3, checkpoint_dir=tmp_path, executor="journal"
+        )
+        assert self._stable_lines(first) == self._stable_lines(reference)
+        resumed = spec.run_quick(
+            seed=3,
+            checkpoint_dir=tmp_path,
+            resume=True,
+            executor="journal",
+            workers=2,
+        )
+        assert self._stable_lines(resumed) == self._stable_lines(reference)

@@ -85,7 +85,7 @@ def test_default_config_has_quick_variant():
 class TestRegistry:
     def test_all_registered(self):
         ids = [spec.experiment_id for spec in all_experiments()]
-        assert ids == [f"E{i}" for i in range(1, 17)]
+        assert ids == [f"E{i}" for i in range(1, 20)]
 
     def test_lookup_case_insensitive(self):
         assert get_experiment("e3").experiment_id == "E3"

@@ -18,13 +18,19 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    AdversarialScheduler,
+    BiasedScheduler,
+    ChurnPlan,
     EdgeScheduler,
     IncrementalVoting,
     MedianVoting,
+    NoisyDynamics,
     OpinionState,
     PullVoting,
     PushVoting,
+    Substrate,
     VertexScheduler,
+    frozen_consensus,
     run_dynamics,
 )
 from repro.core.kernels import (
@@ -222,6 +228,128 @@ class TestEquivalenceSweep:
             block_size=3,
         )
         assert_equivalent(results, observers)
+
+
+#: Scenario matrix for the substrate-contract sweep: every scenario is
+#: run under every kernel and must either match the loop reference
+#: bit-for-bit or record an explicit degradation on ``RunResult.kernel``.
+SCENARIOS = (
+    "churn",
+    "zealots",
+    "churn_zealots",
+    "bias",
+    "adversarial",
+    "noise",
+)
+
+
+def run_scenario(scenario, kernel, seed):
+    """Build a fresh substrate/state/scheduler (substrates mutate in
+    place, scenario schedulers bind to a live state) and run one
+    scenario under ``kernel``.  Returns (result, substrate, observers)."""
+    graph = random_regular_graph(26, 5, rng=3)
+    opinions = make_rng(seed).integers(0, 6, size=graph.n)
+    plan = None
+    if scenario in ("churn", "churn_zealots"):
+        plan = ChurnPlan(period=150, swaps=8, seed=seed + 11)
+    substrate = Substrate(graph, plan)
+    frozen = [0, 13] if scenario in ("zealots", "churn_zealots") else None
+    state = OpinionState(graph, opinions, frozen=frozen)
+    stop = frozen_consensus(state) if frozen else "consensus"
+    if scenario == "bias":
+        scheduler = BiasedScheduler(substrate, state, bias=1.5)
+    elif scenario == "adversarial":
+        scheduler = AdversarialScheduler(substrate, state, strength=0.4)
+    else:
+        scheduler = VertexScheduler(substrate)
+    dynamics = IncrementalVoting()
+    if scenario == "noise":
+        dynamics = NoisyDynamics(dynamics, drop=0.2, misread=0.15)
+    observers = [SupportTrace(interval=13)]
+    result = run_dynamics(
+        state,
+        scheduler,
+        dynamics,
+        stop=stop,
+        rng=seed + 1,
+        max_steps=300_000,
+        observers=observers,
+        kernel=kernel,
+    )
+    return result, substrate, observers
+
+
+class TestScenarioEquivalenceSweep:
+    """{churn, zealots, bias, noise} × {loop, block, compiled}: the
+    kernel contract extends to non-static substrates.  Identical
+    outcomes everywhere — except :class:`NoisyDynamics`, which does not
+    declare substrate compatibility and must *record* its degradation
+    to the loop kernel rather than silently diverge."""
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    @pytest.mark.parametrize("seed", [0, 4])
+    def test_scenarios_bit_identical_across_kernels(self, scenario, seed):
+        results, observer_sets = [], []
+        with interpreted_compiled():
+            for kernel in SWEEP_KERNELS:
+                result, substrate, observers = run_scenario(
+                    scenario, kernel, seed
+                )
+                results.append(result)
+                observer_sets.append([observers[0]])
+                if scenario in ("churn", "churn_zealots"):
+                    # The run really crossed epoch boundaries; the
+                    # caches were rebuilt, not just never invalidated.
+                    assert substrate.epoch > 0
+        assert_equivalent(results, observer_sets)
+        if scenario == "noise":
+            # NoisyDynamics offers no fast path and declares no
+            # substrate compatibility: every kernel request degrades
+            # to the sequential loop — and says so on the result.
+            assert {r.kernel for r in results} == {"loop"}
+        else:
+            # DIV declares ("frozen", "churn"): the fast backends stay
+            # engaged even with zealots and a rewiring substrate.
+            assert [r.kernel for r in results] == list(SWEEP_KERNELS)
+
+    @pytest.mark.parametrize("scenario", ["zealots", "churn_zealots"])
+    def test_zealot_runs_stop_at_frozen_floor(self, scenario):
+        with interpreted_compiled():
+            result, _, _ = run_scenario(scenario, "block", seed=2)
+        assert result.reached_stop
+        support = result.state.frozen_support()
+        assert result.state.support_size == len(set(support))
+        for vertex in (0, 13):
+            assert result.state.is_frozen(vertex)
+
+    @pytest.mark.parametrize("seed", [0, 4])
+    def test_scenario_scheduler_at_zero_matches_vertex_process(self, seed):
+        """bias=0 / strength=0 consume the engine stream exactly like
+        the plain vertex process — the equivalence anchor that lets the
+        scenario sweep piggyback on the main sweep's guarantees."""
+        graph = random_regular_graph(26, 5, rng=3)
+        outcomes = []
+        with interpreted_compiled():
+            for build in (
+                lambda st: VertexScheduler(graph),
+                lambda st: BiasedScheduler(graph, st, bias=0.0),
+                lambda st: AdversarialScheduler(graph, st, strength=0.0),
+            ):
+                state = initial_state(graph, seed)
+                result = run_dynamics(
+                    state,
+                    build(state),
+                    IncrementalVoting(),
+                    rng=seed + 1,
+                    kernel="compiled",
+                )
+                outcomes.append(result)
+        reference = outcomes[0]
+        for other in outcomes[1:]:
+            assert other.steps == reference.steps
+            np.testing.assert_array_equal(
+                other.state.values, reference.state.values
+            )
 
 
 class TestConflictFreeBounds:

@@ -559,6 +559,89 @@ class TestKER004KernelAgnosticExperiments:
         assert findings == []
 
 
+class TestKER005SubstrateDeclaration:
+    def test_fast_path_without_declaration_flagged(self):
+        findings = project(
+            {
+                "src/repro/core/turbo.py": """\
+                class TurboDynamics:
+                    compiled_id = 7
+
+                    def step(self, state, v, w, rng):
+                        return False
+
+                    def step_block(self, state, v, w):
+                        return state
+                """
+            },
+            ["KER005"],
+        )
+        assert rule_ids(findings) == ["KER005"]
+        assert "TurboDynamics" in findings[0].message
+        assert "step_block" in findings[0].message
+        assert "compiled_id" in findings[0].message
+        assert "substrate_compat" in findings[0].suggestion
+
+    def test_declared_and_inherited_declarations_are_fine(self):
+        findings = project(
+            {
+                "src/repro/core/dynamics.py": """\
+                SUBSTRATE_FEATURES = ("frozen", "churn")
+
+
+                class Declared:
+                    substrate_compat = SUBSTRATE_FEATURES
+
+                    def step(self, state, v, w, rng):
+                        return False
+
+                    def step_block(self, state, v, w):
+                        return state
+                """,
+                "src/repro/core/fast.py": """\
+                from repro.core.dynamics import Declared
+
+
+                class Faster(Declared):
+                    compiled_id = 3
+                """,
+            },
+            ["KER005"],
+        )
+        assert findings == []
+
+    def test_slow_path_dynamics_need_no_declaration(self):
+        findings = project(
+            {
+                "src/repro/core/noisy.py": """\
+                class NoisyOnly:
+                    def step(self, state, v, w, rng):
+                        return False
+                """
+            },
+            ["KER005"],
+        )
+        assert findings == []
+
+    def test_protocol_interfaces_are_exempt(self):
+        # A typing.Protocol describes the fast-path *interface*; the
+        # declaration duty falls on its concrete implementations.
+        findings = project(
+            {
+                "src/repro/core/proto.py": """\
+                from typing import Protocol
+
+
+                class BlockCapable(Protocol):
+                    def step_block(self, state, v, w):
+                        ...
+                """
+            },
+            ["KER005"],
+        )
+        assert findings == []
+
+
 # ---------------------------------------------------------------------------
 # LAYxxx: declared layering
 # ---------------------------------------------------------------------------

@@ -7,9 +7,18 @@ from collections import Counter
 import numpy as np
 import pytest
 
-from repro.core import EdgeScheduler, VertexScheduler, make_scheduler
+from repro.core import (
+    AdversarialScheduler,
+    BiasedScheduler,
+    ChurnPlan,
+    EdgeScheduler,
+    OpinionState,
+    Substrate,
+    VertexScheduler,
+    make_scheduler,
+)
 from repro.errors import ProcessError
-from repro.graphs import Graph, path_graph, star_graph
+from repro.graphs import Graph, lollipop_graph, path_graph, star_graph
 from repro.rng import make_rng
 
 
@@ -97,3 +106,174 @@ class TestFactory:
         v2, w2 = scheduler.draw_block(make_rng(5), 100)
         assert np.array_equal(v1, v2)
         assert np.array_equal(w1, w2)
+
+    def test_scenario_schedulers_require_state(self, small_complete):
+        for process in ("biased", "adversarial"):
+            with pytest.raises(ProcessError, match="state"):
+                make_scheduler(small_complete, process)
+
+    def test_scenario_schedulers_constructed(self, small_complete):
+        state = OpinionState(small_complete, [1, 2, 3, 4, 5, 1, 2, 3])
+        biased = make_scheduler(small_complete, "biased", state=state, strength=0.5)
+        assert isinstance(biased, BiasedScheduler)
+        assert biased.bias == pytest.approx(0.5)
+        adversarial = make_scheduler(
+            small_complete, "adversarial", state=state, strength=0.25
+        )
+        assert isinstance(adversarial, AdversarialScheduler)
+        assert adversarial.strength == pytest.approx(0.25)
+
+
+class TestFrequenciesOnHeterogeneousDegrees:
+    """Eq. (2) and the 1/2m rule measured on a genuinely mixed-degree graph."""
+
+    DRAWS = 60000
+
+    @pytest.fixture
+    def lollipop(self):
+        # K_5 plus a pendant path: degrees range from 1 to 5.
+        return lollipop_graph(5, 4)
+
+    def test_vertex_process_pair_frequencies(self, lollipop, rng):
+        scheduler = VertexScheduler(lollipop)
+        v, w = scheduler.draw_block(rng, self.DRAWS)
+        counts = Counter(zip(v.tolist(), w.tolist()))
+        degrees = lollipop.degrees
+        for a in range(lollipop.n):
+            for b in lollipop.neighbors(a):
+                expected = 1.0 / (lollipop.n * degrees[a])
+                measured = counts[(a, int(b))] / self.DRAWS
+                assert measured == pytest.approx(expected, abs=0.006), (a, b)
+
+    def test_edge_process_pair_frequencies(self, lollipop, rng):
+        scheduler = EdgeScheduler(lollipop)
+        v, w = scheduler.draw_block(rng, self.DRAWS)
+        counts = Counter(zip(v.tolist(), w.tolist()))
+        expected = 1.0 / (2 * lollipop.m)
+        assert len(counts) == 2 * lollipop.m
+        for pair, count in counts.items():
+            assert count / self.DRAWS == pytest.approx(expected, abs=0.006), pair
+
+
+class TestBiasedScheduler:
+    def test_pairs_are_adjacent(self, any_graph, rng):
+        state = OpinionState(any_graph, list(range(1, any_graph.n + 1)))
+        scheduler = BiasedScheduler(any_graph, state, bias=1.5)
+        v, w = scheduler.draw_block(rng, 400)
+        for a, b in zip(v, w):
+            assert any_graph.has_edge(int(a), int(b))
+
+    def test_deterministic_given_seed(self, small_complete):
+        state = OpinionState(small_complete, [1, 1, 2, 3, 4, 5, 5, 3])
+        scheduler = BiasedScheduler(small_complete, state, bias=2.0)
+        v1, w1 = scheduler.draw_block(make_rng(7), 200)
+        v2, w2 = scheduler.draw_block(make_rng(7), 200)
+        assert np.array_equal(v1, v2)
+        assert np.array_equal(w1, w2)
+
+    def test_positive_bias_targets_extreme_holders(self, small_complete, rng):
+        # Vertices 0/1 hold the extremes; they must update strictly more
+        # often than the centre holders under positive bias.
+        state = OpinionState(small_complete, [1, 5, 3, 3, 3, 3, 3, 3])
+        scheduler = BiasedScheduler(small_complete, state, bias=3.0)
+        v, _ = scheduler.draw_block(rng, 20000)
+        extreme_share = np.mean((v == 0) | (v == 1))
+        # Unbiased share would be 2/8; weights (1+3)/(1+0) quadruple it
+        # relative to centre vertices: expect 8/(8+6) ≈ 0.571.
+        assert extreme_share == pytest.approx(8 / 14, abs=0.02)
+
+    def test_negative_bias_shelters_extreme_holders(self, small_complete, rng):
+        state = OpinionState(small_complete, [1, 5, 3, 3, 3, 3, 3, 3])
+        scheduler = BiasedScheduler(small_complete, state, bias=-1.0)
+        v, _ = scheduler.draw_block(rng, 20000)
+        # Weight 1 + (-1)·1 = 0: the extreme holders never update.
+        assert not np.any((v == 0) | (v == 1))
+
+    def test_zero_bias_matches_vertex_process_stream(self, small_complete):
+        state = OpinionState(small_complete, [1, 2, 3, 4, 5, 1, 2, 3])
+        biased = BiasedScheduler(small_complete, state, bias=0.0)
+        plain = VertexScheduler(small_complete)
+        v1, w1 = biased.draw_block(make_rng(3), 300)
+        v2, w2 = plain.draw_block(make_rng(3), 300)
+        assert np.array_equal(v1, v2)
+        assert np.array_equal(w1, w2)
+
+    def test_rejects_bias_below_minus_one(self, small_complete):
+        state = OpinionState(small_complete, [1] * 8)
+        with pytest.raises(ProcessError, match="bias"):
+            BiasedScheduler(small_complete, state, bias=-1.5)
+
+
+class TestAdversarialScheduler:
+    def test_pairs_are_adjacent(self, any_graph, rng):
+        state = OpinionState(any_graph, list(range(1, any_graph.n + 1)))
+        scheduler = AdversarialScheduler(any_graph, state, strength=0.7)
+        v, w = scheduler.draw_block(rng, 400)
+        for a, b in zip(v, w):
+            assert any_graph.has_edge(int(a), int(b))
+
+    def test_deterministic_given_seed(self, small_complete):
+        state = OpinionState(small_complete, [1, 1, 2, 3, 4, 5, 5, 3])
+        scheduler = AdversarialScheduler(small_complete, state, strength=0.5)
+        v1, w1 = scheduler.draw_block(make_rng(11), 200)
+        v2, w2 = scheduler.draw_block(make_rng(11), 200)
+        assert np.array_equal(v1, v2)
+        assert np.array_equal(w1, w2)
+
+    def test_full_strength_always_shows_most_extreme_neighbour(
+        self, small_complete, rng
+    ):
+        values = [1, 5, 3, 3, 3, 3, 3, 3]
+        state = OpinionState(small_complete, values)
+        scheduler = AdversarialScheduler(small_complete, state, strength=1.0)
+        v, w = scheduler.draw_block(rng, 2000)
+        # Centre = 6; on K_8 the most extreme neighbour of anyone is
+        # vertex 0 (|2·1-6| = 4) — argmax ties resolve to the first.
+        assert np.all(w[v != 0] == 0)
+
+    def test_zero_strength_matches_vertex_process_stream(self, small_complete):
+        state = OpinionState(small_complete, [1, 2, 3, 4, 5, 1, 2, 3])
+        adversarial = AdversarialScheduler(small_complete, state, strength=0.0)
+        plain = VertexScheduler(small_complete)
+        v1, w1 = adversarial.draw_block(make_rng(3), 300)
+        v2, w2 = plain.draw_block(make_rng(3), 300)
+        assert np.array_equal(v1, v2)
+        assert np.array_equal(w1, w2)
+
+    def test_rejects_strength_outside_unit_interval(self, small_complete):
+        state = OpinionState(small_complete, [1] * 8)
+        with pytest.raises(ProcessError, match="strength"):
+            AdversarialScheduler(small_complete, state, strength=1.2)
+
+
+class TestEpochStaleness:
+    """The scheduler cache-staleness guard (substrate contract)."""
+
+    def _churning(self, rng):
+        graph = Graph(
+            6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3), (1, 4)]
+        )
+        return Substrate(graph, ChurnPlan(period=10, swaps=8, seed=42))
+
+    @pytest.mark.parametrize("cls", [VertexScheduler, EdgeScheduler])
+    def test_stale_cache_draw_raises(self, cls, rng):
+        substrate = self._churning(rng)
+        scheduler = cls(substrate)
+        scheduler.draw_block(rng, 10)
+        advanced = False
+        step = 0
+        while not advanced:  # swaps can all be rejected on tiny graphs
+            step += 10
+            advanced = substrate.advance_to(step)
+        with pytest.raises(ProcessError, match="stale scheduler cache"):
+            scheduler.draw_block(rng, 10)
+        scheduler.rebuild()
+        v, w = scheduler.draw_block(rng, 50)
+        for a, b in zip(v, w):
+            assert substrate.graph.has_edge(int(a), int(b))
+
+    def test_static_substrate_never_goes_stale(self, small_complete, rng):
+        substrate = Substrate(small_complete)
+        scheduler = VertexScheduler(substrate)
+        assert not substrate.advance_to(10**6)
+        scheduler.draw_block(rng, 10)  # no rebuild needed, no raise
